@@ -1,0 +1,13 @@
+// tgroom: the command-line front end.  Compose with pipes:
+//
+//   tgroom generate --pattern regular --n 36 --r 7 |
+//     tgroom groom --k 16 --algorithm regular | tgroom simulate
+//
+//   tgroom generate --n 24 --dense 0.5 | tgroom compare --k 8
+#include <iostream>
+
+#include "tools/commands.hpp"
+
+int main(int argc, char** argv) {
+  return tgroom::tools::run_tool(argc, argv, std::cin, std::cout, std::cerr);
+}

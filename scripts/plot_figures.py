@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Render the bench CSV exports as charts.
+
+With matplotlib installed, writes fig4.png / fig5.png next to the CSVs.
+Without it, falls back to dependency-free ASCII charts on stdout, so the
+figure shapes are inspectable even on a bare container.
+
+Usage:
+  python3 scripts/plot_figures.py [csv_dir]
+(csv_dir defaults to the current directory; run the bench binaries first:
+ ./build/bench/bench_fig4 && ./build/bench/bench_fig5)
+"""
+
+import csv
+import glob
+import os
+import sys
+
+
+def load_series(path):
+    """-> {algorithm: [(k, mean_sadms), ...]}, workload label."""
+    series = {}
+    label = ""
+    with open(path) as f:
+        for row in csv.DictReader(f):
+            label = row["workload"]
+            series.setdefault(row["algorithm"], []).append(
+                (int(row["k"]), float(row["mean_sadms"]))
+            )
+    for points in series.values():
+        points.sort()
+    return series, label
+
+
+def ascii_chart(series, label, width=64, height=16):
+    points = [p for pts in series.values() for p in pts]
+    if not points:
+        return
+    ks = sorted({k for k, _ in points})
+    lo = min(v for _, v in points)
+    hi = max(v for _, v in points)
+    span = max(hi - lo, 1e-9)
+    marks = "xo+*#@%&"
+    grid = [[" "] * width for _ in range(height)]
+    for idx, (algo, pts) in enumerate(sorted(series.items())):
+        for k, v in pts:
+            col = int((ks.index(k) / max(len(ks) - 1, 1)) * (width - 1))
+            row = int((1 - (v - lo) / span) * (height - 1))
+            grid[row][col] = marks[idx % len(marks)]
+    print(f"\n{label}   (y: {lo:.0f}..{hi:.0f} SADMs, x: k={ks[0]}..{ks[-1]})")
+    for row in grid:
+        print("  |" + "".join(row))
+    print("  +" + "-" * width)
+    for idx, algo in enumerate(sorted(series)):
+        print(f"   {marks[idx % len(marks)]} = {algo}")
+
+
+def matplotlib_chart(groups, out_path):
+    import matplotlib
+
+    matplotlib.use("Agg")
+    import matplotlib.pyplot as plt
+
+    fig, axes = plt.subplots(1, len(groups), figsize=(5 * len(groups), 4))
+    if len(groups) == 1:
+        axes = [axes]
+    for ax, (label, series) in zip(axes, groups):
+        for algo, pts in sorted(series.items()):
+            ax.plot([k for k, _ in pts], [v for _, v in pts], marker="o",
+                    label=algo)
+        ax.set_title(label)
+        ax.set_xlabel("grooming factor k")
+        ax.set_ylabel("SADMs")
+        ax.legend(fontsize=7)
+    fig.tight_layout()
+    fig.savefig(out_path, dpi=120)
+    print(f"wrote {out_path}")
+
+
+def main():
+    csv_dir = sys.argv[1] if len(sys.argv) > 1 else "."
+    for figure, pattern in (("fig4", "fig4_d*.csv"), ("fig5", "fig5_r*.csv")):
+        paths = sorted(glob.glob(os.path.join(csv_dir, pattern)))
+        if not paths:
+            print(f"no {pattern} found in {csv_dir}; run bench_{figure} first")
+            continue
+        groups = []
+        for path in paths:
+            series, label = load_series(path)
+            groups.append((label, series))
+        try:
+            matplotlib_chart(groups, os.path.join(csv_dir, f"{figure}.png"))
+        except ImportError:
+            for label, series in groups:
+                ascii_chart(series, label)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Full reproduction pipeline: build, test, regenerate every figure/table,
+# and render the charts.  Run from the repository root.
+set -euo pipefail
+
+cmake -B build -G Ninja
+cmake --build build
+
+ctest --test-dir build 2>&1 | tee test_output.txt
+
+for b in build/bench/*; do
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  "$b"
+done 2>&1 | tee bench_output.txt
+
+python3 scripts/plot_figures.py .
+
+echo
+echo "Reproduction complete:"
+echo "  test_output.txt   — full ctest log"
+echo "  bench_output.txt  — every figure/table of the paper + extensions"
+echo "  fig4_d*.csv fig5_r*.csv bounds.csv — replot data"
+echo "  see EXPERIMENTS.md for the paper-vs-measured discussion"

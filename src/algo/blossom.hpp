@@ -1,0 +1,20 @@
+// Maximum matching in general graphs: Edmonds' blossom algorithm.
+//
+// O(V^3) contract-and-augment formulation (base/parent arrays, BFS forest).
+// Traffic graphs in the paper's experiments are tiny (n = 36), so the
+// simple cubic variant is the right trade-off over Micali–Vazirani.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tgroom {
+
+/// Edge ids of a maximum matching (virtual edges ignored).
+std::vector<EdgeId> maximum_matching(const Graph& g);
+
+/// Node-indexed mate array (kInvalidNode when unmatched).
+std::vector<NodeId> maximum_matching_mates(const Graph& g);
+
+}  // namespace tgroom

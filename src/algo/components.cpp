@@ -1,0 +1,130 @@
+#include "algo/components.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace tgroom {
+
+std::vector<std::vector<NodeId>> Components::groups() const {
+  std::vector<std::vector<NodeId>> out(static_cast<std::size_t>(count));
+  for (NodeId v = 0; v < static_cast<NodeId>(label.size()); ++v) {
+    out[static_cast<std::size_t>(label[static_cast<std::size_t>(v)])]
+        .push_back(v);
+  }
+  return out;
+}
+
+namespace {
+Components bfs_components(const Graph& g, const std::vector<char>* mask) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  Components comp;
+  comp.label.assign(n, -1);
+  std::queue<NodeId> frontier;
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (comp.label[static_cast<std::size_t>(start)] != -1) continue;
+    int id = comp.count++;
+    comp.label[static_cast<std::size_t>(start)] = id;
+    frontier.push(start);
+    while (!frontier.empty()) {
+      NodeId v = frontier.front();
+      frontier.pop();
+      for (const Incidence& inc : g.incident(v)) {
+        if (mask && !(*mask)[static_cast<std::size_t>(inc.edge)]) continue;
+        if (comp.label[static_cast<std::size_t>(inc.neighbor)] != -1) continue;
+        comp.label[static_cast<std::size_t>(inc.neighbor)] = id;
+        frontier.push(inc.neighbor);
+      }
+    }
+  }
+  return comp;
+}
+}  // namespace
+
+Components connected_components(const Graph& g) {
+  return bfs_components(g, nullptr);
+}
+
+Components connected_components_masked(const Graph& g,
+                                       const std::vector<char>& edge_mask) {
+  TGROOM_CHECK(edge_mask.size() == static_cast<std::size_t>(g.edge_count()));
+  return bfs_components(g, &edge_mask);
+}
+
+bool is_connected(const Graph& g) {
+  return connected_components(g).count <= 1;
+}
+
+namespace {
+// Unit-capacity max flow via BFS augmentation (Edmonds–Karp).  Each
+// undirected edge becomes a pair of directed arcs with capacity 1.
+struct UnitFlow {
+  struct Arc {
+    NodeId to;
+    int cap;
+  };
+  std::vector<Arc> arcs;
+  std::vector<std::vector<int>> out;  // per node: arc indices
+
+  explicit UnitFlow(const Graph& g)
+      : out(static_cast<std::size_t>(g.node_count())) {
+    for (const Edge& e : g.edges()) {
+      add_arc(e.u, e.v);
+      add_arc(e.v, e.u);
+    }
+  }
+
+  void add_arc(NodeId from, NodeId to) {
+    out[static_cast<std::size_t>(from)].push_back(
+        static_cast<int>(arcs.size()));
+    arcs.push_back({to, 1});
+  }
+
+  int max_flow(NodeId s, NodeId t) {
+    int flow = 0;
+    const auto n = out.size();
+    while (true) {
+      std::vector<int> via(n, -1);  // arc used to reach node
+      std::vector<char> seen(n, 0);
+      std::queue<NodeId> q;
+      q.push(s);
+      seen[static_cast<std::size_t>(s)] = 1;
+      while (!q.empty() && !seen[static_cast<std::size_t>(t)]) {
+        NodeId v = q.front();
+        q.pop();
+        for (int ai : out[static_cast<std::size_t>(v)]) {
+          const Arc& a = arcs[static_cast<std::size_t>(ai)];
+          if (a.cap == 0 || seen[static_cast<std::size_t>(a.to)]) continue;
+          seen[static_cast<std::size_t>(a.to)] = 1;
+          via[static_cast<std::size_t>(a.to)] = ai;
+          q.push(a.to);
+        }
+      }
+      if (!seen[static_cast<std::size_t>(t)]) break;
+      for (NodeId v = t; v != s;) {
+        int ai = via[static_cast<std::size_t>(v)];
+        arcs[static_cast<std::size_t>(ai)].cap -= 1;
+        arcs[static_cast<std::size_t>(ai ^ 1)].cap += 1;
+        // paired arcs are adjacent because add_arc is called in pairs
+        NodeId from = arcs[static_cast<std::size_t>(ai ^ 1)].to;
+        v = from;
+      }
+      ++flow;
+    }
+    return flow;
+  }
+};
+}  // namespace
+
+int edge_connectivity(const Graph& g) {
+  if (g.node_count() <= 1) return 0;
+  if (!is_connected(g)) return 0;
+  int best = g.edge_count();
+  for (NodeId t = 1; t < g.node_count(); ++t) {
+    UnitFlow flow(g);
+    best = std::min(best, flow.max_flow(0, t));
+    if (best == 0) break;
+  }
+  return best;
+}
+
+}  // namespace tgroom

@@ -1,0 +1,36 @@
+// Connected components over the whole graph or a masked edge subset.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tgroom {
+
+/// Component labelling: every node gets a label in [0, count); nodes with no
+/// (masked) incident edge form singleton components.
+struct Components {
+  int count = 0;
+  std::vector<int> label;  // size = node_count
+
+  /// Node lists per component, in node order.
+  std::vector<std::vector<NodeId>> groups() const;
+};
+
+/// Components using every edge of g (virtual included).
+Components connected_components(const Graph& g);
+
+/// Components using only edges where edge_mask[e] != 0.
+Components connected_components_masked(const Graph& g,
+                                       const std::vector<char>& edge_mask);
+
+/// True when the whole node set is one component (n <= 1 counts as
+/// connected; isolated nodes make a graph with n >= 2 disconnected).
+bool is_connected(const Graph& g);
+
+/// Edge connectivity λ(G) of a simple graph, by max-flow between a fixed
+/// node and all others (O(n * m^2) worst case; intended for tests and small
+/// instances, e.g. checking Jaeger's λ >= 4 condition from the paper).
+int edge_connectivity(const Graph& g);
+
+}  // namespace tgroom

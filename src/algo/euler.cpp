@@ -1,0 +1,122 @@
+#include "algo/euler.hpp"
+
+#include <algorithm>
+
+#include "algo/components.hpp"
+#include "graph/properties.hpp"
+
+namespace tgroom {
+
+Walk euler_walk_from(const Graph& g, const std::vector<char>& edge_mask,
+                     NodeId start) {
+  TGROOM_CHECK(g.valid_node(start));
+  TGROOM_CHECK(edge_mask.size() == static_cast<std::size_t>(g.edge_count()));
+
+  std::vector<std::size_t> cursor(static_cast<std::size_t>(g.node_count()), 0);
+  std::vector<char> used(static_cast<std::size_t>(g.edge_count()), 0);
+
+  // Hierholzer with an explicit stack of (node, edge used to reach it).
+  std::vector<std::pair<NodeId, EdgeId>> stack{{start, kInvalidEdge}};
+  std::vector<std::pair<NodeId, EdgeId>> out;
+  while (!stack.empty()) {
+    NodeId v = stack.back().first;
+    auto inc = g.incident(v);
+    auto& cur = cursor[static_cast<std::size_t>(v)];
+    while (cur < inc.size() &&
+           (!edge_mask[static_cast<std::size_t>(inc[cur].edge)] ||
+            used[static_cast<std::size_t>(inc[cur].edge)])) {
+      ++cur;
+    }
+    if (cur < inc.size()) {
+      const Incidence& step = inc[cur];
+      used[static_cast<std::size_t>(step.edge)] = 1;
+      stack.push_back({step.neighbor, step.edge});
+    } else {
+      out.push_back(stack.back());
+      stack.pop_back();
+    }
+  }
+  std::reverse(out.begin(), out.end());
+
+  Walk walk;
+  walk.nodes.reserve(out.size());
+  walk.edges.reserve(out.size() - 1);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    walk.nodes.push_back(out[i].first);
+    if (i > 0) walk.edges.push_back(out[i].second);
+  }
+  TGROOM_CHECK_MSG(is_valid_walk(g, walk),
+                   "component is not Eulerian from the given start node");
+  return walk;
+}
+
+std::vector<Walk> euler_decomposition(const Graph& g,
+                                      const std::vector<char>& edge_mask) {
+  std::vector<NodeId> deg = masked_degrees(g, edge_mask);
+  Components comp = connected_components_masked(g, edge_mask);
+
+  // Per component: an odd-degree start node if one exists, else any node
+  // with positive degree.
+  std::vector<NodeId> start(static_cast<std::size_t>(comp.count),
+                            kInvalidNode);
+  std::vector<int> odd_count(static_cast<std::size_t>(comp.count), 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    auto c = static_cast<std::size_t>(comp.label[static_cast<std::size_t>(v)]);
+    NodeId d = deg[static_cast<std::size_t>(v)];
+    if (d == 0) continue;
+    if (d % 2 == 1) {
+      ++odd_count[c];
+      start[c] = v;  // odd node wins as the start
+    } else if (start[c] == kInvalidNode) {
+      start[c] = v;
+    }
+  }
+
+  std::vector<Walk> walks;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(comp.count); ++c) {
+    if (start[c] == kInvalidNode) continue;  // edgeless component
+    TGROOM_CHECK_MSG(odd_count[c] == 0 || odd_count[c] == 2,
+                     "component has " + std::to_string(odd_count[c]) +
+                         " odd-degree nodes; not Eulerian");
+    walks.push_back(euler_walk_from(g, edge_mask, start[c]));
+  }
+  return walks;
+}
+
+std::vector<Walk> split_walk_on_virtual(const Graph& g, const Walk& walk) {
+  std::vector<Walk> segments;
+  Walk current;
+  for (std::size_t i = 0; i < walk.edges.size(); ++i) {
+    EdgeId e = walk.edges[i];
+    if (g.edge(e).is_virtual) {
+      if (!current.edges.empty()) segments.push_back(std::move(current));
+      current = Walk{};
+      continue;
+    }
+    if (current.nodes.empty()) current.nodes.push_back(walk.nodes[i]);
+    current.nodes.push_back(walk.nodes[i + 1]);
+    current.edges.push_back(e);
+  }
+  if (!current.edges.empty()) segments.push_back(std::move(current));
+  return segments;
+}
+
+bool is_valid_walk(const Graph& g, const Walk& walk) {
+  if (walk.nodes.empty()) return false;
+  if (walk.nodes.size() != walk.edges.size() + 1) return false;
+  std::vector<char> seen(static_cast<std::size_t>(g.edge_count()), 0);
+  for (std::size_t i = 0; i < walk.edges.size(); ++i) {
+    EdgeId e = walk.edges[i];
+    if (e < 0 || e >= g.edge_count()) return false;
+    if (seen[static_cast<std::size_t>(e)]) return false;
+    seen[static_cast<std::size_t>(e)] = 1;
+    const Edge& edge = g.edge(e);
+    NodeId a = walk.nodes[i];
+    NodeId b = walk.nodes[i + 1];
+    if (!((edge.u == a && edge.v == b) || (edge.u == b && edge.v == a)))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace tgroom

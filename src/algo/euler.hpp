@@ -1,0 +1,47 @@
+// Euler walks (Hierholzer's algorithm) over masked edge subsets.
+//
+// The paper's algorithms all reduce to "build Euler paths of pieces of the
+// traffic graph and use them as skeleton backbones"; this module is the
+// shared engine.  Walks are closed (circuits) when every masked degree is
+// even, open when a component has exactly two odd-degree nodes.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tgroom {
+
+/// A walk: nodes.size() == edges.size() + 1; edges[i] joins nodes[i] and
+/// nodes[i+1].  No edge repeats; nodes may repeat.
+struct Walk {
+  std::vector<NodeId> nodes;
+  std::vector<EdgeId> edges;
+
+  bool empty() const { return edges.empty(); }
+  std::size_t length() const { return edges.size(); }
+};
+
+/// Euler walk of a single component starting at `start`, consuming exactly
+/// the masked edges reachable from it.  Preconditions: `start` has masked
+/// degree > 0 unless the component is a single node; the component has at
+/// most two odd-degree nodes, and if it has two, `start` must be one of
+/// them.  Throws CheckError if the component is not Eulerian from `start`.
+Walk euler_walk_from(const Graph& g, const std::vector<char>& edge_mask,
+                     NodeId start);
+
+/// Decomposes the masked subgraph into Euler walks, one per component with
+/// at least one edge.  Every component must have 0 or 2 odd-degree nodes.
+std::vector<Walk> euler_decomposition(const Graph& g,
+                                      const std::vector<char>& edge_mask);
+
+/// Checks walk consistency: edge endpoints match consecutive nodes and no
+/// edge repeats.
+bool is_valid_walk(const Graph& g, const Walk& walk);
+
+/// Splits a walk at its virtual edges into maximal real sub-walks ("delete
+/// the virtual edges" in the paper's constructions).  Empty segments
+/// between consecutive virtual edges are dropped.
+std::vector<Walk> split_walk_on_virtual(const Graph& g, const Walk& walk);
+
+}  // namespace tgroom

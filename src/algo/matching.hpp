@@ -1,0 +1,39 @@
+// Matching strategies.
+//
+// Regular_Euler (paper §4) needs a large matching of the r-regular traffic
+// graph; Lemma 8 guarantees a maximum matching of size >= n*r/(2(r+1)).
+// Three strategies are provided as an ablation axis (ABL-MATCH):
+//   - kGreedy:     maximal matching by scanning edges (fast, no guarantee
+//                  beyond maximality).
+//   - kBlossom:    true maximum matching (Edmonds' blossom algorithm).
+//   - kColorClass: largest color class of a (Δ+1)-edge-coloring, the
+//                  constructive proof of Lemma 8 via Vizing's theorem.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace tgroom {
+
+enum class MatchingPolicy { kGreedy, kBlossom, kColorClass };
+
+const char* matching_policy_name(MatchingPolicy policy);
+
+/// Edge ids of a matching under the chosen policy.  Virtual edges are
+/// ignored.  `rng` randomizes the greedy scan order when provided.
+std::vector<EdgeId> find_matching(const Graph& g, MatchingPolicy policy,
+                                  Rng* rng = nullptr);
+
+/// Maximal matching by greedy scan (edge id order, or shuffled with rng).
+std::vector<EdgeId> greedy_matching(const Graph& g, Rng* rng = nullptr);
+
+/// True when no two listed edges share an endpoint and none is virtual.
+bool is_matching(const Graph& g, const std::vector<EdgeId>& edges);
+
+/// Lemma 8 lower bound on maximum matching size for an r-regular graph on
+/// n nodes: ceil(n*r / (2*(r+1))).
+long long lemma8_matching_lower_bound(NodeId n, NodeId r);
+
+}  // namespace tgroom

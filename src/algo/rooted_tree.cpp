@@ -1,0 +1,79 @@
+#include "algo/rooted_tree.hpp"
+
+#include <stack>
+
+namespace tgroom {
+
+RootedForest root_forest(const Graph& g,
+                         const std::vector<EdgeId>& tree_edges) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  // Adjacency restricted to the tree edges.
+  std::vector<std::vector<Incidence>> adj(n);
+  for (EdgeId e : tree_edges) {
+    const Edge& edge = g.edge(e);
+    adj[static_cast<std::size_t>(edge.u)].push_back({edge.v, e});
+    adj[static_cast<std::size_t>(edge.v)].push_back({edge.u, e});
+  }
+
+  RootedForest forest;
+  forest.parent.assign(n, kInvalidNode);
+  forest.parent_edge.assign(n, kInvalidEdge);
+  forest.root_of.assign(n, kInvalidNode);
+  forest.preorder.reserve(n);
+
+  std::vector<char> visited(n, 0);
+  std::stack<NodeId> stack;
+  for (NodeId root = 0; root < g.node_count(); ++root) {
+    if (visited[static_cast<std::size_t>(root)]) continue;
+    visited[static_cast<std::size_t>(root)] = 1;
+    forest.root_of[static_cast<std::size_t>(root)] = root;
+    stack.push(root);
+    while (!stack.empty()) {
+      NodeId v = stack.top();
+      stack.pop();
+      forest.preorder.push_back(v);
+      for (const Incidence& inc : adj[static_cast<std::size_t>(v)]) {
+        if (visited[static_cast<std::size_t>(inc.neighbor)]) continue;
+        visited[static_cast<std::size_t>(inc.neighbor)] = 1;
+        forest.parent[static_cast<std::size_t>(inc.neighbor)] = v;
+        forest.parent_edge[static_cast<std::size_t>(inc.neighbor)] = inc.edge;
+        forest.root_of[static_cast<std::size_t>(inc.neighbor)] = root;
+        stack.push(inc.neighbor);
+      }
+    }
+  }
+  return forest;
+}
+
+std::vector<long long> subtree_sums(const RootedForest& forest,
+                                    const std::vector<long long>& weight) {
+  TGROOM_CHECK(weight.size() == forest.parent.size());
+  std::vector<long long> total = weight;
+  // Children appear after parents in preorder, so a reverse sweep pushes
+  // subtree totals upward in one pass.
+  for (auto it = forest.preorder.rbegin(); it != forest.preorder.rend();
+       ++it) {
+    NodeId v = *it;
+    NodeId p = forest.parent[static_cast<std::size_t>(v)];
+    if (p != kInvalidNode) {
+      total[static_cast<std::size_t>(p)] += total[static_cast<std::size_t>(v)];
+    }
+  }
+  return total;
+}
+
+std::vector<EdgeId> odd_subtree_edges(const Graph& g,
+                                      const RootedForest& forest,
+                                      const std::vector<long long>& weight) {
+  (void)g;
+  std::vector<long long> total = subtree_sums(forest, weight);
+  std::vector<EdgeId> odd_edges;
+  for (NodeId v = 0; v < static_cast<NodeId>(forest.parent.size()); ++v) {
+    EdgeId pe = forest.parent_edge[static_cast<std::size_t>(v)];
+    if (pe == kInvalidEdge) continue;
+    if (total[static_cast<std::size_t>(v)] % 2 != 0) odd_edges.push_back(pe);
+  }
+  return odd_edges;
+}
+
+}  // namespace tgroom

@@ -1,0 +1,37 @@
+// Rooted-forest utilities over an explicit tree-edge set.
+//
+// Used by SpanT_Euler to compute the E_odd parity labels: a tree edge
+// belongs to E_odd iff the subtree below it contains an odd number of
+// odd-degree (in G\T) nodes — the pairing-independent form of the paper's
+// "edges appearing in an odd number of pairing paths".
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tgroom {
+
+struct RootedForest {
+  std::vector<NodeId> parent;       // kInvalidNode for roots
+  std::vector<EdgeId> parent_edge;  // kInvalidEdge for roots
+  std::vector<NodeId> preorder;     // roots first, parents before children
+  std::vector<NodeId> root_of;      // root of each node's tree
+};
+
+/// Roots the forest given by `tree_edges`; every node appears (isolated
+/// nodes become their own roots).
+RootedForest root_forest(const Graph& g, const std::vector<EdgeId>& tree_edges);
+
+/// For each node, sums `weight` over its subtree (weight has one entry per
+/// node); returns per-node subtree totals.  Linear via reverse preorder.
+std::vector<long long> subtree_sums(const RootedForest& forest,
+                                    const std::vector<long long>& weight);
+
+/// Tree edges whose below-subtree weight sum is odd.  With weight = 1 on
+/// odd-degree nodes of G\T, this is exactly E_odd of the paper's Lemma 4.
+std::vector<EdgeId> odd_subtree_edges(const Graph& g,
+                                      const RootedForest& forest,
+                                      const std::vector<long long>& weight);
+
+}  // namespace tgroom

@@ -1,0 +1,150 @@
+#include "algo/spanning_tree.hpp"
+
+#include <numeric>
+#include <queue>
+#include <stack>
+
+#include "algo/components.hpp"
+#include "algo/min_degree_tree.hpp"
+
+namespace tgroom {
+
+const char* tree_policy_name(TreePolicy policy) {
+  switch (policy) {
+    case TreePolicy::kBfs:
+      return "bfs";
+    case TreePolicy::kDfs:
+      return "dfs";
+    case TreePolicy::kRandom:
+      return "random";
+    case TreePolicy::kMinMaxDegree:
+      return "min-max-degree";
+  }
+  return "?";
+}
+
+namespace {
+
+std::vector<EdgeId> bfs_forest(const Graph& g) {
+  std::vector<EdgeId> tree;
+  std::vector<char> visited(static_cast<std::size_t>(g.node_count()), 0);
+  std::queue<NodeId> q;
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (visited[static_cast<std::size_t>(start)]) continue;
+    visited[static_cast<std::size_t>(start)] = 1;
+    q.push(start);
+    while (!q.empty()) {
+      NodeId v = q.front();
+      q.pop();
+      for (const Incidence& inc : g.incident(v)) {
+        if (visited[static_cast<std::size_t>(inc.neighbor)]) continue;
+        visited[static_cast<std::size_t>(inc.neighbor)] = 1;
+        tree.push_back(inc.edge);
+        q.push(inc.neighbor);
+      }
+    }
+  }
+  return tree;
+}
+
+std::vector<EdgeId> dfs_forest(const Graph& g) {
+  std::vector<EdgeId> tree;
+  std::vector<char> visited(static_cast<std::size_t>(g.node_count()), 0);
+  // Explicit stack of (node, incidence cursor) to avoid deep recursion.
+  std::stack<std::pair<NodeId, std::size_t>> stack;
+  for (NodeId start = 0; start < g.node_count(); ++start) {
+    if (visited[static_cast<std::size_t>(start)]) continue;
+    visited[static_cast<std::size_t>(start)] = 1;
+    stack.push({start, 0});
+    while (!stack.empty()) {
+      auto& [v, cursor] = stack.top();
+      auto inc = g.incident(v);
+      if (cursor >= inc.size()) {
+        stack.pop();
+        continue;
+      }
+      const Incidence& step = inc[cursor++];
+      if (visited[static_cast<std::size_t>(step.neighbor)]) continue;
+      visited[static_cast<std::size_t>(step.neighbor)] = 1;
+      tree.push_back(step.edge);
+      stack.push({step.neighbor, 0});
+    }
+  }
+  return tree;
+}
+
+// Union-find for Kruskal.
+class Dsu {
+ public:
+  explicit Dsu(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), NodeId{0});
+  }
+  NodeId find(NodeId x) {
+    while (parent_[static_cast<std::size_t>(x)] != x) {
+      parent_[static_cast<std::size_t>(x)] =
+          parent_[static_cast<std::size_t>(
+              parent_[static_cast<std::size_t>(x)])];
+      x = parent_[static_cast<std::size_t>(x)];
+    }
+    return x;
+  }
+  bool unite(NodeId a, NodeId b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent_[static_cast<std::size_t>(a)] = b;
+    return true;
+  }
+
+ private:
+  std::vector<NodeId> parent_;
+};
+
+std::vector<EdgeId> random_kruskal_forest(const Graph& g, Rng& rng) {
+  std::vector<EdgeId> order(static_cast<std::size_t>(g.edge_count()));
+  std::iota(order.begin(), order.end(), EdgeId{0});
+  rng.shuffle(order);
+  Dsu dsu(static_cast<std::size_t>(g.node_count()));
+  std::vector<EdgeId> tree;
+  for (EdgeId e : order) {
+    const Edge& edge = g.edge(e);
+    if (dsu.unite(edge.u, edge.v)) tree.push_back(e);
+  }
+  return tree;
+}
+
+}  // namespace
+
+std::vector<EdgeId> spanning_forest(const Graph& g, TreePolicy policy,
+                                    Rng* rng) {
+  switch (policy) {
+    case TreePolicy::kBfs:
+      return bfs_forest(g);
+    case TreePolicy::kDfs:
+      return dfs_forest(g);
+    case TreePolicy::kRandom: {
+      TGROOM_CHECK_MSG(rng != nullptr, "random tree policy needs an Rng");
+      return random_kruskal_forest(g, *rng);
+    }
+    case TreePolicy::kMinMaxDegree:
+      return min_max_degree_forest(g);
+  }
+  TGROOM_CHECK_MSG(false, "unknown tree policy");
+  return {};
+}
+
+bool is_spanning_forest(const Graph& g,
+                        const std::vector<EdgeId>& tree_edges) {
+  Dsu dsu(static_cast<std::size_t>(g.node_count()));
+  for (EdgeId e : tree_edges) {
+    if (e < 0 || e >= g.edge_count()) return false;
+    const Edge& edge = g.edge(e);
+    if (!dsu.unite(edge.u, edge.v)) return false;  // cycle
+  }
+  // Acyclic with (n - #components) edges spans every component.
+  int components = connected_components(g).count;
+  return static_cast<int>(tree_edges.size()) ==
+         g.node_count() - components;
+}
+
+}  // namespace tgroom

@@ -1,0 +1,34 @@
+// Spanning forest construction with pluggable policies.
+//
+// The choice of spanning tree affects SpanT_Euler through c, the number of
+// connected components of G\T (Theorem 5); the paper's concluding remarks
+// call out tree selection as the lever for tightening the bound, so the
+// policy is a first-class parameter and an ablation axis (ABL-TREE).
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace tgroom {
+
+enum class TreePolicy {
+  kBfs,           // breadth-first tree (shallow, high-degree roots)
+  kDfs,           // depth-first tree (path-like, few leaves)
+  kRandom,        // random-order Kruskal (uniformly scrambled edge order)
+  kMinMaxDegree,  // Fürer–Raghavachari-style local search minimizing Δ(T)
+};
+
+const char* tree_policy_name(TreePolicy policy);
+
+/// Returns tree edge ids of a spanning forest of g (n - #components edges).
+/// `rng` is required for kRandom and optional elsewhere.
+std::vector<EdgeId> spanning_forest(const Graph& g, TreePolicy policy,
+                                    Rng* rng = nullptr);
+
+/// True when `tree_edges` forms a spanning forest (acyclic, spans every
+/// component).
+bool is_spanning_forest(const Graph& g, const std::vector<EdgeId>& tree_edges);
+
+}  // namespace tgroom

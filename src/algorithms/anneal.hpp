@@ -1,0 +1,37 @@
+// Simulated-annealing refinement — the stochastic counterpart of
+// refine_partition for escaping its local optima (the §6 "denser
+// sub-graphs" direction, pushed further than hill climbing).
+//
+// Moves are single-edge relocations into parts with slack and pairwise
+// swaps between arbitrary parts; uphill moves are accepted with the usual
+// exp(-Δ/T) rule on a geometric temperature schedule.  The best partition
+// seen is restored at the end, so the result never regresses below the
+// input.
+#pragma once
+
+#include <cstdint>
+
+#include "partition/edge_partition.hpp"
+
+namespace tgroom {
+
+struct AnnealOptions {
+  int iterations = 20000;
+  double start_temperature = 2.0;
+  double end_temperature = 0.02;
+  std::uint64_t seed = 1;
+};
+
+struct AnnealStats {
+  long long cost_before = 0;
+  long long cost_after = 0;
+  int accepted_moves = 0;
+  int accepted_uphill = 0;
+};
+
+/// Anneals in place; preserves validity, part count never grows (empty
+/// parts are dropped), and cost_after <= cost_before.
+AnnealStats anneal_partition(const Graph& g, EdgePartition& partition,
+                             const AnnealOptions& options = {});
+
+}  // namespace tgroom

@@ -1,0 +1,89 @@
+#include "algorithms/brauner.hpp"
+
+#include "algo/components.hpp"
+#include "algo/euler.hpp"
+#include "graph/properties.hpp"
+#include "partition/cover_transform.hpp"
+#include "partition/skeleton.hpp"
+
+namespace tgroom {
+
+EdgePartition brauner_euler(const Graph& g, int k,
+                            const GroomingOptions& options,
+                            BraunerTrace* trace) {
+  (void)options;  // deterministic pairing in edge-list order
+  check_algorithm_input(g, k);
+  EdgePartition partition;
+  partition.k = k;
+  if (g.edge_count() == 0) {
+    if (trace) *trace = BraunerTrace{};
+    return partition;
+  }
+
+  Graph working = g;
+  std::vector<char> mask(static_cast<std::size_t>(g.edge_count()), 1);
+  int virtual_count = 0;
+  auto add_virtual = [&](NodeId a, NodeId b) {
+    working.add_edge(a, b, /*is_virtual=*/true);
+    mask.push_back(1);
+    ++virtual_count;
+  };
+
+  // Two ports per edge-bearing component (odd-degree nodes preferred; a
+  // circuit component reuses one node for both ports), then chain the
+  // components into one.
+  Components comps = connected_components(working);
+  std::vector<NodeId> degrees = masked_degrees(working, mask);
+  std::vector<std::vector<NodeId>> odd_nodes(
+      static_cast<std::size_t>(comps.count));
+  std::vector<NodeId> any_active(static_cast<std::size_t>(comps.count),
+                                 kInvalidNode);
+  for (NodeId v = 0; v < working.node_count(); ++v) {
+    auto c = static_cast<std::size_t>(comps.label[static_cast<std::size_t>(v)]);
+    if (degrees[static_cast<std::size_t>(v)] == 0) continue;
+    if (degrees[static_cast<std::size_t>(v)] % 2 == 1) odd_nodes[c].push_back(v);
+    if (any_active[c] == kInvalidNode) any_active[c] = v;
+  }
+  std::vector<std::pair<NodeId, NodeId>> ports;
+  for (std::size_t c = 0; c < static_cast<std::size_t>(comps.count); ++c) {
+    if (any_active[c] == kInvalidNode) continue;  // isolated node
+    if (odd_nodes[c].size() >= 2) {
+      ports.push_back({odd_nodes[c][0], odd_nodes[c][1]});
+    } else {
+      ports.push_back({any_active[c], any_active[c]});
+    }
+  }
+  for (std::size_t i = 0; i + 1 < ports.size(); ++i) {
+    add_virtual(ports[i].second, ports[i + 1].first);
+  }
+
+  // Pair the remaining odd-degree nodes, leaving two for an open path.
+  std::vector<NodeId> odd_now;
+  std::vector<NodeId> deg_now = masked_degrees(working, mask);
+  for (NodeId v = 0; v < working.node_count(); ++v) {
+    if (deg_now[static_cast<std::size_t>(v)] % 2 == 1) odd_now.push_back(v);
+  }
+  TGROOM_DCHECK(odd_now.size() % 2 == 0);
+  for (std::size_t j = 2; j + 1 < odd_now.size(); j += 2) {
+    add_virtual(odd_now[j], odd_now[j + 1]);
+  }
+
+  // One Euler walk over everything; cut at virtual edges and chunk.
+  std::vector<Walk> walks = euler_decomposition(working, mask);
+  TGROOM_DCHECK(walks.size() == 1);
+  SkeletonCover cover;
+  int segments = 0;
+  for (const Walk& walk : walks) {
+    for (Walk& seg : split_walk_on_virtual(working, walk)) {
+      ++segments;
+      cover.push_back(Skeleton::from_walk(std::move(seg)));
+    }
+  }
+  if (trace) {
+    trace->virtual_edges = virtual_count;
+    trace->segments = segments;
+  }
+  return partition_from_cover(g, cover, k);
+}
+
+}  // namespace tgroom

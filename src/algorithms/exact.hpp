@@ -1,0 +1,43 @@
+// Exact k-edge partitioning by branch and bound, for tiny instances.
+//
+// Used by tests to certify heuristic quality (heuristic >= OPT, OPT >= the
+// combinatorial lower bound) and by the NP-hardness module to decide small
+// KEPRG instances.  Edges are assigned in a connectivity-friendly order;
+// symmetry is broken by only ever opening one new part per branch node.
+// Two admissible completion bounds drive the pruning: a slack/packing bound
+// (unplaced edges beyond the open parts' capacity need new parts of at
+// least min_nodes_for_edges(k) nodes each) and a per-node degree bound
+// (a node's unplaced edges beyond the slack of the parts already containing
+// it force ceil(overflow/k) further appearances).  The latter is what makes
+// dense no-instances like the 27-edge Theorem 7 gadget decidable in
+// milliseconds.
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+
+namespace tgroom {
+
+struct ExactOptions {
+  /// Cap on the number of parts (-1 = unconstrained).  Set to
+  /// min_wavelengths(m, k) to solve the wavelength-constrained variant.
+  int max_parts = -1;
+  /// Search-node budget; when exhausted the result is the best found so
+  /// far with proven_optimal = false.
+  long long node_budget = 20'000'000;
+};
+
+struct ExactResult {
+  EdgePartition partition;
+  long long cost = 0;
+  bool proven_optimal = true;
+  /// False when no assignment satisfies max_parts (cost is then
+  /// meaningless and the partition empty).
+  bool feasible = true;
+  long long nodes_explored = 0;
+};
+
+/// Requires real_edge_count() <= 24 (guards accidental blow-ups).
+ExactResult exact_optimal_partition(const Graph& g, int k,
+                                    const ExactOptions& options = {});
+
+}  // namespace tgroom

@@ -1,0 +1,206 @@
+#include "algorithms/regular_euler.hpp"
+
+#include <algorithm>
+
+#include "algo/components.hpp"
+#include "algo/euler.hpp"
+#include "graph/properties.hpp"
+#include "partition/cover_transform.hpp"
+#include "util/rng.hpp"
+
+namespace tgroom {
+
+namespace {
+
+/// Builds skeletons from walks and attaches the matching edges as branches;
+/// shared by the odd-r path.
+SkeletonCover cover_from_segments(const Graph& g, std::vector<Walk> segments,
+                                  const std::vector<EdgeId>& matching) {
+  SkeletonCover cover;
+  struct Site {
+    std::size_t skeleton = 0;
+    std::size_t position = 0;
+  };
+  std::vector<Site> site(static_cast<std::size_t>(g.node_count()));
+  std::vector<char> on_backbone(static_cast<std::size_t>(g.node_count()), 0);
+  for (Walk& walk : segments) {
+    std::size_t idx = cover.size();
+    for (std::size_t pos = 0; pos < walk.nodes.size(); ++pos) {
+      auto v = static_cast<std::size_t>(walk.nodes[pos]);
+      if (!on_backbone[v]) {
+        on_backbone[v] = 1;
+        site[v] = Site{idx, pos};
+      }
+    }
+    cover.push_back(Skeleton::from_walk(std::move(walk)));
+  }
+  for (EdgeId e : matching) {
+    const Edge& edge = g.edge(e);
+    NodeId anchor;
+    if (on_backbone[static_cast<std::size_t>(edge.u)]) {
+      anchor = edge.u;
+    } else if (on_backbone[static_cast<std::size_t>(edge.v)]) {
+      anchor = edge.v;
+    } else {
+      // Unreachable for r >= 3 (every node keeps degree >= 2 in G-M), but
+      // kept as a safe degradation path.
+      anchor = edge.u;
+      on_backbone[static_cast<std::size_t>(anchor)] = 1;
+      site[static_cast<std::size_t>(anchor)] = Site{cover.size(), 0};
+      cover.push_back(Skeleton::single_node(anchor));
+    }
+    const auto& s = site[static_cast<std::size_t>(anchor)];
+    cover[s.skeleton].add_branch(s.position, e);
+  }
+  return cover;
+}
+
+}  // namespace
+
+EdgePartition regular_euler(const Graph& g, int k,
+                            const GroomingOptions& options,
+                            RegularEulerTrace* trace) {
+  check_algorithm_input(g, k);
+  std::optional<NodeId> reg = regularity(g);
+  TGROOM_CHECK_MSG(reg.has_value(),
+                   "Regular_Euler requires an r-regular traffic graph");
+  const NodeId r = *reg;
+  if (trace) *trace = RegularEulerTrace{};
+  if (trace) trace->r = r;
+
+  EdgePartition empty;
+  empty.k = k;
+  if (g.edge_count() == 0) return empty;
+
+  if (r % 2 == 0) {
+    // Even r: Euler tour per component, no branches.
+    std::vector<char> mask(static_cast<std::size_t>(g.edge_count()), 1);
+    std::vector<Walk> walks = euler_decomposition(g, mask);
+    SkeletonCover cover;
+    for (Walk& walk : walks) cover.push_back(Skeleton::from_walk(std::move(walk)));
+    if (trace) {
+      trace->even_components = static_cast<int>(cover.size());
+      trace->cover = cover;
+    }
+    return partition_from_cover(g, cover, k);
+  }
+
+  if (r == 1) {
+    // Perfect matching: every edge is its own skeleton; chunking yields the
+    // optimal 2 SADMs per demand.
+    SkeletonCover cover;
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      Walk walk;
+      walk.nodes = {g.edge(e).u, g.edge(e).v};
+      walk.edges = {e};
+      cover.push_back(Skeleton::from_walk(std::move(walk)));
+    }
+    if (trace) trace->cover = cover;
+    return partition_from_cover(g, cover, k);
+  }
+
+  // Odd r >= 3.
+  Rng rng(options.seed);
+  std::vector<EdgeId> matching =
+      find_matching(g, options.matching_policy, &rng);
+  std::vector<char> in_matching(static_cast<std::size_t>(g.edge_count()), 0);
+  for (EdgeId e : matching) in_matching[static_cast<std::size_t>(e)] = 1;
+
+  Graph working = g;  // virtual edges are appended to this copy
+  std::vector<char> mask(static_cast<std::size_t>(g.edge_count()), 1);
+  for (EdgeId e : matching) mask[static_cast<std::size_t>(e)] = 0;
+
+  // Classify components of G - M by the presence of unsaturated (odd,
+  // degree-r) nodes.
+  Components comps = connected_components_masked(working, mask);
+  std::vector<NodeId> degrees = masked_degrees(working, mask);
+  std::vector<std::vector<NodeId>> unsaturated(
+      static_cast<std::size_t>(comps.count));
+  for (NodeId v = 0; v < working.node_count(); ++v) {
+    if (degrees[static_cast<std::size_t>(v)] % 2 == 1) {
+      unsaturated[static_cast<std::size_t>(
+                      comps.label[static_cast<std::size_t>(v)])]
+          .push_back(v);
+    }
+  }
+  std::vector<int> odd_comp_ids;
+  int even_comp_count = 0;
+  for (int c = 0; c < comps.count; ++c) {
+    if (!unsaturated[static_cast<std::size_t>(c)].empty()) {
+      odd_comp_ids.push_back(c);
+    } else {
+      ++even_comp_count;
+    }
+  }
+
+  auto add_virtual = [&](NodeId a, NodeId b) {
+    working.add_edge(a, b, /*is_virtual=*/true);
+    mask.push_back(1);
+  };
+
+  // Chain the odd components into one connected G_odd.
+  for (std::size_t i = 0; i + 1 < odd_comp_ids.size(); ++i) {
+    const auto& from =
+        unsaturated[static_cast<std::size_t>(odd_comp_ids[i])];
+    const auto& to =
+        unsaturated[static_cast<std::size_t>(odd_comp_ids[i + 1])];
+    TGROOM_DCHECK(from.size() >= 2 && to.size() >= 2);
+    add_virtual(from[1], to[0]);
+  }
+
+  // Pair all but two of the remaining odd-degree nodes so G_odd has an
+  // Euler path.
+  if (!odd_comp_ids.empty()) {
+    std::vector<NodeId> odd_now;
+    std::vector<NodeId> deg_now = masked_degrees(working, mask);
+    for (NodeId v = 0; v < working.node_count(); ++v) {
+      if (deg_now[static_cast<std::size_t>(v)] % 2 == 1) odd_now.push_back(v);
+    }
+    TGROOM_DCHECK(odd_now.size() >= 2 && odd_now.size() % 2 == 0);
+    for (std::size_t j = 2; j + 1 < odd_now.size(); j += 2) {
+      add_virtual(odd_now[j], odd_now[j + 1]);
+    }
+  }
+
+  // Euler walks: one open path through G_odd plus a tour per even
+  // component; deleting virtual edges splits G_odd's walk into segments.
+  std::vector<Walk> walks = euler_decomposition(working, mask);
+  std::vector<Walk> segments;
+  for (const Walk& walk : walks) {
+    for (Walk& seg : split_walk_on_virtual(working, walk)) {
+      segments.push_back(std::move(seg));
+    }
+  }
+
+  SkeletonCover cover = cover_from_segments(g, std::move(segments), matching);
+  if (trace) {
+    trace->matching = matching;
+    trace->even_components = even_comp_count;
+    trace->odd_components = static_cast<int>(odd_comp_ids.size());
+    trace->cover = cover;
+  }
+  return partition_from_cover(g, cover, k);
+}
+
+long long lemma9_cover_bound(NodeId n, NodeId r) {
+  TGROOM_CHECK(r >= 3 && r % 2 == 1);
+  // ceil(3n / (r+1)) from Lemma 9: s + (n - 2|M|) with s <= 2|M|/r and
+  // |M| >= nr/(2(r+1)).
+  return (3LL * n + r) / (r + 1);
+}
+
+long long regular_euler_cost_bound(NodeId n, NodeId r, long long real_edges,
+                                   int k, int components) {
+  if (real_edges == 0) return 0;
+  if (r % 2 == 0) {
+    return prop2_cost_bound(real_edges, k,
+                            static_cast<std::size_t>(std::max(1, components)));
+  }
+  if (r == 1) {
+    return 2 * real_edges;
+  }
+  return prop2_cost_bound(real_edges, k,
+                          static_cast<std::size_t>(lemma9_cover_bound(n, r)));
+}
+
+}  // namespace tgroom

@@ -1,0 +1,37 @@
+// Algorithm SpanT_Euler (paper §3, Figure 1): the paper's main
+// contribution for arbitrary traffic graphs.
+//
+// Pipeline (Lemma 4 / Theorem 5):
+//  1. spanning forest T of G;
+//  2. V_odd = odd-degree nodes of G\T; E_odd = tree edges crossed by an odd
+//     number of pairing paths — computed pairing-free as tree edges whose
+//     below-subtree contains an odd number of V_odd nodes;
+//  3. G'' = (V, E_odd ∪ (E\T)) has all even degrees; its Euler tours become
+//     skeleton backbones (singleton backbones for nodes G'' misses);
+//  4. the remaining tree edges E(T)\E_odd attach as branches;
+//  5. Proposition 2 turns the cover into a k-edge partition with exactly
+//     ceil(m/k) wavelengths.
+#pragma once
+
+#include "algorithms/algorithm.hpp"
+#include "partition/skeleton.hpp"
+
+namespace tgroom {
+
+/// White-box intermediates for tests and ablations.
+struct SpanTEulerTrace {
+  std::vector<EdgeId> tree;
+  std::vector<EdgeId> e_odd;
+  int g2_component_count = 0;  // Lemma 4's c (components of G\T)
+  SkeletonCover cover;
+};
+
+EdgePartition spant_euler(const Graph& g, int k,
+                          const GroomingOptions& options = {},
+                          SpanTEulerTrace* trace = nullptr);
+
+/// Theorem 5 cost bound: m + ceil(m/k) + (c - 1) extra part-components.
+long long spant_euler_cost_bound(long long real_edges, int k,
+                                 int gminus_t_components);
+
+}  // namespace tgroom

@@ -1,0 +1,51 @@
+#include "bench_support/report.hpp"
+
+#include "util/csv.hpp"
+
+namespace tgroom {
+
+TextTable sweep_table(const SweepResult& result, const std::string& title) {
+  TextTable table(title + "  [" + workload_label(result.workload) + ", m≈" +
+                  TextTable::num(result.mean_edges, 1) + ", " +
+                  std::to_string(result.config.seeds) + " seeds]");
+  std::vector<std::string> header{"k"};
+  for (const auto& series : result.series) {
+    header.push_back(algorithm_name(series.algorithm));
+  }
+  header.push_back("LB");
+  table.set_header(std::move(header));
+
+  for (std::size_t ki = 0; ki < result.config.grooming_factors.size(); ++ki) {
+    std::vector<std::string> row{
+        std::to_string(result.config.grooming_factors[ki])};
+    for (const auto& series : result.series) {
+      row.push_back(TextTable::num(series.cells[ki].mean_sadms, 1));
+    }
+    row.push_back(
+        TextTable::num(result.series.front().cells[ki].mean_lower_bound, 1));
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void write_sweep_csv(const SweepResult& result, const std::string& path) {
+  CsvWriter csv(path);
+  csv.write_row({"workload", "k", "algorithm", "mean_sadms", "min_sadms",
+                 "max_sadms", "mean_wavelengths", "mean_lower_bound"});
+  for (const auto& series : result.series) {
+    for (std::size_t ki = 0; ki < result.config.grooming_factors.size();
+         ++ki) {
+      const SweepCell& cell = series.cells[ki];
+      csv.write_row({workload_label(result.workload),
+                     std::to_string(result.config.grooming_factors[ki]),
+                     algorithm_name(series.algorithm),
+                     TextTable::num(cell.mean_sadms, 3),
+                     TextTable::num(cell.min_sadms, 1),
+                     TextTable::num(cell.max_sadms, 1),
+                     TextTable::num(cell.mean_wavelengths, 3),
+                     TextTable::num(cell.mean_lower_bound, 3)});
+    }
+  }
+}
+
+}  // namespace tgroom

@@ -1,0 +1,20 @@
+// Rendering sweep results as the paper's figure series (text tables and
+// CSV exports).
+#pragma once
+
+#include <string>
+
+#include "bench_support/sweep.hpp"
+#include "util/table.hpp"
+
+namespace tgroom {
+
+/// Rows = grooming factors, columns = algorithms (mean SADMs), plus the
+/// average lower bound column for context.
+TextTable sweep_table(const SweepResult& result, const std::string& title);
+
+/// Writes the same data as CSV: workload, k, algorithm, mean/min/max SADMs,
+/// wavelengths, lower bound.
+void write_sweep_csv(const SweepResult& result, const std::string& path);
+
+}  // namespace tgroom

@@ -1,0 +1,87 @@
+#include "bench_support/sweep.hpp"
+
+#include <limits>
+#include <mutex>
+
+namespace tgroom {
+
+SweepResult run_sweep(const WorkloadSpec& workload,
+                      const std::vector<AlgorithmId>& algorithms,
+                      const SweepConfig& config) {
+  TGROOM_CHECK(config.seeds >= 1);
+  SweepResult result;
+  result.workload = workload;
+  result.config = config;
+  result.series.resize(algorithms.size());
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    result.series[a].algorithm = algorithms[a];
+    result.series[a].cells.assign(config.grooming_factors.size(),
+                                  SweepCell{});
+    for (auto& cell : result.series[a].cells) {
+      cell.min_sadms = std::numeric_limits<double>::infinity();
+      cell.max_sadms = -std::numeric_limits<double>::infinity();
+    }
+  }
+
+  std::mutex merge_mutex;
+  double edge_total = 0;
+
+  auto run_seed = [&](std::size_t seed_index) {
+    Rng rng(config.base_seed + seed_index);
+    Graph traffic = make_workload(workload, rng);
+
+    // Local accumulation, merged under the lock at the end.
+    std::vector<std::vector<SweepCell>> local(
+        algorithms.size(),
+        std::vector<SweepCell>(config.grooming_factors.size()));
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      for (std::size_t ki = 0; ki < config.grooming_factors.size(); ++ki) {
+        int k = config.grooming_factors[ki];
+        GroomingOptions options = config.options;
+        options.seed = config.base_seed ^ (seed_index * 7919 + ki);
+        EdgePartition partition =
+            run_algorithm(algorithms[a], traffic, k, options);
+        PartitionValidation valid = validate_partition(traffic, partition);
+        TGROOM_CHECK_MSG(valid.ok, std::string("sweep produced an invalid "
+                                               "partition: ") +
+                                       valid.reason);
+        SweepCell& cell = local[a][ki];
+        cell.mean_sadms = static_cast<double>(sadm_cost(traffic, partition));
+        cell.mean_wavelengths =
+            static_cast<double>(partition.wavelength_count());
+        cell.mean_lower_bound =
+            static_cast<double>(partition_cost_lower_bound(traffic, k));
+      }
+    }
+
+    std::lock_guard<std::mutex> lock(merge_mutex);
+    edge_total += static_cast<double>(traffic.real_edge_count());
+    for (std::size_t a = 0; a < algorithms.size(); ++a) {
+      for (std::size_t ki = 0; ki < config.grooming_factors.size(); ++ki) {
+        SweepCell& agg = result.series[a].cells[ki];
+        const SweepCell& one = local[a][ki];
+        agg.mean_sadms += one.mean_sadms;
+        agg.mean_wavelengths += one.mean_wavelengths;
+        agg.mean_lower_bound += one.mean_lower_bound;
+        agg.min_sadms = std::min(agg.min_sadms, one.mean_sadms);
+        agg.max_sadms = std::max(agg.max_sadms, one.mean_sadms);
+      }
+    }
+  };
+
+  ThreadPool pool(config.workers);
+  pool.parallel_for_index(static_cast<std::size_t>(config.seeds), run_seed);
+
+  const double denom = static_cast<double>(config.seeds);
+  result.mean_edges = edge_total / denom;
+  for (auto& series : result.series) {
+    for (auto& cell : series.cells) {
+      cell.mean_sadms /= denom;
+      cell.mean_wavelengths /= denom;
+      cell.mean_lower_bound /= denom;
+    }
+  }
+  return result;
+}
+
+}  // namespace tgroom

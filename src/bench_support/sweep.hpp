@@ -1,0 +1,49 @@
+// Sweep runner: evaluates a set of algorithms over (workload seed ×
+// grooming factor) grids and aggregates SADM counts — the engine behind
+// the Figure 4 / Figure 5 reproductions.
+#pragma once
+
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+#include "bench_support/workload.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tgroom {
+
+struct SweepConfig {
+  std::vector<int> grooming_factors{4, 8, 12, 16, 20, 24, 28, 32, 40, 48};
+  int seeds = 20;
+  std::uint64_t base_seed = 20060101;  // ICPP 2006 vintage
+  GroomingOptions options;
+  std::size_t workers = 0;  // 0 = run inline
+};
+
+struct SweepCell {
+  double mean_sadms = 0;
+  double min_sadms = 0;
+  double max_sadms = 0;
+  double mean_wavelengths = 0;
+  double mean_lower_bound = 0;  // partition_cost_lower_bound average
+};
+
+struct SweepSeries {
+  AlgorithmId algorithm;
+  std::vector<SweepCell> cells;  // one per grooming factor
+};
+
+struct SweepResult {
+  WorkloadSpec workload;
+  SweepConfig config;
+  double mean_edges = 0;
+  std::vector<SweepSeries> series;
+};
+
+/// For each seed one traffic graph is generated and shared across all
+/// (algorithm, k) cells, mirroring the paper's per-instance comparisons.
+/// Every produced partition is validated; invalid output throws.
+SweepResult run_sweep(const WorkloadSpec& workload,
+                      const std::vector<AlgorithmId>& algorithms,
+                      const SweepConfig& config);
+
+}  // namespace tgroom

@@ -1,0 +1,63 @@
+#include "bench_support/workload.hpp"
+
+#include <sstream>
+
+#include "gen/families.hpp"
+#include "gen/random_graph.hpp"
+#include "gen/regular_graph.hpp"
+
+namespace tgroom {
+
+WorkloadSpec WorkloadSpec::dense(NodeId n, double d) {
+  WorkloadSpec spec;
+  spec.kind = Kind::kDenseRatio;
+  spec.n = n;
+  spec.dense_ratio = d;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::regular(NodeId n, NodeId r) {
+  WorkloadSpec spec;
+  spec.kind = Kind::kRegular;
+  spec.n = n;
+  spec.r = r;
+  return spec;
+}
+
+WorkloadSpec WorkloadSpec::all_to_all(NodeId n) {
+  WorkloadSpec spec;
+  spec.kind = Kind::kAllToAll;
+  spec.n = n;
+  return spec;
+}
+
+Graph make_workload(const WorkloadSpec& spec, Rng& rng) {
+  switch (spec.kind) {
+    case WorkloadSpec::Kind::kDenseRatio:
+      return random_dense_ratio(spec.n, spec.dense_ratio, rng);
+    case WorkloadSpec::Kind::kRegular:
+      return random_regular(spec.n, spec.r, rng);
+    case WorkloadSpec::Kind::kAllToAll:
+      return complete_graph(spec.n);
+  }
+  TGROOM_CHECK_MSG(false, "unknown workload kind");
+  return Graph{};
+}
+
+std::string workload_label(const WorkloadSpec& spec) {
+  std::ostringstream os;
+  switch (spec.kind) {
+    case WorkloadSpec::Kind::kDenseRatio:
+      os << "n=" << spec.n << " d=" << spec.dense_ratio;
+      break;
+    case WorkloadSpec::Kind::kRegular:
+      os << "n=" << spec.n << " r=" << spec.r;
+      break;
+    case WorkloadSpec::Kind::kAllToAll:
+      os << "n=" << spec.n << " all-to-all";
+      break;
+  }
+  return os.str();
+}
+
+}  // namespace tgroom

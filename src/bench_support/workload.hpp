@@ -1,0 +1,30 @@
+// Workload specifications for experiments: the paper's two instance
+// families plus deterministic families for ablations.
+#pragma once
+
+#include <string>
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace tgroom {
+
+struct WorkloadSpec {
+  enum class Kind { kDenseRatio, kRegular, kAllToAll };
+  Kind kind = Kind::kDenseRatio;
+  NodeId n = 36;
+  double dense_ratio = 0.5;  // kDenseRatio
+  NodeId r = 8;              // kRegular
+
+  static WorkloadSpec dense(NodeId n, double d);
+  static WorkloadSpec regular(NodeId n, NodeId r);
+  static WorkloadSpec all_to_all(NodeId n);
+};
+
+/// Instantiates the workload's traffic graph for one seed.
+Graph make_workload(const WorkloadSpec& spec, Rng& rng);
+
+/// Human-readable label, e.g. "n=36 d=0.5" or "n=36 r=7".
+std::string workload_label(const WorkloadSpec& spec);
+
+}  // namespace tgroom

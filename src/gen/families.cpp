@@ -1,0 +1,91 @@
+#include "gen/families.hpp"
+
+namespace tgroom {
+
+Graph complete_graph(NodeId n) {
+  Graph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) g.add_edge(u, v);
+  }
+  return g;
+}
+
+Graph cycle_graph(NodeId n) {
+  TGROOM_CHECK_MSG(n >= 3, "cycle needs at least 3 nodes");
+  Graph g(n);
+  for (NodeId v = 0; v < n; ++v) {
+    g.add_edge(v, static_cast<NodeId>((v + 1) % n));
+  }
+  return g;
+}
+
+Graph path_graph(NodeId n) {
+  Graph g(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_edge(v, v + 1);
+  return g;
+}
+
+Graph star_graph(NodeId n) {
+  Graph g(n);
+  for (NodeId v = 1; v < n; ++v) g.add_edge(0, v);
+  return g;
+}
+
+Graph complete_bipartite(NodeId a, NodeId b) {
+  Graph g(a + b);
+  for (NodeId u = 0; u < a; ++u) {
+    for (NodeId v = 0; v < b; ++v) g.add_edge(u, static_cast<NodeId>(a + v));
+  }
+  return g;
+}
+
+Graph petersen_graph() {
+  Graph g(10);
+  // Outer 5-cycle, inner 5-cycle with step 2, spokes.
+  for (NodeId v = 0; v < 5; ++v) {
+    g.add_edge(v, static_cast<NodeId>((v + 1) % 5));
+    g.add_edge(static_cast<NodeId>(5 + v),
+               static_cast<NodeId>(5 + (v + 2) % 5));
+    g.add_edge(v, static_cast<NodeId>(5 + v));
+  }
+  return g;
+}
+
+Graph grid_graph(NodeId width, NodeId height) {
+  TGROOM_CHECK(width >= 1 && height >= 1);
+  Graph g(width * height);
+  auto id = [width](NodeId x, NodeId y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  for (NodeId y = 0; y < height; ++y) {
+    for (NodeId x = 0; x < width; ++x) {
+      if (x + 1 < width) g.add_edge(id(x, y), id(x + 1, y));
+      if (y + 1 < height) g.add_edge(id(x, y), id(x, y + 1));
+    }
+  }
+  return g;
+}
+
+Graph caterpillar_graph(NodeId spine, NodeId legs) {
+  TGROOM_CHECK(spine >= 1 && legs >= 0);
+  Graph g(spine + spine * legs);
+  for (NodeId s = 0; s + 1 < spine; ++s) g.add_edge(s, s + 1);
+  NodeId next = spine;
+  for (NodeId s = 0; s < spine; ++s) {
+    for (NodeId leg = 0; leg < legs; ++leg) g.add_edge(s, next++);
+  }
+  return g;
+}
+
+Graph triangle_forest(NodeId count) {
+  Graph g(3 * count);
+  for (NodeId t = 0; t < count; ++t) {
+    NodeId base = static_cast<NodeId>(3 * t);
+    g.add_edge(base, base + 1);
+    g.add_edge(base + 1, base + 2);
+    g.add_edge(base, base + 2);
+  }
+  return g;
+}
+
+}  // namespace tgroom

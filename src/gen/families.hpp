@@ -1,0 +1,37 @@
+// Deterministic graph families for tests, examples, and edge cases.
+#pragma once
+
+#include "graph/graph.hpp"
+
+namespace tgroom {
+
+/// Complete graph K_n — the all-to-all traffic pattern (r = n-1 regular).
+Graph complete_graph(NodeId n);
+
+/// Cycle C_n (n >= 3).
+Graph cycle_graph(NodeId n);
+
+/// Simple path with n nodes, n-1 edges.
+Graph path_graph(NodeId n);
+
+/// Star K_{1,n-1}: node 0 joined to all others.
+Graph star_graph(NodeId n);
+
+/// Complete bipartite K_{a,b}: nodes 0..a-1 vs a..a+b-1.
+Graph complete_bipartite(NodeId a, NodeId b);
+
+/// The Petersen graph (10 nodes, 3-regular, no Euler circuit, non-planar) —
+/// a classic stress case for matching and skeleton code.
+Graph petersen_graph();
+
+/// w x h grid graph.
+Graph grid_graph(NodeId width, NodeId height);
+
+/// Caterpillar: a spine path of `spine` nodes with `legs` pendant nodes on
+/// each spine node — a natural single-skeleton graph.
+Graph caterpillar_graph(NodeId spine, NodeId legs);
+
+/// Disjoint union of `count` triangles.
+Graph triangle_forest(NodeId count);
+
+}  // namespace tgroom

@@ -1,0 +1,57 @@
+#include "gen/random_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace tgroom {
+
+Graph random_gnm(NodeId n, long long m, Rng& rng) {
+  TGROOM_CHECK(n >= 0);
+  const long long max_edges =
+      static_cast<long long>(n) * (n - 1) / 2;
+  TGROOM_CHECK_MSG(m >= 0 && m <= max_edges,
+                   "edge count out of range for simple graph");
+  Graph g(n);
+  if (m == 0) return g;
+
+  if (m * 3 >= max_edges) {
+    // Dense regime: sample by shuffling the full pair list.
+    std::vector<std::pair<NodeId, NodeId>> pairs;
+    pairs.reserve(static_cast<std::size_t>(max_edges));
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = u + 1; v < n; ++v) pairs.push_back({u, v});
+    }
+    rng.shuffle(pairs);
+    for (long long i = 0; i < m; ++i) {
+      g.add_edge(pairs[static_cast<std::size_t>(i)].first,
+                 pairs[static_cast<std::size_t>(i)].second);
+    }
+    return g;
+  }
+
+  // Sparse regime: rejection sampling of distinct pairs.
+  std::set<std::pair<NodeId, NodeId>> chosen;
+  while (static_cast<long long>(chosen.size()) < m) {
+    auto u = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    chosen.insert({u, v});
+  }
+  for (const auto& [u, v] : chosen) g.add_edge(u, v);
+  return g;
+}
+
+long long edges_for_dense_ratio(NodeId n, double dense_ratio) {
+  const long long max_edges = static_cast<long long>(n) * (n - 1) / 2;
+  auto m = static_cast<long long>(
+      std::llround(std::pow(static_cast<double>(n), 1.0 + dense_ratio)));
+  return std::clamp(m, 0LL, max_edges);
+}
+
+Graph random_dense_ratio(NodeId n, double dense_ratio, Rng& rng) {
+  return random_gnm(n, edges_for_dense_ratio(n, dense_ratio), rng);
+}
+
+}  // namespace tgroom

@@ -1,0 +1,80 @@
+#include "gen/regular_graph.hpp"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+#include <vector>
+
+namespace tgroom {
+
+bool regular_feasible(NodeId n, NodeId r) {
+  if (r < 0 || n < 0) return false;
+  if (r >= n && !(r == 0 && n <= 1)) return false;
+  return (static_cast<long long>(n) * r) % 2 == 0;
+}
+
+namespace {
+using Pair = std::pair<NodeId, NodeId>;
+
+Pair norm(NodeId a, NodeId b) { return a < b ? Pair{a, b} : Pair{b, a}; }
+
+// Deterministic circulant r-regular graph: offsets 1..floor(r/2), plus the
+// antipodal offset n/2 when r is odd (feasibility then forces n even).
+std::vector<Pair> circulant_edges(NodeId n, NodeId r) {
+  std::vector<Pair> edges;
+  std::set<Pair> seen;
+  auto add = [&](NodeId a, NodeId b) {
+    Pair p = norm(a, b);
+    if (seen.insert(p).second) edges.push_back(p);
+  };
+  for (NodeId off = 1; off <= r / 2; ++off) {
+    for (NodeId v = 0; v < n; ++v) add(v, static_cast<NodeId>((v + off) % n));
+  }
+  if (r % 2 == 1) {
+    for (NodeId v = 0; v < n / 2; ++v) add(v, static_cast<NodeId>(v + n / 2));
+  }
+  return edges;
+}
+}  // namespace
+
+Graph random_regular(NodeId n, NodeId r, Rng& rng, int max_restarts) {
+  (void)max_restarts;  // the swap-based construction cannot fail
+  TGROOM_CHECK_MSG(regular_feasible(n, r),
+                   "no simple r-regular graph with these parameters");
+  Graph g(n);
+  if (r == 0 || n == 0) return g;
+
+  std::vector<Pair> edges = circulant_edges(n, r);
+  std::set<Pair> present(edges.begin(), edges.end());
+  TGROOM_CHECK(static_cast<long long>(edges.size()) ==
+               static_cast<long long>(n) * r / 2);
+
+  // Randomize with double-edge swaps: a degree-preserving Markov chain on
+  // simple graphs whose stationary distribution is uniform over r-regular
+  // graphs when run long enough; 30*m proposals is ample mixing at this
+  // scale.
+  const std::size_t proposals = 30 * edges.size() + 64;
+  for (std::size_t step = 0; step < proposals; ++step) {
+    std::size_t i = static_cast<std::size_t>(rng.below(edges.size()));
+    std::size_t j = static_cast<std::size_t>(rng.below(edges.size()));
+    if (i == j) continue;
+    auto [a, b] = edges[i];
+    auto [c, d] = edges[j];
+    if (rng.chance(0.5)) std::swap(c, d);
+    // Proposed rewire: {a,b},{c,d} -> {a,c},{b,d}.
+    if (a == c || a == d || b == c || b == d) continue;
+    Pair e1 = norm(a, c), e2 = norm(b, d);
+    if (present.count(e1) || present.count(e2)) continue;
+    present.erase(norm(a, b));
+    present.erase(norm(c, d));
+    present.insert(e1);
+    present.insert(e2);
+    edges[i] = e1;
+    edges[j] = e2;
+  }
+
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+}  // namespace tgroom

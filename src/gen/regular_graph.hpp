@@ -1,0 +1,23 @@
+// Random r-regular simple graphs.
+//
+// The paper's §5 experiments use the GenReg generator [23]; as an
+// open-source substitute we implement the configuration (pairing) model
+// with restarts, followed by random edge swaps for extra mixing.  At the
+// paper's scale (n = 36, r <= 16) restarts are cheap and the generator
+// reliably produces uniform-support simple r-regular graphs.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "util/rng.hpp"
+
+namespace tgroom {
+
+/// Random simple r-regular graph on n nodes; requires n*r even, r < n.
+/// Throws CheckError if the parameters are infeasible or generation fails
+/// after `max_restarts` attempts (default is ample for r << n).
+Graph random_regular(NodeId n, NodeId r, Rng& rng, int max_restarts = 2000);
+
+/// True iff an r-regular simple graph on n nodes exists.
+bool regular_feasible(NodeId n, NodeId r);
+
+}  // namespace tgroom

@@ -1,0 +1,36 @@
+#include "gen/traffic_patterns.hpp"
+
+#include "gen/families.hpp"
+#include "gen/random_graph.hpp"
+#include "gen/regular_graph.hpp"
+
+namespace tgroom {
+
+DemandSet all_to_all_traffic(NodeId ring_size) {
+  return DemandSet::from_traffic_graph(complete_graph(ring_size));
+}
+
+DemandSet regular_traffic(NodeId ring_size, NodeId r, Rng& rng) {
+  return DemandSet::from_traffic_graph(random_regular(ring_size, r, rng));
+}
+
+DemandSet random_traffic(NodeId ring_size, double dense_ratio, Rng& rng) {
+  return DemandSet::from_traffic_graph(
+      random_dense_ratio(ring_size, dense_ratio, rng));
+}
+
+DemandSet hub_traffic(NodeId ring_size, NodeId hub_count) {
+  TGROOM_CHECK_MSG(hub_count >= 1 && hub_count < ring_size,
+                   "hub count must be in [1, ring_size)");
+  DemandSet demands(ring_size);
+  for (NodeId hub = 0; hub < hub_count; ++hub) {
+    for (NodeId v = 0; v < ring_size; ++v) {
+      if (v == hub) continue;
+      if (v < hub && v < hub_count) continue;  // hub-hub pair added once
+      demands.add_pair(hub, v);
+    }
+  }
+  return demands;
+}
+
+}  // namespace tgroom

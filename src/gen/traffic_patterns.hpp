@@ -1,0 +1,25 @@
+// Demand-set level generators: the traffic patterns named in the paper.
+#pragma once
+
+#include "grooming/demand.hpp"
+#include "util/rng.hpp"
+
+namespace tgroom {
+
+/// All-to-all traffic: every pair of ring nodes exchanges one unit demand
+/// (the r = n-1 regular pattern of the paper's introduction).
+DemandSet all_to_all_traffic(NodeId ring_size);
+
+/// Regular traffic: each node appears in exactly r symmetric demand pairs
+/// (models per-node transceiver limits).  Requires n*r even, r < n.
+DemandSet regular_traffic(NodeId ring_size, NodeId r, Rng& rng);
+
+/// The paper's §5 random traffic: m = ring_size^(1+dense_ratio) random
+/// pairs.
+DemandSet random_traffic(NodeId ring_size, double dense_ratio, Rng& rng);
+
+/// Hub-and-spoke traffic: every node exchanges a demand with each of the
+/// `hub_count` hub nodes (a realistic metro-access pattern for examples).
+DemandSet hub_traffic(NodeId ring_size, NodeId hub_count);
+
+}  // namespace tgroom

@@ -1,0 +1,57 @@
+#include "graph/graph.hpp"
+
+namespace tgroom {
+
+NodeId Graph::add_node() {
+  adj_.emplace_back();
+  return node_count() - 1;
+}
+
+void Graph::resize_nodes(NodeId node_count) {
+  TGROOM_CHECK(node_count >= 0);
+  if (node_count > this->node_count()) {
+    adj_.resize(static_cast<std::size_t>(node_count));
+  }
+}
+
+EdgeId Graph::add_edge(NodeId u, NodeId v, bool is_virtual) {
+  TGROOM_CHECK_MSG(valid_node(u) && valid_node(v), "edge endpoint out of range");
+  TGROOM_CHECK_MSG(u != v, "self-loops are not allowed");
+  EdgeId id = edge_count();
+  edges_.push_back(Edge{u, v, is_virtual});
+  adj_[static_cast<std::size_t>(u)].push_back(Incidence{v, id});
+  adj_[static_cast<std::size_t>(v)].push_back(Incidence{u, id});
+  if (!is_virtual) ++real_edges_;
+  return id;
+}
+
+NodeId Graph::real_degree(NodeId v) const {
+  NodeId d = 0;
+  for (const Incidence& inc : incident(v)) {
+    if (!edge(inc.edge).is_virtual) ++d;
+  }
+  return d;
+}
+
+bool Graph::has_edge(NodeId u, NodeId v) const {
+  return find_edge(u, v) != kInvalidEdge;
+}
+
+EdgeId Graph::find_edge(NodeId u, NodeId v) const {
+  TGROOM_DCHECK(valid_node(u) && valid_node(v));
+  const NodeId a = degree(u) <= degree(v) ? u : v;
+  const NodeId b = (a == u) ? v : u;
+  for (const Incidence& inc : incident(a)) {
+    if (inc.neighbor == b) return inc.edge;
+  }
+  return kInvalidEdge;
+}
+
+Graph make_graph(NodeId n,
+                 const std::vector<std::pair<NodeId, NodeId>>& edges) {
+  Graph g(n);
+  for (const auto& [u, v] : edges) g.add_edge(u, v);
+  return g;
+}
+
+}  // namespace tgroom

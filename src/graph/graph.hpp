@@ -1,0 +1,110 @@
+// Core undirected graph type for traffic graphs.
+//
+// Design notes:
+//  - Edges have stable, dense ids (0..edge_count()-1); algorithms refer to
+//    edges by id and keep their own masks instead of mutating the graph.
+//    This makes partitions, skeleton covers, and the SONET mapping cheap to
+//    express as vectors of EdgeId.
+//  - Parallel edges are permitted because grooming algorithms add *virtual*
+//    edges (Brauner's Euler-path method, Regular_Euler's component chaining)
+//    that may duplicate existing adjacencies.  Traffic graphs themselves are
+//    simple; `is_simple()` (properties.hpp) verifies that for real edges.
+//  - Self-loops are rejected: a symmetric demand pair {x,x} is meaningless.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace tgroom {
+
+using NodeId = std::int32_t;
+using EdgeId = std::int32_t;
+
+inline constexpr NodeId kInvalidNode = -1;
+inline constexpr EdgeId kInvalidEdge = -1;
+
+/// An undirected edge; `is_virtual` marks helper edges added by algorithms
+/// that must never appear in an output partition.
+struct Edge {
+  NodeId u = kInvalidNode;
+  NodeId v = kInvalidNode;
+  bool is_virtual = false;
+
+  /// The endpoint that is not `x`; precondition: x is an endpoint.
+  NodeId other(NodeId x) const {
+    TGROOM_DCHECK(x == u || x == v);
+    return x == u ? v : u;
+  }
+
+  bool has_endpoint(NodeId x) const { return x == u || x == v; }
+};
+
+/// Incidence record stored in adjacency lists.
+struct Incidence {
+  NodeId neighbor;
+  EdgeId edge;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(NodeId node_count) { resize_nodes(node_count); }
+
+  NodeId node_count() const { return static_cast<NodeId>(adj_.size()); }
+  EdgeId edge_count() const { return static_cast<EdgeId>(edges_.size()); }
+
+  /// Number of non-virtual edges.
+  EdgeId real_edge_count() const { return real_edges_; }
+
+  /// Adds an isolated node and returns its id.
+  NodeId add_node();
+
+  /// Grows the node set to `node_count` nodes (no-op if already larger).
+  void resize_nodes(NodeId node_count);
+
+  /// Adds edge {u, v}; returns its id.  Throws on self-loops or bad ids.
+  EdgeId add_edge(NodeId u, NodeId v, bool is_virtual = false);
+
+  const Edge& edge(EdgeId e) const {
+    TGROOM_DCHECK(e >= 0 && e < edge_count());
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  /// All edges in id order.
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Incidences of `v` (includes virtual edges).
+  std::span<const Incidence> incident(NodeId v) const {
+    TGROOM_DCHECK(valid_node(v));
+    return adj_[static_cast<std::size_t>(v)];
+  }
+
+  /// Degree counting all incident edges (virtual included).
+  NodeId degree(NodeId v) const {
+    return static_cast<NodeId>(incident(v).size());
+  }
+
+  /// Degree counting only non-virtual edges.
+  NodeId real_degree(NodeId v) const;
+
+  /// True if some edge (real or virtual) joins u and v.  O(min degree).
+  bool has_edge(NodeId u, NodeId v) const;
+
+  /// Finds an edge id joining u and v, or kInvalidEdge.
+  EdgeId find_edge(NodeId u, NodeId v) const;
+
+  bool valid_node(NodeId v) const { return v >= 0 && v < node_count(); }
+
+ private:
+  std::vector<Edge> edges_;
+  std::vector<std::vector<Incidence>> adj_;
+  EdgeId real_edges_ = 0;
+};
+
+/// Builds a graph with `n` nodes from an explicit edge list (tests/IO).
+Graph make_graph(NodeId n, const std::vector<std::pair<NodeId, NodeId>>& edges);
+
+}  // namespace tgroom

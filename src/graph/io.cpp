@@ -1,0 +1,73 @@
+#include "graph/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace tgroom {
+
+namespace {
+/// Reads the next non-comment, non-blank line into `line`; false at EOF.
+bool next_content_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t i = line.find_first_not_of(" \t\r");
+    if (i == std::string::npos) continue;
+    if (line[i] == '#') continue;
+    return true;
+  }
+  return false;
+}
+}  // namespace
+
+Graph read_edge_list(std::istream& in) {
+  std::string line;
+  TGROOM_CHECK_MSG(next_content_line(in, line), "edge list: missing header");
+  std::istringstream header(line);
+  long long n = -1, m = -1;
+  header >> n >> m;
+  TGROOM_CHECK_MSG(n >= 0 && m >= 0, "edge list: bad header '" + line + "'");
+  Graph g(static_cast<NodeId>(n));
+  for (long long i = 0; i < m; ++i) {
+    TGROOM_CHECK_MSG(next_content_line(in, line),
+                     "edge list: expected " + std::to_string(m) + " edges");
+    std::istringstream row(line);
+    long long u = -1, v = -1;
+    row >> u >> v;
+    TGROOM_CHECK_MSG(u >= 0 && v >= 0 && u < n && v < n,
+                     "edge list: bad edge '" + line + "'");
+    g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return g;
+}
+
+Graph read_edge_list_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_edge_list(in);
+}
+
+Graph read_edge_list_file(const std::string& path) {
+  std::ifstream in(path);
+  TGROOM_CHECK_MSG(in.good(), "cannot open graph file: " + path);
+  return read_edge_list(in);
+}
+
+void write_edge_list(std::ostream& out, const Graph& g) {
+  out << g.node_count() << ' ' << g.real_edge_count() << '\n';
+  for (const Edge& e : g.edges()) {
+    if (e.is_virtual) continue;
+    out << e.u << ' ' << e.v << '\n';
+  }
+}
+
+std::string write_edge_list_string(const Graph& g) {
+  std::ostringstream out;
+  write_edge_list(out, g);
+  return out.str();
+}
+
+void write_edge_list_file(const std::string& path, const Graph& g) {
+  std::ofstream out(path);
+  TGROOM_CHECK_MSG(out.good(), "cannot open graph file for write: " + path);
+  write_edge_list(out, g);
+}
+
+}  // namespace tgroom

@@ -1,0 +1,27 @@
+// Text edge-list IO for traffic graphs.
+//
+// Format (one graph per stream):
+//   line 1: "<node_count> <edge_count>"
+//   next edge_count lines: "<u> <v>"      (0-based node ids)
+// Comment lines starting with '#' and blank lines are skipped.  Virtual
+// edges are never serialized — they are algorithm-internal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace tgroom {
+
+/// Parses a graph; throws CheckError on malformed input.
+Graph read_edge_list(std::istream& in);
+Graph read_edge_list_string(const std::string& text);
+Graph read_edge_list_file(const std::string& path);
+
+/// Serializes real edges only.
+void write_edge_list(std::ostream& out, const Graph& g);
+std::string write_edge_list_string(const Graph& g);
+void write_edge_list_file(const std::string& path, const Graph& g);
+
+}  // namespace tgroom

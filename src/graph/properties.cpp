@@ -1,0 +1,89 @@
+#include "graph/properties.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tgroom {
+
+NodeId max_degree(const Graph& g) {
+  NodeId best = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v)
+    best = std::max(best, g.degree(v));
+  return best;
+}
+
+NodeId min_degree(const Graph& g) {
+  if (g.node_count() == 0) return 0;
+  NodeId best = g.degree(0);
+  for (NodeId v = 1; v < g.node_count(); ++v)
+    best = std::min(best, g.degree(v));
+  return best;
+}
+
+std::optional<NodeId> regularity(const Graph& g) {
+  if (g.node_count() == 0) return 0;
+  NodeId r = g.degree(0);
+  for (NodeId v = 1; v < g.node_count(); ++v) {
+    if (g.degree(v) != r) return std::nullopt;
+  }
+  return r;
+}
+
+std::vector<NodeId> odd_degree_nodes(const Graph& g, bool real_only) {
+  std::vector<NodeId> odd;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    NodeId d = real_only ? g.real_degree(v) : g.degree(v);
+    if (d % 2 == 1) odd.push_back(v);
+  }
+  return odd;
+}
+
+bool is_simple(const Graph& g) {
+  std::set<std::pair<NodeId, NodeId>> seen;
+  for (const Edge& e : g.edges()) {
+    if (e.is_virtual) continue;
+    auto key = std::minmax(e.u, e.v);
+    if (!seen.insert({key.first, key.second}).second) return false;
+  }
+  return true;
+}
+
+NodeId spanned_node_count(const Graph& g, const std::vector<EdgeId>& edges) {
+  return static_cast<NodeId>(spanned_nodes(g, edges).size());
+}
+
+std::vector<NodeId> spanned_nodes(const Graph& g,
+                                  const std::vector<EdgeId>& edges) {
+  std::vector<NodeId> nodes;
+  nodes.reserve(edges.size() * 2);
+  for (EdgeId e : edges) {
+    nodes.push_back(g.edge(e).u);
+    nodes.push_back(g.edge(e).v);
+  }
+  std::sort(nodes.begin(), nodes.end());
+  nodes.erase(std::unique(nodes.begin(), nodes.end()), nodes.end());
+  return nodes;
+}
+
+std::vector<NodeId> masked_degrees(const Graph& g,
+                                   const std::vector<char>& edge_mask) {
+  TGROOM_CHECK(edge_mask.size() ==
+               static_cast<std::size_t>(g.edge_count()));
+  std::vector<NodeId> deg(static_cast<std::size_t>(g.node_count()), 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!edge_mask[static_cast<std::size_t>(e)]) continue;
+    ++deg[static_cast<std::size_t>(g.edge(e).u)];
+    ++deg[static_cast<std::size_t>(g.edge(e).v)];
+  }
+  return deg;
+}
+
+NodeId active_node_count(const Graph& g) {
+  NodeId count = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.degree(v) > 0) ++count;
+  }
+  return count;
+}
+
+}  // namespace tgroom

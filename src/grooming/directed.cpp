@@ -1,0 +1,183 @@
+#include "grooming/directed.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tgroom {
+
+std::vector<DirectedDemand> directed_from_pairs(const DemandSet& demands) {
+  std::vector<DirectedDemand> out;
+  out.reserve(demands.size() * 2);
+  for (const DemandPair& p : demands.pairs()) {
+    out.push_back({p.a, p.b});
+    out.push_back({p.b, p.a});
+  }
+  return out;
+}
+
+int DirectedPlan::wavelength_count() const {
+  int count = 0;
+  for (const DirectedAssignment& a : assignments) {
+    count = std::max(count, a.wavelength + 1);
+  }
+  return count;
+}
+
+bool arcs_overlap(const UpsrRing& ring, const DirectedDemand& a,
+                  const DirectedDemand& b) {
+  // Arc of (from, to) covers spans from, from+1, ..., to-1 (mod n).
+  NodeId n = ring.node_count();
+  NodeId ha = ring.hop_count(a.from, a.to);
+  NodeId hb = ring.hop_count(b.from, b.to);
+  // Span s is in arc a iff (s - a.from mod n) < ha.
+  // Check whether any of b's spans lies in a's arc: b's spans form the
+  // interval [b.from, b.from + hb).  The two circular intervals intersect
+  // iff b.from is inside a's arc or a.from is inside b's arc.
+  NodeId b_off = static_cast<NodeId>((b.from - a.from + n) % n);
+  NodeId a_off = static_cast<NodeId>((a.from - b.from + n) % n);
+  return b_off < ha || a_off < hb;
+}
+
+bool validate_directed_plan(const UpsrRing& ring, const DirectedPlan& plan) {
+  if (plan.ring_size != ring.node_count()) return false;
+  if (plan.grooming_factor < 1) return false;
+  for (const DirectedAssignment& a : plan.assignments) {
+    if (a.demand.from < 0 || a.demand.from >= ring.node_count()) return false;
+    if (a.demand.to < 0 || a.demand.to >= ring.node_count()) return false;
+    if (a.demand.from == a.demand.to) return false;
+    if (a.wavelength < 0) return false;
+    if (a.timeslot < 0 || a.timeslot >= plan.grooming_factor) return false;
+  }
+  for (std::size_t i = 0; i < plan.assignments.size(); ++i) {
+    for (std::size_t j = i + 1; j < plan.assignments.size(); ++j) {
+      const DirectedAssignment& a = plan.assignments[i];
+      const DirectedAssignment& b = plan.assignments[j];
+      if (a.wavelength != b.wavelength || a.timeslot != b.timeslot) continue;
+      if (arcs_overlap(ring, a.demand, b.demand)) return false;
+    }
+  }
+  return true;
+}
+
+long long directed_plan_sadm_count(const DirectedPlan& plan) {
+  std::set<std::pair<int, NodeId>> sites;
+  for (const DirectedAssignment& a : plan.assignments) {
+    sites.insert({a.wavelength, a.demand.from});
+    sites.insert({a.wavelength, a.demand.to});
+  }
+  return static_cast<long long>(sites.size());
+}
+
+namespace {
+
+class DirectedSearcher {
+ public:
+  DirectedSearcher(const UpsrRing& ring, std::vector<DirectedDemand> demands,
+                   int k)
+      : ring_(ring), demands_(std::move(demands)), k_(k) {}
+
+  DirectedExactResult run() {
+    best_cost_ = 2LL * static_cast<long long>(demands_.size()) + 1;
+    assignment_.assign(demands_.size(), {0, 0});
+    descend(0, 0);
+    DirectedExactResult result;
+    result.plan.ring_size = ring_.node_count();
+    result.plan.grooming_factor = k_;
+    for (std::size_t i = 0; i < demands_.size(); ++i) {
+      result.plan.assignments.push_back(DirectedAssignment{
+          demands_[i], best_assignment_[i].first,
+          best_assignment_[i].second});
+    }
+    result.sadm_count = best_cost_;
+    result.nodes_explored = nodes_;
+    return result;
+  }
+
+ private:
+  bool slot_free(std::size_t index, int wavelength, int slot) const {
+    for (std::size_t j = 0; j < index; ++j) {
+      if (assignment_[j].first != wavelength ||
+          assignment_[j].second != slot) {
+        continue;
+      }
+      if (arcs_overlap(ring_, demands_[index], demands_[j])) return false;
+    }
+    return true;
+  }
+
+  void descend(std::size_t index, long long cost) {
+    ++nodes_;
+    if (cost >= best_cost_) return;
+    if (index == demands_.size()) {
+      best_cost_ = cost;
+      best_assignment_ = assignment_;
+      return;
+    }
+    int open_wavelengths = 0;
+    for (std::size_t j = 0; j < index; ++j) {
+      open_wavelengths =
+          std::max(open_wavelengths, assignment_[j].first + 1);
+    }
+    // Existing wavelengths, every feasible slot (slot ids on a wavelength
+    // are symmetric only when unused, so cap at used_slots+1).
+    for (int w = 0; w < open_wavelengths; ++w) {
+      int used_slots = 0;
+      for (std::size_t j = 0; j < index; ++j) {
+        if (assignment_[j].first == w) {
+          used_slots = std::max(used_slots, assignment_[j].second + 1);
+        }
+      }
+      int slot_cap = std::min(k_, used_slots + 1);
+      int delta = site_delta(index, w);
+      for (int s = 0; s < slot_cap; ++s) {
+        if (!slot_free(index, w, s)) continue;
+        assignment_[index] = {w, s};
+        descend(index + 1, cost + delta);
+      }
+    }
+    // One new wavelength (slot 0 by symmetry).
+    assignment_[index] = {open_wavelengths, 0};
+    descend(index + 1, cost + 2);
+  }
+
+  int site_delta(std::size_t index, int wavelength) const {
+    bool from_seen = false, to_seen = false;
+    for (std::size_t j = 0; j < index; ++j) {
+      if (assignment_[j].first != wavelength) continue;
+      for (NodeId endpoint : {demands_[j].from, demands_[j].to}) {
+        from_seen |= (endpoint == demands_[index].from);
+        to_seen |= (endpoint == demands_[index].to);
+      }
+    }
+    return (from_seen ? 0 : 1) + (to_seen ? 0 : 1);
+  }
+
+  const UpsrRing& ring_;
+  std::vector<DirectedDemand> demands_;
+  int k_;
+  std::vector<std::pair<int, int>> assignment_;
+  std::vector<std::pair<int, int>> best_assignment_;
+  long long best_cost_ = 0;
+  long long nodes_ = 0;
+};
+
+}  // namespace
+
+DirectedExactResult directed_exact_optimum(const DemandSet& demands, int k) {
+  TGROOM_CHECK(k >= 1);
+  TGROOM_CHECK_MSG(demands.size() <= 5,
+                   "directed exact solver is restricted to <= 5 pairs");
+  UpsrRing ring(std::max<NodeId>(2, demands.ring_size()));
+  DirectedExactResult result;
+  if (demands.size() == 0) {
+    result.plan.ring_size = demands.ring_size();
+    result.plan.grooming_factor = k;
+    return result;
+  }
+  DirectedSearcher searcher(ring, directed_from_pairs(demands), k);
+  result = searcher.run();
+  TGROOM_DCHECK(validate_directed_plan(ring, result.plan));
+  return result;
+}
+
+}  // namespace tgroom

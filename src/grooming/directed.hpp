@@ -1,0 +1,67 @@
+// Directed grooming: the general model the paper reduces FROM.
+//
+// On a UPSR a symmetric pair {x, y} is two directed demands (x, y) and
+// (y, x), each routed on its clockwise arc.  In full generality the two
+// directions could ride different wavelengths; the paper's §1 (citing the
+// technical report [18]) asserts that assigning both to one wavelength
+// never needs more SADMs, which is what justifies working with undirected
+// traffic graphs.  This module makes that reduction executable: a directed
+// plan model with arc-overlap timeslot feasibility, plus an exhaustive
+// optimal solver for tiny instances so tests can compare the directed
+// optimum against the paired (k-edge-partition) optimum.
+#pragma once
+
+#include <vector>
+
+#include "grooming/demand.hpp"
+#include "sonet/ring.hpp"
+
+namespace tgroom {
+
+struct DirectedDemand {
+  NodeId from = kInvalidNode;
+  NodeId to = kInvalidNode;
+};
+
+/// The two directed demands of every pair, in pair order.
+std::vector<DirectedDemand> directed_from_pairs(const DemandSet& demands);
+
+struct DirectedAssignment {
+  DirectedDemand demand;
+  int wavelength = 0;
+  int timeslot = 0;
+};
+
+struct DirectedPlan {
+  NodeId ring_size = 0;
+  int grooming_factor = 1;
+  std::vector<DirectedAssignment> assignments;
+
+  int wavelength_count() const;
+};
+
+/// True when the clockwise arcs of a and b share at least one span
+/// (such demands on one wavelength need distinct timeslots).
+bool arcs_overlap(const UpsrRing& ring, const DirectedDemand& a,
+                  const DirectedDemand& b);
+
+/// Validity: endpoints on the ring, timeslots within k, and no two
+/// same-wavelength same-timeslot assignments with overlapping arcs.
+bool validate_directed_plan(const UpsrRing& ring, const DirectedPlan& plan);
+
+/// SADM count: distinct (wavelength, node) add/drop sites.
+long long directed_plan_sadm_count(const DirectedPlan& plan);
+
+struct DirectedExactResult {
+  DirectedPlan plan;
+  long long sadm_count = 0;
+  long long nodes_explored = 0;
+};
+
+/// Exhaustive optimal directed grooming for tiny instances (at most 10
+/// directed demands, i.e. 5 pairs).  Wavelength count is unconstrained;
+/// timeslot feasibility per wavelength is decided by backtracking on the
+/// arc-overlap graph.
+DirectedExactResult directed_exact_optimum(const DemandSet& demands, int k);
+
+}  // namespace tgroom

@@ -1,0 +1,42 @@
+// Incremental provisioning: add demands to a live grooming plan without
+// re-arranging existing circuits.
+//
+// Operators rarely get to re-groom a deployed ring from scratch — moving a
+// live circuit to another wavelength is service-affecting.  This module
+// places new symmetric pairs into existing wavelength slack (preferring
+// wavelengths that already terminate at the new pair's endpoints, so no
+// new SADMs are needed when possible) and opens new wavelengths only when
+// no slack remains.  The result is generally costlier than grooming the
+// union from scratch; `incremental_penalty` quantifies that gap, which is
+// the operational argument for good initial grooming.
+#pragma once
+
+#include <vector>
+
+#include "grooming/plan.hpp"
+
+namespace tgroom {
+
+struct IncrementalResult {
+  GroomingPlan plan;          // the extended plan
+  int new_wavelengths = 0;    // wavelengths opened for the new demands
+  int new_sadms = 0;          // SADM installs triggered
+  int reused_sites = 0;       // endpoints that already had an SADM on the
+                              // chosen wavelength
+};
+
+/// Adds `new_pairs` to `plan`.  Existing assignments are never modified.
+/// Each new pair goes to the feasible wavelength (free timeslot) that
+/// needs the fewest new SADMs, ties broken toward lower wavelength ids;
+/// a fresh wavelength is opened when nothing has slack.
+IncrementalResult add_demands_incremental(
+    const GroomingPlan& plan, const std::vector<DemandPair>& new_pairs);
+
+/// Cost gap of incremental operation vs. re-grooming from scratch:
+/// (incremental SADMs) - (SADMs of `fresh`), where `fresh` is a plan for
+/// the union demand set.  Non-negative whenever `fresh` is at least as
+/// good as the incremental plan.
+long long incremental_penalty(const IncrementalResult& incremental,
+                              const GroomingPlan& fresh);
+
+}  // namespace tgroom

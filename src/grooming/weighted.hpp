@@ -1,0 +1,75 @@
+// Non-unitary (weighted) symmetric traffic — the §1 "other variants"
+// extension ([4], [8], [17], [21] in the paper).
+//
+// A weighted demand {x, y, units} asks for `units` unit-bandwidth symmetric
+// circuits between x and y.  On the UPSR each unit behaves exactly like a
+// unitary pair (it consumes one timeslot on every span of its wavelength),
+// so grooming reduces to k-edge partitioning of the traffic *multigraph*
+// with one parallel edge per unit.  All partition algorithms in this
+// library operate on edge ids and never require simplicity, so they apply
+// unchanged; this module provides the expansion, the plan mapping, and the
+// accounting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grooming/plan.hpp"
+#include "partition/edge_partition.hpp"
+
+namespace tgroom {
+
+struct WeightedDemand {
+  NodeId a;  // normalized a < b
+  NodeId b;
+  int units = 1;
+
+  friend bool operator==(const WeightedDemand&,
+                         const WeightedDemand&) = default;
+};
+
+class WeightedDemandSet {
+ public:
+  explicit WeightedDemandSet(NodeId ring_size);
+
+  NodeId ring_size() const { return ring_size_; }
+  std::size_t size() const { return demands_.size(); }
+  const std::vector<WeightedDemand>& demands() const { return demands_; }
+
+  /// Total circuit units requested.
+  long long total_units() const;
+
+  /// Adds {x, y} with the given units; merges with an existing entry for
+  /// the same pair.  Rejects x == y and units <= 0.
+  void add(NodeId x, NodeId y, int units);
+
+  /// The traffic multigraph: one parallel edge per unit; edge id order
+  /// follows demand order, units contiguous.
+  Graph traffic_multigraph() const;
+
+  /// Demand index owning a given multigraph edge id.
+  std::size_t demand_of_edge(EdgeId e) const;
+
+  /// Text format: "<ring_size> <demand_count>" then "x y units" lines.
+  static WeightedDemandSet parse(const std::string& text);
+  std::string serialize() const;
+
+ private:
+  NodeId ring_size_;
+  std::vector<WeightedDemand> demands_;
+};
+
+/// Builds a wavelength/timeslot plan from a k-edge partition of the
+/// traffic multigraph.  Units of one demand may land on different
+/// wavelengths (multi-wavelength splitting is allowed on the UPSR).
+GroomingPlan plan_from_weighted_partition(const WeightedDemandSet& demands,
+                                          const Graph& multigraph,
+                                          const EdgePartition& partition);
+
+/// Per-demand wavelength spread: how many distinct wavelengths each
+/// demand's units occupy (1 = unsplit).  Indexed like demands().
+std::vector<int> demand_wavelength_spread(const WeightedDemandSet& demands,
+                                          const Graph& multigraph,
+                                          const EdgePartition& partition);
+
+}  // namespace tgroom

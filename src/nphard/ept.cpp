@@ -1,0 +1,117 @@
+#include "nphard/ept.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace tgroom {
+
+bool is_triangle(const Graph& g, const std::array<EdgeId, 3>& edges) {
+  std::set<EdgeId> distinct(edges.begin(), edges.end());
+  if (distinct.size() != 3) return false;
+  std::set<NodeId> nodes;
+  for (EdgeId e : edges) {
+    if (e < 0 || e >= g.edge_count()) return false;
+    if (g.edge(e).is_virtual) return false;
+    nodes.insert(g.edge(e).u);
+    nodes.insert(g.edge(e).v);
+  }
+  if (nodes.size() != 3) return false;
+  // Three edges on three nodes with no parallel edges is exactly K_3.
+  std::set<std::pair<NodeId, NodeId>> pairs;
+  for (EdgeId e : edges) {
+    pairs.insert(std::minmax(g.edge(e).u, g.edge(e).v));
+  }
+  return pairs.size() == 3;
+}
+
+bool is_triangle_partition(const Graph& g,
+                           const TrianglePartition& partition) {
+  std::vector<char> covered(static_cast<std::size_t>(g.edge_count()), 0);
+  for (const auto& tri : partition.triangles) {
+    if (!is_triangle(g, tri)) return false;
+    for (EdgeId e : tri) {
+      if (covered[static_cast<std::size_t>(e)]) return false;
+      covered[static_cast<std::size_t>(e)] = 1;
+    }
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!g.edge(e).is_virtual && !covered[static_cast<std::size_t>(e)])
+      return false;
+  }
+  return true;
+}
+
+bool ept_feasible_quickcheck(const Graph& g) {
+  if (g.real_edge_count() % 3 != 0) return false;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    if (g.real_degree(v) % 2 == 1) return false;
+  }
+  return true;
+}
+
+namespace {
+
+class EptSearcher {
+ public:
+  EptSearcher(const Graph& g, long long budget) : g_(g), budget_(budget) {
+    covered_.assign(static_cast<std::size_t>(g.edge_count()), 0);
+    // Virtual edges (none expected) are treated as covered.
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      if (g.edge(e).is_virtual) covered_[static_cast<std::size_t>(e)] = 1;
+    }
+  }
+
+  bool search() {
+    TGROOM_CHECK_MSG(nodes_++ < budget_, "EPT search budget exhausted");
+    EdgeId pivot = kInvalidEdge;
+    for (EdgeId e = 0; e < g_.edge_count(); ++e) {
+      if (!covered_[static_cast<std::size_t>(e)]) {
+        pivot = e;
+        break;
+      }
+    }
+    if (pivot == kInvalidEdge) return true;
+
+    const Edge& edge = g_.edge(pivot);
+    // Try every uncovered triangle through the pivot edge.
+    for (const Incidence& iu : g_.incident(edge.u)) {
+      if (iu.edge == pivot || covered_[static_cast<std::size_t>(iu.edge)])
+        continue;
+      NodeId w = iu.neighbor;
+      for (const Incidence& iv : g_.incident(edge.v)) {
+        if (iv.neighbor != w) continue;
+        if (covered_[static_cast<std::size_t>(iv.edge)]) continue;
+        std::array<EdgeId, 3> tri{pivot, iu.edge, iv.edge};
+        for (EdgeId e : tri) covered_[static_cast<std::size_t>(e)] = 1;
+        chosen_.push_back(tri);
+        if (search()) return true;
+        chosen_.pop_back();
+        for (EdgeId e : tri) covered_[static_cast<std::size_t>(e)] = 0;
+      }
+    }
+    return false;
+  }
+
+  TrianglePartition result() const { return TrianglePartition{chosen_}; }
+
+ private:
+  const Graph& g_;
+  long long budget_;
+  long long nodes_ = 0;
+  std::vector<char> covered_;
+  std::vector<std::array<EdgeId, 3>> chosen_;
+};
+
+}  // namespace
+
+std::optional<TrianglePartition> solve_ept(const Graph& g,
+                                           long long node_budget) {
+  if (!ept_feasible_quickcheck(g)) return std::nullopt;
+  EptSearcher searcher(g, node_budget);
+  if (!searcher.search()) return std::nullopt;
+  TrianglePartition partition = searcher.result();
+  TGROOM_DCHECK(is_triangle_partition(g, partition));
+  return partition;
+}
+
+}  // namespace tgroom

@@ -1,0 +1,34 @@
+// Edge-Partition into Triangles (EPT) — the NP-complete anchor problem
+// (Holyer [10]) of the paper's §4 reduction chain.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tgroom {
+
+struct TrianglePartition {
+  std::vector<std::array<EdgeId, 3>> triangles;
+};
+
+/// True when the three edges induce a triangle (three distinct nodes, three
+/// distinct edges pairwise sharing endpoints).
+bool is_triangle(const Graph& g, const std::array<EdgeId, 3>& edges);
+
+/// True when the partition covers every real edge exactly once with
+/// triangles.
+bool is_triangle_partition(const Graph& g, const TrianglePartition& partition);
+
+/// Exhaustive EPT solver for tiny instances (certificate or nullopt).
+/// `node_budget` caps the backtracking; exceeding it throws CheckError so a
+/// truncated search is never mistaken for "no".
+std::optional<TrianglePartition> solve_ept(const Graph& g,
+                                           long long node_budget = 5'000'000);
+
+/// Quick necessary conditions: m % 3 == 0 and no odd-degree node.
+bool ept_feasible_quickcheck(const Graph& g);
+
+}  // namespace tgroom

@@ -1,0 +1,127 @@
+#include "nphard/gadget.hpp"
+
+#include "graph/properties.hpp"
+
+namespace tgroom {
+
+RegularEptGadget build_regular_ept_gadget(const Graph& g) {
+  TGROOM_CHECK_MSG(is_simple(g), "gadget input must be simple");
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    TGROOM_CHECK_MSG(g.degree(v) % 2 == 0,
+                     "gadget input must have all even degrees");
+  }
+
+  RegularEptGadget gadget;
+  const NodeId delta = max_degree(g);
+  gadget.delta = delta;
+  Graph& gs = gadget.gstar;
+  if (delta == 0) {
+    gadget.copy_map.assign(3, std::vector<NodeId>(
+                                  static_cast<std::size_t>(g.node_count()),
+                                  kInvalidNode));
+    return gadget;  // empty graph: trivially 0-regular
+  }
+
+  auto add_helper_triangle = [&](NodeId a, NodeId b, NodeId c) {
+    gs.add_edge(a, b);
+    gs.add_edge(b, c);
+    gs.add_edge(a, c);
+    gadget.helper_triangles.push_back({a, b, c});
+  };
+
+  // Steps 1-3: three copies of G' = G + per-node padding triangle chains.
+  std::vector<NodeId> u_nodes;
+  gadget.copy_map.resize(3);
+  for (int c = 0; c < 3; ++c) {
+    auto& map = gadget.copy_map[static_cast<std::size_t>(c)];
+    map.resize(static_cast<std::size_t>(g.node_count()));
+    for (NodeId v = 0; v < g.node_count(); ++v) map[static_cast<std::size_t>(v)] = gs.add_node();
+    for (const Edge& e : g.edges()) {
+      gs.add_edge(map[static_cast<std::size_t>(e.u)],
+                  map[static_cast<std::size_t>(e.v)]);
+    }
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      NodeId pad = static_cast<NodeId>((delta - g.degree(v)) / 2);
+      for (NodeId t = 0; t < pad; ++t) {
+        NodeId a = gs.add_node();
+        NodeId b = gs.add_node();
+        u_nodes.push_back(a);
+        u_nodes.push_back(b);
+        add_helper_triangle(map[static_cast<std::size_t>(v)], a, b);
+      }
+    }
+  }
+
+  // Step 4: pad the u pool so it can host the regularizing layers.
+  while (static_cast<NodeId>(u_nodes.size()) < delta) {
+    NodeId a = gs.add_node();
+    NodeId b = gs.add_node();
+    NodeId c = gs.add_node();
+    u_nodes.push_back(a);
+    u_nodes.push_back(b);
+    u_nodes.push_back(c);
+    add_helper_triangle(a, b, c);
+  }
+  const std::size_t q3 = u_nodes.size();  // the paper's 3q
+  TGROOM_CHECK(q3 % 3 == 0);
+
+  // Step 5: w and y pools, each tiled by disjoint triangles.
+  std::vector<NodeId> w_nodes(q3), y_nodes(q3);
+  for (std::size_t i = 0; i < q3; ++i) w_nodes[i] = gs.add_node();
+  for (std::size_t i = 0; i < q3; ++i) y_nodes[i] = gs.add_node();
+  for (std::size_t i = 0; i + 2 < q3; i += 3) {
+    add_helper_triangle(w_nodes[i], w_nodes[i + 1], w_nodes[i + 2]);
+    add_helper_triangle(y_nodes[i], y_nodes[i + 1], y_nodes[i + 2]);
+  }
+
+  // Step 6 (corrected offsets): (Δ-2)/2 triangle layers raise every u, w
+  // and y node from degree 2 to Δ.
+  for (std::size_t i = 1; i <= static_cast<std::size_t>((delta - 2) / 2);
+       ++i) {
+    for (std::size_t j = 0; j < q3; ++j) {
+      NodeId u = u_nodes[j];
+      NodeId w = w_nodes[(j + q3 - i % q3) % q3];
+      NodeId y = y_nodes[(j + i) % q3];
+      add_helper_triangle(u, w, y);
+    }
+  }
+
+  return gadget;
+}
+
+TrianglePartition lift_triangle_partition(const RegularEptGadget& gadget,
+                                          const Graph& g,
+                                          const TrianglePartition& of_g) {
+  TGROOM_CHECK_MSG(is_triangle_partition(g, of_g),
+                   "input certificate is not a triangle partition of G");
+  TrianglePartition lifted;
+  // Copy triangles: translate node triples through copy_map and look up
+  // the corresponding gstar edges.
+  const Graph& gs = gadget.gstar;
+  for (int c = 0; c < 3; ++c) {
+    const auto& map = gadget.copy_map[static_cast<std::size_t>(c)];
+    for (const auto& tri : of_g.triangles) {
+      std::array<EdgeId, 3> mapped{};
+      for (int idx = 0; idx < 3; ++idx) {
+        const Edge& e = g.edge(tri[static_cast<std::size_t>(idx)]);
+        EdgeId found = gs.find_edge(map[static_cast<std::size_t>(e.u)],
+                                    map[static_cast<std::size_t>(e.v)]);
+        TGROOM_CHECK(found != kInvalidEdge);
+        mapped[static_cast<std::size_t>(idx)] = found;
+      }
+      lifted.triangles.push_back(mapped);
+    }
+  }
+  for (const auto& tri : gadget.helper_triangles) {
+    std::array<EdgeId, 3> mapped{
+        gs.find_edge(tri[0], tri[1]),
+        gs.find_edge(tri[1], tri[2]),
+        gs.find_edge(tri[0], tri[2]),
+    };
+    for (EdgeId e : mapped) TGROOM_CHECK(e != kInvalidEdge);
+    lifted.triangles.push_back(mapped);
+  }
+  return lifted;
+}
+
+}  // namespace tgroom

@@ -1,0 +1,45 @@
+// Lemma 6 gadget: reduce EPT on arbitrary even-degree graphs to EPT on
+// Δ-regular graphs.
+//
+// Construction (paper §4, Figure 2), with one correction: the paper's step
+// 6 adds triangles (u_j, w_{j⊖i}, y_{j⊖i}), which repeats the edge
+// {w_m, y_m} for every iteration i and so is not simple.  We use
+// (u_j, w_{j⊖i}, y_{j⊕i}) instead: all u-w, u-y and w-y pairs are then
+// distinct across iterations (2i ≢ 0 and 2(i-i') ≢ 0 mod 3q because
+// 2i <= Δ-2 < 3q), each new node still gains exactly degree 2 per
+// iteration, and the i-th triangle family remains a perfect triangle layer
+// — so the iff-argument of Lemma 6 is unchanged.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "nphard/ept.hpp"
+
+namespace tgroom {
+
+struct RegularEptGadget {
+  Graph gstar;
+  NodeId delta = 0;  // regularity of gstar == Δ(G)
+
+  /// copy_map[c][v] = gstar node for node v of copy c (c = 0, 1, 2).
+  std::vector<std::vector<NodeId>> copy_map;
+
+  /// Every helper triangle the construction added (node triples); together
+  /// with triangle partitions of the three copies these tile all of gstar.
+  std::vector<std::array<NodeId, 3>> helper_triangles;
+};
+
+/// Requires a simple graph with all degrees even.  (Lemma 6 observes that
+/// a graph with an odd-degree node is a trivial EPT "no", so evenness is
+/// WLOG for the reduction.)
+RegularEptGadget build_regular_ept_gadget(const Graph& g);
+
+/// Lifts a triangle partition of G to one of gstar: the partition applied
+/// to each of the three copies plus all helper triangles.
+TrianglePartition lift_triangle_partition(const RegularEptGadget& gadget,
+                                          const Graph& g,
+                                          const TrianglePartition& of_g);
+
+}  // namespace tgroom

@@ -1,0 +1,59 @@
+#include "nphard/keprg.hpp"
+
+#include "algorithms/exact.hpp"
+#include "graph/properties.hpp"
+
+namespace tgroom {
+
+KeprgInstance keprg_from_regular_ept(const Graph& regular_graph) {
+  TGROOM_CHECK_MSG(regularity(regular_graph).has_value(),
+                   "Theorem 7 reduction expects a regular graph");
+  KeprgInstance instance;
+  instance.graph = regular_graph;
+  instance.k = 3;
+  instance.budget_l = regular_graph.real_edge_count();
+  return instance;
+}
+
+EdgePartition partition_from_triangles(const Graph& g,
+                                       const TrianglePartition& triangles) {
+  TGROOM_CHECK_MSG(is_triangle_partition(g, triangles),
+                   "not a triangle partition");
+  EdgePartition partition;
+  partition.k = 3;
+  for (const auto& tri : triangles.triangles) {
+    partition.parts.push_back({tri[0], tri[1], tri[2]});
+  }
+  TGROOM_DCHECK(sadm_cost(g, partition) == g.real_edge_count());
+  return partition;
+}
+
+TrianglePartition triangles_from_partition(const Graph& g,
+                                           const EdgePartition& partition) {
+  TGROOM_CHECK_MSG(partition.k == 3, "Theorem 7 works at k = 3");
+  TGROOM_CHECK_MSG(validate_partition(g, partition).ok, "invalid partition");
+  TGROOM_CHECK_MSG(sadm_cost(g, partition) == g.real_edge_count(),
+                   "cost premise |cost| == m does not hold");
+  // Cost m with parts of at most 3 edges forces every part to be a
+  // 3-edge/3-node subgraph, i.e. a triangle: a part with e edges spans at
+  // least min_nodes_for_edges(e) >= e nodes for e <= 3, with equality only
+  // for e == 3 and the complete graph K_3.
+  TrianglePartition triangles;
+  for (const auto& part : partition.parts) {
+    TGROOM_CHECK_MSG(part.size() == 3, "a cost-m partition must use "
+                                       "3-edge parts");
+    std::array<EdgeId, 3> tri{part[0], part[1], part[2]};
+    TGROOM_CHECK_MSG(is_triangle(g, tri), "a cost-m part must be a triangle");
+    triangles.triangles.push_back(tri);
+  }
+  return triangles;
+}
+
+bool keprg_decide(const KeprgInstance& instance) {
+  ExactResult result = exact_optimal_partition(instance.graph, instance.k);
+  TGROOM_CHECK_MSG(result.proven_optimal, "exact search budget exhausted");
+  if (instance.graph.real_edge_count() == 0) return 0 <= instance.budget_l;
+  return result.cost <= instance.budget_l;
+}
+
+}  // namespace tgroom

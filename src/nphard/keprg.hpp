@@ -1,0 +1,38 @@
+// Theorem 7: k-Edge-Partitioning of Regular Graphs (KEPRG) is NP-complete,
+// by reduction from EPT on regular graphs with k = 3 and L = m.
+//
+// The reduction is an identity on the graph; the content is the
+// equivalence  "cost <= m  ⟺  triangle partition exists"  for k = 3,
+// which follows because a part of 3 edges spans >= 3 nodes with equality
+// exactly for triangles.  This module makes the equivalence executable.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "nphard/ept.hpp"
+#include "partition/edge_partition.hpp"
+
+namespace tgroom {
+
+struct KeprgInstance {
+  Graph graph;
+  int k = 3;
+  long long budget_l = 0;  // the decision threshold L
+};
+
+/// Theorem 7 mapping: same (regular) graph, k = 3, L = m.
+KeprgInstance keprg_from_regular_ept(const Graph& regular_graph);
+
+/// Forward direction: a triangle partition is a KEPRG certificate of cost
+/// exactly m.
+EdgePartition partition_from_triangles(const Graph& g,
+                                       const TrianglePartition& triangles);
+
+/// Backward direction: a k=3 partition of cost m must consist of
+/// triangles; extracts them (throws CheckError if the cost premise fails).
+TrianglePartition triangles_from_partition(const Graph& g,
+                                           const EdgePartition& partition);
+
+/// Decides a small KEPRG instance exactly (exhaustive, m <= 24).
+bool keprg_decide(const KeprgInstance& instance);
+
+}  // namespace tgroom

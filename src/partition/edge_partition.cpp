@@ -1,0 +1,96 @@
+#include "partition/edge_partition.hpp"
+
+#include <algorithm>
+
+#include "graph/properties.hpp"
+
+namespace tgroom {
+
+EdgeId EdgePartition::total_edges() const {
+  std::size_t total = 0;
+  for (const auto& part : parts) total += part.size();
+  return static_cast<EdgeId>(total);
+}
+
+long long sadm_cost(const Graph& g, const EdgePartition& partition) {
+  long long cost = 0;
+  for (const auto& part : partition.parts) {
+    cost += spanned_node_count(g, part);
+  }
+  return cost;
+}
+
+PartitionValidation validate_partition(const Graph& g,
+                                       const EdgePartition& partition) {
+  PartitionValidation result;
+  auto fail = [&](std::string reason) {
+    result.ok = false;
+    result.reason = std::move(reason);
+    return result;
+  };
+  if (partition.k < 1) return fail("grooming factor k must be >= 1");
+
+  std::vector<int> times_seen(static_cast<std::size_t>(g.edge_count()), 0);
+  for (std::size_t i = 0; i < partition.parts.size(); ++i) {
+    const auto& part = partition.parts[i];
+    if (part.empty()) return fail("part " + std::to_string(i) + " is empty");
+    if (part.size() > static_cast<std::size_t>(partition.k)) {
+      return fail("part " + std::to_string(i) + " has " +
+                  std::to_string(part.size()) + " > k edges");
+    }
+    for (EdgeId e : part) {
+      if (e < 0 || e >= g.edge_count())
+        return fail("part " + std::to_string(i) + " has invalid edge id");
+      if (g.edge(e).is_virtual)
+        return fail("part " + std::to_string(i) + " contains a virtual edge");
+      ++times_seen[static_cast<std::size_t>(e)];
+    }
+  }
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (g.edge(e).is_virtual) continue;
+    int seen = times_seen[static_cast<std::size_t>(e)];
+    if (seen != 1) {
+      return fail("edge " + std::to_string(e) + " appears " +
+                  std::to_string(seen) + " times");
+    }
+  }
+  return result;
+}
+
+long long min_wavelengths(long long real_edges, int k) {
+  TGROOM_CHECK(k >= 1);
+  return (real_edges + k - 1) / k;
+}
+
+bool uses_min_wavelengths(const Graph& g, const EdgePartition& partition) {
+  return static_cast<long long>(partition.parts.size()) ==
+         min_wavelengths(g.real_edge_count(), partition.k);
+}
+
+NodeId min_nodes_for_edges(long long edges) {
+  if (edges <= 0) return 0;
+  NodeId t = 1;
+  while (static_cast<long long>(t) * (t - 1) / 2 < edges) ++t;
+  return t;
+}
+
+long long degree_lower_bound(const Graph& g, int k) {
+  TGROOM_CHECK(k >= 1);
+  long long total = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    total += (static_cast<long long>(g.real_degree(v)) + k - 1) / k;
+  }
+  return total;
+}
+
+long long partition_cost_lower_bound(const Graph& g, int k) {
+  TGROOM_CHECK(k >= 1);
+  long long m = g.real_edge_count();
+  long long full_parts = m / k;
+  long long rest = m % k;
+  long long packing = full_parts * min_nodes_for_edges(k) +
+                      min_nodes_for_edges(rest);
+  return std::max(degree_lower_bound(g, k), packing);
+}
+
+}  // namespace tgroom

@@ -1,0 +1,55 @@
+// Node-multiset bookkeeping for one partition part: O(log) insertion and
+// exact cost deltas for adding/removing edges.  Shared by the local-search
+// and annealing refiners.
+#pragma once
+
+#include <map>
+
+#include "graph/graph.hpp"
+
+namespace tgroom {
+
+class PartProfile {
+ public:
+  void add(const Edge& e) {
+    ++count_[e.u];
+    ++count_[e.v];
+  }
+
+  void remove(const Edge& e) {
+    drop(e.u);
+    drop(e.v);
+  }
+
+  /// Cost delta of adding e (0..2 new nodes); u != v (no self-loops).
+  int add_delta(const Edge& e) const {
+    return (count_.count(e.u) ? 0 : 1) + (count_.count(e.v) ? 0 : 1);
+  }
+
+  /// Cost delta of removing e (-2..0 nodes).
+  int remove_delta(const Edge& e) const {
+    return (count_.at(e.u) == 1 ? -1 : 0) + (count_.at(e.v) == 1 ? -1 : 0);
+  }
+
+  std::size_t node_count() const { return count_.size(); }
+
+  /// Exact cost delta of swapping `out` for `in` within this part.
+  int swap_delta(const Edge& out, const Edge& in) const {
+    PartProfile scratch = *this;
+    int before = static_cast<int>(scratch.node_count());
+    scratch.remove(out);
+    scratch.add(in);
+    return static_cast<int>(scratch.node_count()) - before;
+  }
+
+ private:
+  void drop(NodeId v) {
+    auto it = count_.find(v);
+    TGROOM_DCHECK(it != count_.end());
+    if (--it->second == 0) count_.erase(it);
+  }
+
+  std::map<NodeId, int> count_;
+};
+
+}  // namespace tgroom

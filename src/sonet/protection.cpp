@@ -1,0 +1,129 @@
+#include "sonet/protection.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace tgroom {
+
+namespace {
+
+/// True when the working (clockwise) path from x to y crosses `span`.
+bool working_path_contains(const UpsrRing& ring, NodeId x, NodeId y,
+                           NodeId span) {
+  NodeId n = ring.node_count();
+  NodeId hops = ring.hop_count(x, y);
+  NodeId offset = static_cast<NodeId>((span - x + n) % n);
+  return offset < hops;
+}
+
+/// The two directed halves of every groomed pair.
+struct Directed {
+  NodeId from, to;
+  int wavelength;
+};
+
+std::vector<Directed> directed_demands(const GroomingPlan& plan) {
+  std::vector<Directed> out;
+  out.reserve(plan.pairs.size() * 2);
+  for (const GroomedPair& gp : plan.pairs) {
+    out.push_back({gp.pair.a, gp.pair.b, gp.wavelength});
+    out.push_back({gp.pair.b, gp.pair.a, gp.wavelength});
+  }
+  return out;
+}
+
+}  // namespace
+
+SpanFailureImpact simulate_span_failure(const UpsrRing& ring,
+                                        const GroomingPlan& plan,
+                                        NodeId span) {
+  TGROOM_CHECK_MSG(span >= 0 && span < ring.link_count(),
+                   "span id out of range");
+  SpanFailureImpact impact;
+  impact.failed_span = span;
+
+  // protection_load[wavelength][span] counts selected protection copies.
+  std::map<int, std::vector<int>> protection_load;
+  for (const Directed& d : directed_demands(plan)) {
+    if (!working_path_contains(ring, d.from, d.to, span)) continue;
+    ++impact.switched_demands;
+    NodeId working_hops = ring.hop_count(d.from, d.to);
+    NodeId protect_hops =
+        static_cast<NodeId>(ring.node_count() - working_hops);
+    impact.extra_hops += protect_hops - working_hops;
+    auto& load = protection_load[d.wavelength];
+    if (load.empty()) {
+      load.assign(static_cast<std::size_t>(ring.link_count()), 0);
+    }
+    // The protection copy rides the counter-clockwise fiber over the
+    // complement spans (the working spans of the reverse direction).
+    for (NodeId link : ring.working_path(d.to, d.from)) {
+      int cell = ++load[static_cast<std::size_t>(link)];
+      impact.peak_protection_load =
+          std::max(impact.peak_protection_load, cell);
+    }
+  }
+  // A single span failure can never cut a protection copy of a demand
+  // whose working copy it cut: the two paths partition the spans.
+  impact.lost_demands = 0;
+  return impact;
+}
+
+SpanFailureImpact simulate_double_failure(const UpsrRing& ring,
+                                          const GroomingPlan& plan,
+                                          NodeId span_a, NodeId span_b) {
+  TGROOM_CHECK_MSG(span_a != span_b, "spans must differ");
+  TGROOM_CHECK(span_a >= 0 && span_a < ring.link_count());
+  TGROOM_CHECK(span_b >= 0 && span_b < ring.link_count());
+  SpanFailureImpact impact;
+  impact.failed_span = span_a;  // reported against the first span
+  for (const Directed& d : directed_demands(plan)) {
+    bool a_on_working = working_path_contains(ring, d.from, d.to, span_a);
+    bool b_on_working = working_path_contains(ring, d.from, d.to, span_b);
+    if (a_on_working && b_on_working) {
+      ++impact.switched_demands;  // protection copy intact
+    } else if (a_on_working || b_on_working) {
+      ++impact.lost_demands;  // one span on each path: both copies cut
+    }
+    // Neither on working: the working copy is untouched.
+  }
+  return impact;
+}
+
+SurvivabilityReport survivability_report(const UpsrRing& ring,
+                                         const GroomingPlan& plan) {
+  SurvivabilityReport report;
+  report.per_span.reserve(static_cast<std::size_t>(ring.link_count()));
+  for (NodeId span = 0; span < ring.link_count(); ++span) {
+    SpanFailureImpact impact = simulate_span_failure(ring, plan, span);
+    report.survives_all_single_failures &= impact.fully_recovered();
+    report.worst_case_switched =
+        std::max(report.worst_case_switched, impact.switched_demands);
+    report.worst_case_extra_hops =
+        std::max(report.worst_case_extra_hops, impact.extra_hops);
+    report.per_span.push_back(impact);
+  }
+  return report;
+}
+
+std::string render_survivability(const SurvivabilityReport& report) {
+  std::ostringstream out;
+  out << (report.survives_all_single_failures
+              ? "UPSR survivability: all single span failures recovered"
+              : "UPSR survivability: VIOLATED")
+      << "\n";
+  for (const SpanFailureImpact& impact : report.per_span) {
+    out << "  span " << impact.failed_span << ": " << impact.switched_demands
+        << " demand(s) switched to protection, +" << impact.extra_hops
+        << " hops, peak protection load " << impact.peak_protection_load
+        << (impact.lost_demands ? "  [LOST " +
+                                      std::to_string(impact.lost_demands) +
+                                      "]"
+                                : "")
+        << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tgroom

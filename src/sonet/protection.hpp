@@ -1,0 +1,72 @@
+// UPSR 1+1 path protection (paper §1: "one ring is used as a working ring
+// and the other as a protecting ring").
+//
+// Every directed demand is transmitted simultaneously on its working
+// (clockwise) path and its protection (counter-clockwise, complement-arc)
+// path; the receiver selects.  Because the two paths partition the ring's
+// spans, any single span failure leaves exactly one copy intact — the UPSR
+// survivability guarantee.  This module simulates span failures against a
+// grooming plan and verifies that guarantee, giving the test suite a real
+// failure-injection surface.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grooming/plan.hpp"
+#include "sonet/ring.hpp"
+
+namespace tgroom {
+
+/// Outcome of failing one span (both fibers between node `span` and its
+/// clockwise successor).
+struct SpanFailureImpact {
+  NodeId failed_span = kInvalidNode;
+
+  /// Directed demands whose working path crossed the span and switched to
+  /// their protection copy.
+  int switched_demands = 0;
+
+  /// Directed demands with neither copy available (0 for any single span
+  /// failure on a valid plan — the UPSR guarantee).
+  int lost_demands = 0;
+
+  /// Extra hop count of the protection paths over the failed working
+  /// paths, summed over switched demands (protection detours are longer
+  /// whenever the working path was the short way round).
+  long long extra_hops = 0;
+
+  /// Max per-(wavelength, span) occupancy on the protection ring after the
+  /// switch; must stay within the grooming factor.
+  int peak_protection_load = 0;
+
+  bool fully_recovered() const { return lost_demands == 0; }
+};
+
+/// Simulates the failure of one span.  `span` is a working-link id.
+SpanFailureImpact simulate_span_failure(const UpsrRing& ring,
+                                        const GroomingPlan& plan,
+                                        NodeId span);
+
+/// Simulates the simultaneous failure of two distinct spans.  Demands
+/// whose working *and* protection copies are both cut are lost — UPSR
+/// does not survive double failures.
+SpanFailureImpact simulate_double_failure(const UpsrRing& ring,
+                                          const GroomingPlan& plan,
+                                          NodeId span_a, NodeId span_b);
+
+/// Full survivability sweep: every single span failure.
+struct SurvivabilityReport {
+  bool survives_all_single_failures = true;
+  int worst_case_switched = 0;
+  long long worst_case_extra_hops = 0;
+  std::vector<SpanFailureImpact> per_span;
+};
+
+SurvivabilityReport survivability_report(const UpsrRing& ring,
+                                         const GroomingPlan& plan);
+
+/// Human-readable one-liner per span, for examples/tools.
+std::string render_survivability(const SurvivabilityReport& report);
+
+}  // namespace tgroom

@@ -1,0 +1,62 @@
+#include "sonet/rates.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+#include "util/check.hpp"
+
+namespace tgroom {
+
+namespace {
+constexpr std::array<std::pair<OcRate, int>, 7> kRates{{
+    {OcRate::kOc1, 1},
+    {OcRate::kOc3, 3},
+    {OcRate::kOc12, 12},
+    {OcRate::kOc24, 24},
+    {OcRate::kOc48, 48},
+    {OcRate::kOc192, 192},
+    {OcRate::kOc768, 768},
+}};
+}  // namespace
+
+int oc_multiplier(OcRate rate) {
+  for (const auto& [r, n] : kRates) {
+    if (r == rate) return n;
+  }
+  TGROOM_CHECK_MSG(false, "unknown OC rate");
+  return 0;
+}
+
+long long oc_bandwidth_kbps(OcRate rate) {
+  return 51840LL * oc_multiplier(rate);
+}
+
+std::string oc_name(OcRate rate) {
+  return "OC-" + std::to_string(oc_multiplier(rate));
+}
+
+std::optional<OcRate> parse_oc_rate(const std::string& text) {
+  std::string digits;
+  for (char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c))) digits += c;
+  }
+  if (digits.empty()) return std::nullopt;
+  int n = std::atoi(digits.c_str());
+  for (const auto& [r, value] : kRates) {
+    if (value == n) return r;
+  }
+  return std::nullopt;
+}
+
+int grooming_factor(OcRate line, OcRate tributary) {
+  int line_n = oc_multiplier(line);
+  int trib_n = oc_multiplier(tributary);
+  TGROOM_CHECK_MSG(trib_n <= line_n,
+                   "tributary rate exceeds the line rate");
+  // All OC-N multipliers in the hierarchy divide each other, so the
+  // grooming factor is exact.
+  return line_n / trib_n;
+}
+
+}  // namespace tgroom

@@ -1,0 +1,41 @@
+// SONET OC-N rate hierarchy.
+//
+// The grooming factor k of the paper is the ratio between the wavelength
+// line rate and the tributary demand rate — "sixteen OC-3 traffic demands
+// multiplexed onto one OC-48 wavelength channel gives a grooming factor of
+// 16" (§1).  This module maps named rates to bandwidths and grooming
+// factors so examples and tools can speak SONET instead of bare integers.
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace tgroom {
+
+enum class OcRate {
+  kOc1,
+  kOc3,
+  kOc12,
+  kOc24,
+  kOc48,
+  kOc192,
+  kOc768,
+};
+
+/// The N in OC-N.
+int oc_multiplier(OcRate rate);
+
+/// Line bandwidth in kbit/s (OC-1 = 51840 kbit/s).
+long long oc_bandwidth_kbps(OcRate rate);
+
+/// Canonical name, e.g. "OC-48".
+std::string oc_name(OcRate rate);
+
+/// Parses "OC-48" / "oc48" / "48"; nullopt if unknown.
+std::optional<OcRate> parse_oc_rate(const std::string& text);
+
+/// Grooming factor: how many tributary channels fit one line channel.
+/// Throws CheckError if the tributary rate exceeds the line rate.
+int grooming_factor(OcRate line, OcRate tributary);
+
+}  // namespace tgroom

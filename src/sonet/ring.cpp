@@ -1,0 +1,34 @@
+#include "sonet/ring.hpp"
+
+namespace tgroom {
+
+UpsrRing::UpsrRing(NodeId node_count) : n_(node_count) {
+  TGROOM_CHECK_MSG(node_count >= 2, "a ring needs at least 2 nodes");
+}
+
+NodeId UpsrRing::hop_count(NodeId x, NodeId y) const {
+  TGROOM_CHECK(x >= 0 && x < n_ && y >= 0 && y < n_);
+  TGROOM_CHECK_MSG(x != y, "no path from a node to itself");
+  return static_cast<NodeId>((y - x + n_) % n_);
+}
+
+std::vector<NodeId> UpsrRing::working_path(NodeId x, NodeId y) const {
+  NodeId hops = hop_count(x, y);
+  std::vector<NodeId> links;
+  links.reserve(static_cast<std::size_t>(hops));
+  NodeId v = x;
+  for (NodeId i = 0; i < hops; ++i) {
+    links.push_back(v);  // link id == its source node
+    v = next(v);
+  }
+  return links;
+}
+
+std::vector<NodeId> UpsrRing::protection_path(NodeId x, NodeId y) const {
+  // The protection ring runs counter-clockwise: from x we traverse the
+  // complement arc, i.e. the working links from y to x, in reverse order.
+  std::vector<NodeId> links = working_path(y, x);
+  return {links.rbegin(), links.rend()};
+}
+
+}  // namespace tgroom

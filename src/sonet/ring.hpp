@@ -1,0 +1,41 @@
+// UPSR ring topology model (paper §1).
+//
+// The UPSR has two counter-rotating fiber rings; the clockwise ring is the
+// working ring and the counter-clockwise ring protects it.  All demands are
+// routed on the working ring along the unique clockwise path from source to
+// destination.  Link i is the working-ring fiber from node i to node
+// (i+1) mod n.
+#pragma once
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tgroom {
+
+class UpsrRing {
+ public:
+  explicit UpsrRing(NodeId node_count);
+
+  NodeId node_count() const { return n_; }
+  NodeId link_count() const { return n_; }
+
+  /// Clockwise successor of node v.
+  NodeId next(NodeId v) const { return static_cast<NodeId>((v + 1) % n_); }
+
+  /// Number of working-ring hops from x to y (clockwise distance).
+  NodeId hop_count(NodeId x, NodeId y) const;
+
+  /// Link ids on the working path from x to y (clockwise), in order.
+  std::vector<NodeId> working_path(NodeId x, NodeId y) const;
+
+  /// Link ids on the protection path from x to y: the complement arc,
+  /// traversed on the counter-rotating ring (returned as working-link ids
+  /// whose protection twins are used).
+  std::vector<NodeId> protection_path(NodeId x, NodeId y) const;
+
+ private:
+  NodeId n_;
+};
+
+}  // namespace tgroom

@@ -1,0 +1,108 @@
+#include "sonet/simulator.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+namespace tgroom {
+
+SimulationResult simulate_plan(const UpsrRing& ring,
+                               const GroomingPlan& plan) {
+  SimulationResult result;
+  const int k = plan.grooming_factor;
+  const int wavelengths = plan.wavelength_count();
+  result.wavelengths_used = wavelengths;
+  result.load.assign(static_cast<std::size_t>(wavelengths),
+                     std::vector<int>(
+                         static_cast<std::size_t>(ring.link_count()), 0));
+
+  auto flag = [&](const std::string& issue) {
+    if (result.ok) {
+      result.ok = false;
+      result.issue = issue;
+    }
+  };
+
+  if (plan.ring_size != ring.node_count()) {
+    flag("plan ring size does not match the ring");
+  }
+
+  std::set<std::pair<int, int>> used_slots;        // (wavelength, timeslot)
+  std::set<std::pair<int, NodeId>> sadm_sites;     // (wavelength, node)
+  for (const GroomedPair& gp : plan.pairs) {
+    if (gp.pair.a < 0 || gp.pair.b < 0 || gp.pair.a >= ring.node_count() ||
+        gp.pair.b >= ring.node_count() || gp.pair.a == gp.pair.b) {
+      flag("demand endpoints invalid for this ring");
+      continue;
+    }
+    if (gp.timeslot < 0 || gp.timeslot >= k) {
+      flag("timeslot outside the grooming factor");
+    }
+    if (gp.wavelength < 0) {
+      flag("negative wavelength");
+      continue;
+    }
+    if (!used_slots.insert({gp.wavelength, gp.timeslot}).second) {
+      // Any two pairs on one wavelength overlap on some working link (their
+      // two directed routes jointly wrap the whole ring), so a reused slot
+      // is always a collision.
+      flag("timeslot collision on wavelength " +
+           std::to_string(gp.wavelength));
+    }
+    sadm_sites.insert({gp.wavelength, gp.pair.a});
+    sadm_sites.insert({gp.wavelength, gp.pair.b});
+
+    // Route both directed halves on the working ring.
+    for (NodeId link : ring.working_path(gp.pair.a, gp.pair.b)) {
+      ++result.load[static_cast<std::size_t>(gp.wavelength)]
+                   [static_cast<std::size_t>(link)];
+      ++result.unit_hops;
+    }
+    for (NodeId link : ring.working_path(gp.pair.b, gp.pair.a)) {
+      ++result.load[static_cast<std::size_t>(gp.wavelength)]
+                   [static_cast<std::size_t>(link)];
+      ++result.unit_hops;
+    }
+  }
+
+  long long load_sum = 0;
+  for (const auto& per_wavelength : result.load) {
+    for (int cell : per_wavelength) {
+      load_sum += cell;
+      if (cell > k) flag("link capacity exceeded");
+    }
+  }
+  result.sadm_count = static_cast<long long>(sadm_sites.size());
+  result.bypass_count =
+      static_cast<long long>(ring.node_count()) * wavelengths -
+      result.sadm_count;
+  const double cells =
+      static_cast<double>(wavelengths) *
+      static_cast<double>(ring.link_count());
+  result.mean_utilization =
+      cells > 0 ? static_cast<double>(load_sum) / (cells * k) : 0.0;
+  return result;
+}
+
+std::string render_sadm_map(const UpsrRing& ring, const GroomingPlan& plan) {
+  const int wavelengths = plan.wavelength_count();
+  std::vector<std::set<NodeId>> adds(static_cast<std::size_t>(wavelengths));
+  for (const GroomedPair& gp : plan.pairs) {
+    adds[static_cast<std::size_t>(gp.wavelength)].insert(gp.pair.a);
+    adds[static_cast<std::size_t>(gp.wavelength)].insert(gp.pair.b);
+  }
+  std::ostringstream out;
+  out << "node:       ";
+  for (NodeId v = 0; v < ring.node_count(); ++v) out << (v % 10);
+  out << '\n';
+  for (int w = 0; w < wavelengths; ++w) {
+    out << "lambda " << w << (w < 10 ? ":   " : ":  ");
+    for (NodeId v = 0; v < ring.node_count(); ++v) {
+      out << (adds[static_cast<std::size_t>(w)].count(v) ? 'A' : '.');
+    }
+    out << "   (" << adds[static_cast<std::size_t>(w)].size() << " SADMs)\n";
+  }
+  return out.str();
+}
+
+}  // namespace tgroom

@@ -1,0 +1,50 @@
+// UPSR grooming simulator.
+//
+// Independently re-derives the physical consequences of a GroomingPlan:
+// per-link per-wavelength timeslot occupancy, capacity violations, SADM
+// placement, and bypass statistics.  Used as the ground truth that the
+// combinatorial k-edge-partition cost model equals the SADM count a real
+// ring would need (the paper asserts this equivalence; we test it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grooming/plan.hpp"
+#include "sonet/ring.hpp"
+
+namespace tgroom {
+
+struct SimulationResult {
+  bool ok = true;
+  std::string issue;  // first violation found, empty when ok
+
+  long long sadm_count = 0;
+  int wavelengths_used = 0;
+
+  /// load[w][link] = occupied timeslots on that wavelength/link.
+  std::vector<std::vector<int>> load;
+
+  /// Total unit·hops carried on the working ring.
+  long long unit_hops = 0;
+
+  /// Mean of load over all (wavelength, link) cells divided by k.
+  double mean_utilization = 0.0;
+
+  /// Node-wavelength incidences with no add/drop (optical bypasses).
+  long long bypass_count = 0;
+};
+
+/// Routes every pair of the plan on the working ring and checks:
+///  - endpoints within the ring, timeslot within [0, k),
+///  - no two pairs share (wavelength, timeslot)  [on a UPSR any two pairs
+///    on a wavelength overlap on some link, so slots must be distinct],
+///  - per (wavelength, link) occupancy <= k.
+/// Returns statistics even when a violation is found (ok=false).
+SimulationResult simulate_plan(const UpsrRing& ring, const GroomingPlan& plan);
+
+/// Renders a per-wavelength add/drop map ('A' = SADM, '.' = bypass) for
+/// reports and examples.
+std::string render_sadm_map(const UpsrRing& ring, const GroomingPlan& plan);
+
+}  // namespace tgroom

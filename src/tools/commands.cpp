@@ -1,0 +1,272 @@
+#include "tools/commands.hpp"
+
+#include <iostream>
+#include <sstream>
+
+#include "algorithms/algorithm.hpp"
+#include "algorithms/anneal.hpp"
+#include "gen/traffic_patterns.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+#include "grooming/incremental.hpp"
+#include "grooming/plan.hpp"
+#include "nphard/gadget.hpp"
+#include "sonet/protection.hpp"
+#include "sonet/simulator.hpp"
+#include "util/table.hpp"
+
+namespace tgroom::tools {
+
+namespace {
+
+std::string slurp(std::istream& in) {
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// Parses --algorithm (default spant); reports to err and returns nullopt
+/// on an unknown name.
+std::optional<AlgorithmId> algorithm_flag(const CliArgs& args,
+                                          std::ostream& err) {
+  std::string name = args.get("algorithm", "spant");
+  auto id = parse_algorithm_name(name);
+  if (!id) err << "unknown algorithm '" << name << "'\n";
+  return id;
+}
+
+GroomingOptions options_from_flags(const CliArgs& args) {
+  GroomingOptions options;
+  options.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+  options.refine = args.get_bool("refine", false);
+  options.smart_branches = args.get_bool("smart-branches", false);
+  return options;
+}
+
+}  // namespace
+
+std::string usage() {
+  return
+      "tgroom <command> [flags]\n"
+      "\n"
+      "commands:\n"
+      "  generate   --pattern random|regular|all-to-all|hub --n N\n"
+      "             [--dense D] [--r R] [--hubs H] [--seed S]\n"
+      "             writes a demand file to stdout\n"
+      "  groom      --k K [--algorithm NAME] [--refine] [--anneal]\n"
+      "             [--anneal-iterations I] [--smart-branches]\n"
+      "             reads a demand file on stdin, writes a plan file\n"
+      "  simulate   reads a plan file on stdin, prints the ring report\n"
+      "  survive    reads a plan file on stdin, prints survivability\n"
+      "  compare    --k K  reads a demand file, prints per-algorithm table\n"
+      "  grow       --add a-b,c-d  reads a plan file, provisions the new\n"
+      "             pairs incrementally (existing circuits untouched)\n"
+      "  gadget     reads an even-degree graph, writes the Lemma 6\n"
+      "             Δ-regular EPT gadget\n"
+      "\n"
+      "algorithms: Algo1-Goldschmidt, Algo2-Brauner, Algo3-WangGu,\n"
+      "            SpanT_Euler, Regular_Euler, CliquePack (aliases: algo1,\n"
+      "            algo2, algo3, spant, regular, clique)\n";
+}
+
+int cmd_generate(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  const auto n = static_cast<NodeId>(args.get_int("n", 16));
+  const std::string pattern = args.get("pattern", "random");
+  Rng rng(static_cast<std::uint64_t>(args.get_int("seed", 1)));
+  try {
+    DemandSet demands(0);
+    if (pattern == "random") {
+      demands = random_traffic(n, args.get_double("dense", 0.5), rng);
+    } else if (pattern == "regular") {
+      demands = regular_traffic(
+          n, static_cast<NodeId>(args.get_int("r", 4)), rng);
+    } else if (pattern == "all-to-all") {
+      demands = all_to_all_traffic(n);
+    } else if (pattern == "hub") {
+      demands = hub_traffic(n, static_cast<NodeId>(args.get_int("hubs", 2)));
+    } else {
+      err << "unknown pattern '" << pattern << "'\n";
+      return 2;
+    }
+    out << "# tgroom demand file: pattern=" << pattern << " n=" << n << "\n";
+    out << demands.serialize();
+    return 0;
+  } catch (const CheckError& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
+int cmd_groom(const CliArgs& args, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  auto id = algorithm_flag(args, err);
+  if (!id) return 2;
+  const int k = static_cast<int>(args.get_int("k", 16));
+  try {
+    DemandSet demands = DemandSet::parse(slurp(in));
+    Graph traffic = demands.traffic_graph();
+    EdgePartition partition =
+        run_algorithm(*id, traffic, k, options_from_flags(args));
+    if (args.get_bool("anneal", false)) {
+      AnnealOptions anneal_options;
+      anneal_options.seed =
+          static_cast<std::uint64_t>(args.get_int("seed", 1));
+      anneal_options.iterations =
+          static_cast<int>(args.get_int("anneal-iterations", 20000));
+      anneal_partition(traffic, partition, anneal_options);
+    }
+    auto valid = validate_partition(traffic, partition);
+    TGROOM_CHECK_MSG(valid.ok, valid.reason);
+    GroomingPlan plan = plan_from_partition(demands, traffic, partition);
+    out << "# tgroom plan: algorithm=" << algorithm_name(*id) << " k=" << k
+        << " sadms=" << plan_sadm_count(plan)
+        << " wavelengths=" << plan.wavelength_count() << "\n";
+    out << serialize_plan(plan);
+    return 0;
+  } catch (const CheckError& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
+int cmd_simulate(const CliArgs& args, std::istream& in, std::ostream& out,
+                 std::ostream& err) {
+  (void)args;
+  try {
+    GroomingPlan plan = parse_plan(slurp(in));
+    UpsrRing ring(plan.ring_size);
+    SimulationResult sim = simulate_plan(ring, plan);
+    out << "ring nodes:        " << ring.node_count() << "\n"
+        << "grooming factor:   " << plan.grooming_factor << "\n"
+        << "demand pairs:      " << plan.pairs.size() << "\n"
+        << "wavelengths:       " << sim.wavelengths_used << "\n"
+        << "SADMs:             " << sim.sadm_count << "\n"
+        << "optical bypasses:  " << sim.bypass_count << "\n"
+        << "unit-hops:         " << sim.unit_hops << "\n"
+        << "mean utilization:  "
+        << TextTable::num(sim.mean_utilization * 100.0, 1) << "%\n"
+        << "valid:             " << (sim.ok ? "yes" : "NO — " + sim.issue)
+        << "\n\n"
+        << render_sadm_map(ring, plan);
+    return sim.ok ? 0 : 1;
+  } catch (const CheckError& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
+int cmd_survive(const CliArgs& args, std::istream& in, std::ostream& out,
+                std::ostream& err) {
+  (void)args;
+  try {
+    GroomingPlan plan = parse_plan(slurp(in));
+    UpsrRing ring(plan.ring_size);
+    SurvivabilityReport report = survivability_report(ring, plan);
+    out << render_survivability(report);
+    return report.survives_all_single_failures ? 0 : 1;
+  } catch (const CheckError& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
+int cmd_compare(const CliArgs& args, std::istream& in, std::ostream& out,
+                std::ostream& err) {
+  const int k = static_cast<int>(args.get_int("k", 16));
+  try {
+    DemandSet demands = DemandSet::parse(slurp(in));
+    Graph traffic = demands.traffic_graph();
+    TextTable table("k=" + std::to_string(k) + ", m=" +
+                    std::to_string(traffic.real_edge_count()) +
+                    ", lower bound=" +
+                    std::to_string(partition_cost_lower_bound(traffic, k)));
+    table.set_header({"algorithm", "SADMs", "wavelengths"});
+    for (AlgorithmId id : all_algorithms()) {
+      if (id == AlgorithmId::kRegularEuler &&
+          !regularity(traffic).has_value()) {
+        continue;  // needs a regular traffic graph
+      }
+      EdgePartition p = run_algorithm(id, traffic, k,
+                                      options_from_flags(args));
+      table.add_row({algorithm_name(id),
+                     TextTable::num(sadm_cost(traffic, p)),
+                     TextTable::num(static_cast<long long>(
+                         p.wavelength_count()))});
+    }
+    table.print(out);
+    return 0;
+  } catch (const CheckError& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
+int cmd_grow(const CliArgs& args, std::istream& in, std::ostream& out,
+             std::ostream& err) {
+  try {
+    GroomingPlan plan = parse_plan(slurp(in));
+    std::vector<DemandPair> new_pairs;
+    std::stringstream spec(args.get("add", ""));
+    std::string item;
+    while (std::getline(spec, item, ',')) {
+      auto dash = item.find('-');
+      TGROOM_CHECK_MSG(dash != std::string::npos,
+                       "--add expects a-b pairs, got '" + item + "'");
+      NodeId a = static_cast<NodeId>(std::atoi(item.substr(0, dash).c_str()));
+      NodeId b = static_cast<NodeId>(std::atoi(item.substr(dash + 1).c_str()));
+      new_pairs.push_back(DemandPair{std::min(a, b), std::max(a, b)});
+    }
+    TGROOM_CHECK_MSG(!new_pairs.empty(), "--add lists no pairs");
+    IncrementalResult grown = add_demands_incremental(plan, new_pairs);
+    out << "# tgroom grow: added=" << new_pairs.size()
+        << " new_sadms=" << grown.new_sadms
+        << " new_wavelengths=" << grown.new_wavelengths
+        << " reused_sites=" << grown.reused_sites << "\n";
+    out << serialize_plan(grown.plan);
+    return 0;
+  } catch (const CheckError& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
+int cmd_gadget(const CliArgs& args, std::istream& in, std::ostream& out,
+               std::ostream& err) {
+  (void)args;
+  try {
+    Graph g = read_edge_list_string(slurp(in));
+    RegularEptGadget gadget = build_regular_ept_gadget(g);
+    out << "# Lemma 6 gadget: delta=" << gadget.delta
+        << " helper_triangles=" << gadget.helper_triangles.size() << "\n";
+    write_edge_list(out, gadget.gstar);
+    return 0;
+  } catch (const CheckError& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
+int run_tool(int argc, const char* const* argv, std::istream& in,
+             std::ostream& out, std::ostream& err) {
+  if (argc < 2) {
+    err << usage();
+    return 2;
+  }
+  std::string command = argv[1];
+  CliArgs args(argc - 1, argv + 1);
+  if (command == "generate") return cmd_generate(args, out, err);
+  if (command == "groom") return cmd_groom(args, in, out, err);
+  if (command == "simulate") return cmd_simulate(args, in, out, err);
+  if (command == "survive") return cmd_survive(args, in, out, err);
+  if (command == "compare") return cmd_compare(args, in, out, err);
+  if (command == "grow") return cmd_grow(args, in, out, err);
+  if (command == "gadget") return cmd_gadget(args, in, out, err);
+  if (command == "help" || command == "--help") {
+    out << usage();
+    return 0;
+  }
+  err << "unknown command '" << command << "'\n\n" << usage();
+  return 2;
+}
+
+}  // namespace tgroom::tools

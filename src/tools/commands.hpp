@@ -1,0 +1,47 @@
+// Command layer behind the `tgroom` CLI (examples/tgroom_tool.cpp).
+//
+// Each subcommand is a plain function over streams so the test suite can
+// drive it without spawning processes.  Subcommands:
+//
+//   generate   emit a demand file (random / regular / all-to-all / hub)
+//   groom      demand file -> grooming plan file (algorithm selectable)
+//   simulate   plan file -> validity + SADM/utilization report
+//   survive    plan file -> span-failure survivability report
+//   compare    demand file -> per-algorithm SADM comparison table
+//   grow       plan file + --add pairs -> incrementally extended plan
+//   gadget     EPT graph file -> Lemma 6 regular gadget graph file
+//
+// All file arguments default to stdin/stdout via "-".
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "util/cli.hpp"
+
+namespace tgroom::tools {
+
+/// Dispatches argv[1] as a subcommand; returns a process exit code.
+/// Unknown/missing subcommands print usage to `err` and return 2.
+int run_tool(int argc, const char* const* argv, std::istream& in,
+             std::ostream& out, std::ostream& err);
+
+/// Individual subcommands (exposed for tests).
+int cmd_generate(const CliArgs& args, std::ostream& out, std::ostream& err);
+int cmd_groom(const CliArgs& args, std::istream& in, std::ostream& out,
+              std::ostream& err);
+int cmd_simulate(const CliArgs& args, std::istream& in, std::ostream& out,
+                 std::ostream& err);
+int cmd_survive(const CliArgs& args, std::istream& in, std::ostream& out,
+                std::ostream& err);
+int cmd_compare(const CliArgs& args, std::istream& in, std::ostream& out,
+                std::ostream& err);
+int cmd_grow(const CliArgs& args, std::istream& in, std::ostream& out,
+             std::ostream& err);
+int cmd_gadget(const CliArgs& args, std::istream& in, std::ostream& out,
+               std::ostream& err);
+
+/// Usage text for the whole tool.
+std::string usage();
+
+}  // namespace tgroom::tools

@@ -1,0 +1,37 @@
+#include "util/csv.hpp"
+
+#include "util/check.hpp"
+
+namespace tgroom {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path) {
+  TGROOM_CHECK_MSG(out_.good(), "cannot open CSV file: " + path);
+}
+
+std::string CsvWriter::escape(const std::string& field) {
+  bool needs_quote = field.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quote) return field;
+  std::string quoted = "\"";
+  for (char c : field) {
+    if (c == '"') quoted += '"';
+    quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+void CsvWriter::write_row(const std::vector<std::string>& fields) {
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << escape(fields[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::close() {
+  if (out_.is_open()) out_.close();
+}
+
+CsvWriter::~CsvWriter() { close(); }
+
+}  // namespace tgroom

@@ -1,0 +1,32 @@
+// Minimal CSV writer for exporting experiment series (one file per figure)
+// so results can be re-plotted outside the harness.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace tgroom {
+
+/// Streams rows to a CSV file; fields containing commas/quotes are quoted.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws CheckError on failure.
+  explicit CsvWriter(const std::string& path);
+
+  void write_row(const std::vector<std::string>& fields);
+
+  /// Flush and close; also called by the destructor.
+  void close();
+
+  ~CsvWriter();
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  static std::string escape(const std::string& field);
+
+ private:
+  std::ofstream out_;
+};
+
+}  // namespace tgroom

@@ -1,0 +1,27 @@
+// Monotonic wall-clock stopwatch for coarse experiment timing (the fine
+// timing in bench binaries uses google-benchmark; this is for sweep
+// bookkeeping and examples).
+#pragma once
+
+#include <chrono>
+
+namespace tgroom {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void restart() { start_ = clock::now(); }
+
+  double elapsed_seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace tgroom

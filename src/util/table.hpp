@@ -1,0 +1,38 @@
+// Plain-text table rendering for experiment reports.
+//
+// Bench binaries print paper figures as aligned text tables (rows = grooming
+// factors, columns = algorithms) so the reproduction series can be eyeballed
+// and diffed against the paper's plots.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tgroom {
+
+/// A simple column-aligned text table with a title and header row.
+class TextTable {
+ public:
+  explicit TextTable(std::string title = "") : title_(std::move(title)) {}
+
+  void set_header(std::vector<std::string> header);
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format a double with fixed precision.
+  static std::string num(double value, int precision = 1);
+  static std::string num(long long value);
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Render with column alignment and a rule under the header.
+  void print(std::ostream& os) const;
+  std::string to_string() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tgroom

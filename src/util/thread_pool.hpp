@@ -1,0 +1,66 @@
+// Fixed-size worker pool for fanning out independent experiment cells
+// (seed × parameter combinations) across cores.
+//
+// Following CP.4 ("think in terms of tasks") the interface is task-based:
+// submit() returns a std::future, and parallel_for_index() runs an index
+// range with automatic partitioning.  With `workers == 0` everything runs
+// inline on the calling thread, which keeps single-core CI deterministic.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace tgroom {
+
+class ThreadPool {
+ public:
+  /// Creates `workers` threads; 0 means run tasks inline in submit().
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t worker_count() const { return threads_.size(); }
+
+  /// Schedule a task; the returned future reports completion/value.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> result = task->get_future();
+    if (threads_.empty()) {
+      (*task)();
+      return result;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  /// Runs fn(i) for i in [0, count); blocks until all complete.  Exceptions
+  /// from tasks are rethrown (first one wins).
+  void parallel_for_index(std::size_t count,
+                          const std::function<void(std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> threads_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+}  // namespace tgroom

@@ -1,0 +1,125 @@
+// The §1 modeling reduction, executed: grooming with per-direction
+// wavelength freedom is never cheaper than pairing both directions on one
+// wavelength (Wang–Gu TR [18]), so the k-edge-partition model is lossless.
+#include <gtest/gtest.h>
+
+#include "algorithms/exact.hpp"
+#include "gen/random_graph.hpp"
+#include "grooming/directed.hpp"
+
+namespace tgroom {
+namespace {
+
+TEST(Directed, FromPairsDoublesDemands) {
+  DemandSet demands(6);
+  demands.add_pair(0, 3);
+  demands.add_pair(1, 4);
+  auto directed = directed_from_pairs(demands);
+  ASSERT_EQ(directed.size(), 4u);
+  EXPECT_EQ(directed[0].from, 0);
+  EXPECT_EQ(directed[0].to, 3);
+  EXPECT_EQ(directed[1].from, 3);
+  EXPECT_EQ(directed[1].to, 0);
+}
+
+TEST(Directed, ArcOverlapCases) {
+  UpsrRing ring(8);
+  // Arcs [0..3) and [2..5): overlap at span 2.
+  EXPECT_TRUE(arcs_overlap(ring, {0, 3}, {2, 5}));
+  // Arcs [0..3) and [3..6): disjoint.
+  EXPECT_FALSE(arcs_overlap(ring, {0, 3}, {3, 6}));
+  // Wrap-around: [6..1) covers spans 6,7,0; overlaps [0..2).
+  EXPECT_TRUE(arcs_overlap(ring, {6, 1}, {0, 2}));
+  EXPECT_FALSE(arcs_overlap(ring, {6, 0}, {0, 6}));
+  // A demand's two directions never overlap (they partition the ring).
+  EXPECT_FALSE(arcs_overlap(ring, {2, 5}, {5, 2}));
+  // Identical arcs overlap.
+  EXPECT_TRUE(arcs_overlap(ring, {1, 4}, {1, 4}));
+}
+
+TEST(Directed, ValidationCatchesConflicts) {
+  UpsrRing ring(6);
+  DirectedPlan plan;
+  plan.ring_size = 6;
+  plan.grooming_factor = 2;
+  plan.assignments = {
+      {{0, 3}, 0, 0},
+      {{3, 0}, 0, 0},  // complement arc: same slot is fine
+      {{1, 4}, 0, 1},
+  };
+  EXPECT_TRUE(validate_directed_plan(ring, plan));
+  // Overlapping arcs on the same wavelength+slot: invalid.
+  plan.assignments.push_back({{2, 5}, 0, 1});
+  EXPECT_FALSE(validate_directed_plan(ring, plan));
+  plan.assignments.pop_back();
+  // Slot out of range.
+  plan.assignments.push_back({{2, 5}, 0, 2});
+  EXPECT_FALSE(validate_directed_plan(ring, plan));
+}
+
+TEST(Directed, SadmCounting) {
+  DirectedPlan plan;
+  plan.ring_size = 6;
+  plan.grooming_factor = 2;
+  plan.assignments = {
+      {{0, 3}, 0, 0},
+      {{3, 0}, 0, 1},  // same wavelength: shares both sites
+      {{0, 3}, 1, 0},  // different wavelength: two more sites
+  };
+  EXPECT_EQ(directed_plan_sadm_count(plan), 4);
+}
+
+TEST(Directed, ExactOptimumTinyCases) {
+  // One pair: 2 SADMs regardless of k.
+  DemandSet one(4);
+  one.add_pair(0, 2);
+  EXPECT_EQ(directed_exact_optimum(one, 1).sadm_count, 2);
+  EXPECT_EQ(directed_exact_optimum(one, 4).sadm_count, 2);
+
+  // Two pairs sharing a node, k=2: both fit one wavelength -> 3 SADMs.
+  DemandSet two(5);
+  two.add_pair(0, 2);
+  two.add_pair(2, 4);
+  EXPECT_EQ(directed_exact_optimum(two, 2).sadm_count, 3);
+  // k=1: each pair needs its own wavelength -> 4.
+  EXPECT_EQ(directed_exact_optimum(two, 1).sadm_count, 4);
+}
+
+class PairingLemmaP : public ::testing::TestWithParam<int> {};
+
+TEST_P(PairingLemmaP, SameWavelengthPairingIsLossless) {
+  // [18]: the directed optimum equals the paired (k-edge-partition)
+  // optimum.  directed <= paired holds trivially (pairing is a special
+  // case); equality is the lemma.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 41 + 11);
+  NodeId n = static_cast<NodeId>(4 + rng.below(3));  // 4..6 ring nodes
+  long long cap = static_cast<long long>(n) * (n - 1) / 2;
+  long long m = std::min<long long>(2 + static_cast<long long>(rng.below(3)),
+                                    cap);  // 2..4 pairs
+  Graph g = random_gnm(n, m, rng);
+  DemandSet demands = DemandSet::from_traffic_graph(g);
+  for (int k : {1, 2, 3}) {
+    long long paired = exact_optimal_partition(g, k).cost;
+    long long directed = directed_exact_optimum(demands, k).sadm_count;
+    EXPECT_LE(directed, paired) << "k=" << k;
+    EXPECT_EQ(directed, paired) << "k=" << k << " n=" << n << " m=" << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PairingLemmaP, ::testing::Range(0, 12));
+
+TEST(Directed, EmptyDemandSet) {
+  DemandSet none(4);
+  DirectedExactResult r = directed_exact_optimum(none, 2);
+  EXPECT_EQ(r.sadm_count, 0);
+  EXPECT_TRUE(r.plan.assignments.empty());
+}
+
+TEST(Directed, GuardsAgainstLargeInstances) {
+  DemandSet big(12);
+  for (NodeId v = 1; v <= 6; ++v) big.add_pair(0, v);
+  EXPECT_THROW(directed_exact_optimum(big, 2), CheckError);
+}
+
+}  // namespace
+}  // namespace tgroom

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "algo/euler.hpp"
+#include "gen/families.hpp"
+#include "gen/random_graph.hpp"
+#include "gen/regular_graph.hpp"
+#include "graph/properties.hpp"
+
+namespace tgroom {
+namespace {
+
+std::vector<char> full_mask(const Graph& g) {
+  return std::vector<char>(static_cast<std::size_t>(g.edge_count()), 1);
+}
+
+TEST(Euler, CycleHasCircuit) {
+  Graph g = cycle_graph(6);
+  auto walks = euler_decomposition(g, full_mask(g));
+  ASSERT_EQ(walks.size(), 1u);
+  EXPECT_EQ(walks[0].edges.size(), 6u);
+  EXPECT_EQ(walks[0].nodes.front(), walks[0].nodes.back());  // closed
+  EXPECT_TRUE(is_valid_walk(g, walks[0]));
+}
+
+TEST(Euler, PathHasOpenWalk) {
+  Graph g = path_graph(5);
+  auto walks = euler_decomposition(g, full_mask(g));
+  ASSERT_EQ(walks.size(), 1u);
+  EXPECT_EQ(walks[0].edges.size(), 4u);
+  EXPECT_NE(walks[0].nodes.front(), walks[0].nodes.back());
+}
+
+TEST(Euler, StartsAtOddNodeWhenPresent) {
+  Graph g = path_graph(4);
+  auto walks = euler_decomposition(g, full_mask(g));
+  ASSERT_EQ(walks.size(), 1u);
+  NodeId start = walks[0].nodes.front();
+  EXPECT_TRUE(start == 0 || start == 3);
+}
+
+TEST(Euler, StarWithThreeLeavesRejected) {
+  Graph g = star_graph(4);  // 4 odd-degree nodes
+  EXPECT_THROW(euler_decomposition(g, full_mask(g)), CheckError);
+}
+
+TEST(Euler, WalkFromWrongStartRejected) {
+  Graph g = path_graph(4);
+  // Node 1 is a mid-point (even degree), start there -> invalid walk.
+  EXPECT_THROW(euler_walk_from(g, full_mask(g), 1), CheckError);
+}
+
+TEST(Euler, SingleNodeComponentGivesTrivialWalk) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  auto walk = euler_walk_from(g, full_mask(g), 2);
+  EXPECT_TRUE(walk.empty());
+  EXPECT_EQ(walk.nodes, (std::vector<NodeId>{2}));
+}
+
+TEST(Euler, MultipleComponents) {
+  Graph g(9);
+  // Triangle 0-1-2, square 3-4-5-6, isolated edgeless 7, 8.
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(3, 4);
+  g.add_edge(4, 5);
+  g.add_edge(5, 6);
+  g.add_edge(6, 3);
+  auto walks = euler_decomposition(g, full_mask(g));
+  EXPECT_EQ(walks.size(), 2u);
+  std::size_t total = 0;
+  for (const auto& w : walks) total += w.edges.size();
+  EXPECT_EQ(total, 7u);
+}
+
+TEST(Euler, MaskRestrictsEdges) {
+  Graph g = complete_graph(4);  // all degrees 3 (odd)
+  // Mask to a 4-cycle 0-1-2-3: edges {0,1},{1,2},{2,3},{0,3}.
+  std::vector<char> mask(static_cast<std::size_t>(g.edge_count()), 0);
+  auto set_pair = [&](NodeId a, NodeId b) {
+    mask[static_cast<std::size_t>(g.find_edge(a, b))] = 1;
+  };
+  set_pair(0, 1);
+  set_pair(1, 2);
+  set_pair(2, 3);
+  set_pair(0, 3);
+  auto walks = euler_decomposition(g, mask);
+  ASSERT_EQ(walks.size(), 1u);
+  EXPECT_EQ(walks[0].edges.size(), 4u);
+}
+
+TEST(Euler, HandlesParallelVirtualEdges) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1, /*is_virtual=*/true);
+  auto walks = euler_decomposition(g, full_mask(g));
+  ASSERT_EQ(walks.size(), 1u);
+  EXPECT_EQ(walks[0].edges.size(), 2u);
+}
+
+TEST(Euler, ValidWalkChecker) {
+  Graph g = path_graph(3);
+  Walk good{{0, 1, 2}, {0, 1}};
+  EXPECT_TRUE(is_valid_walk(g, good));
+  Walk wrong_nodes{{0, 2, 1}, {0, 1}};
+  EXPECT_FALSE(is_valid_walk(g, wrong_nodes));
+  Walk repeated_edge{{0, 1, 0}, {0, 0}};
+  EXPECT_FALSE(is_valid_walk(g, repeated_edge));
+  Walk size_mismatch{{0, 1}, {0, 1}};
+  EXPECT_FALSE(is_valid_walk(g, size_mismatch));
+  Walk empty{{}, {}};
+  EXPECT_FALSE(is_valid_walk(g, empty));
+}
+
+TEST(Euler, SplitWalkOnVirtual) {
+  Graph g(5);
+  EdgeId e01 = g.add_edge(0, 1);
+  EdgeId e12 = g.add_edge(1, 2, /*is_virtual=*/true);
+  EdgeId e23 = g.add_edge(2, 3);
+  EdgeId e34 = g.add_edge(3, 4);
+  Walk walk{{0, 1, 2, 3, 4}, {e01, e12, e23, e34}};
+  auto segments = split_walk_on_virtual(g, walk);
+  ASSERT_EQ(segments.size(), 2u);
+  EXPECT_EQ(segments[0].edges, (std::vector<EdgeId>{e01}));
+  EXPECT_EQ(segments[1].edges, (std::vector<EdgeId>{e23, e34}));
+  EXPECT_EQ(segments[1].nodes, (std::vector<NodeId>{2, 3, 4}));
+}
+
+TEST(Euler, SplitWalkDropsEmptySegments) {
+  Graph g(4);
+  EdgeId v01 = g.add_edge(0, 1, true);
+  EdgeId v12 = g.add_edge(1, 2, true);
+  EdgeId e23 = g.add_edge(2, 3);
+  Walk walk{{0, 1, 2, 3}, {v01, v12, e23}};
+  auto segments = split_walk_on_virtual(g, walk);
+  ASSERT_EQ(segments.size(), 1u);
+  EXPECT_EQ(segments[0].edges, (std::vector<EdgeId>{e23}));
+}
+
+class EulerRandomP : public ::testing::TestWithParam<int> {};
+
+TEST_P(EulerRandomP, EvenRegularGraphsDecomposeFully) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  Graph g = random_regular(20, 4, rng);
+  auto walks = euler_decomposition(g, full_mask(g));
+  std::set<EdgeId> used;
+  for (const auto& w : walks) {
+    EXPECT_TRUE(is_valid_walk(g, w));
+    for (EdgeId e : w.edges) EXPECT_TRUE(used.insert(e).second);
+  }
+  EXPECT_EQ(used.size(), static_cast<std::size_t>(g.edge_count()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EulerRandomP, ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace tgroom

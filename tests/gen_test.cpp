@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "algo/components.hpp"
+#include "gen/random_graph.hpp"
+#include "gen/regular_graph.hpp"
+#include "gen/traffic_patterns.hpp"
+#include "graph/properties.hpp"
+
+namespace tgroom {
+namespace {
+
+TEST(RandomGnm, ExactEdgeCountAndSimple) {
+  Rng rng(1);
+  for (long long m : {0LL, 1LL, 10LL, 100LL, 630LL}) {
+    Graph g = random_gnm(36, m, rng);
+    EXPECT_EQ(g.node_count(), 36);
+    EXPECT_EQ(g.edge_count(), m);
+    EXPECT_TRUE(is_simple(g));
+  }
+}
+
+TEST(RandomGnm, RejectsTooManyEdges) {
+  Rng rng(1);
+  EXPECT_THROW(random_gnm(4, 7, rng), CheckError);  // max is 6
+}
+
+TEST(RandomGnm, FullGraphIsComplete) {
+  Rng rng(2);
+  Graph g = random_gnm(8, 28, rng);
+  ASSERT_TRUE(regularity(g).has_value());
+  EXPECT_EQ(*regularity(g), 7);
+}
+
+TEST(RandomGnm, DifferentSeedsDifferentGraphs) {
+  Rng a(1), b(2);
+  Graph ga = random_gnm(20, 50, a);
+  Graph gb = random_gnm(20, 50, b);
+  int common = 0;
+  for (const Edge& e : ga.edges()) common += gb.has_edge(e.u, e.v);
+  EXPECT_LT(common, 50);
+}
+
+TEST(DenseRatio, MatchesPaperFormula) {
+  // m = n^(1+d): for n=36, d=0.5 -> 36^1.5 = 216.
+  EXPECT_EQ(edges_for_dense_ratio(36, 0.5), 216);
+  // d=0.8 would overshoot n(n-1)/2=630: clamped.
+  EXPECT_EQ(edges_for_dense_ratio(36, 0.8), 630);
+  EXPECT_EQ(edges_for_dense_ratio(36, 0.0), 36);
+}
+
+TEST(DenseRatio, GeneratorUsesFormula) {
+  Rng rng(3);
+  Graph g = random_dense_ratio(36, 0.3, rng);
+  EXPECT_EQ(g.edge_count(), edges_for_dense_ratio(36, 0.3));
+}
+
+TEST(RegularFeasibility, ParityAndRange) {
+  EXPECT_TRUE(regular_feasible(36, 7));
+  EXPECT_TRUE(regular_feasible(36, 16));
+  EXPECT_FALSE(regular_feasible(35, 7));  // n*r odd
+  EXPECT_TRUE(regular_feasible(35, 8));
+  EXPECT_FALSE(regular_feasible(8, 8));  // r >= n
+  EXPECT_TRUE(regular_feasible(5, 0));
+}
+
+class RandomRegularP : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(RandomRegularP, ProducesSimpleRegularGraphs) {
+  auto [n, r] = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    Rng rng(seed);
+    Graph g = random_regular(static_cast<NodeId>(n), static_cast<NodeId>(r),
+                             rng);
+    EXPECT_EQ(g.node_count(), n);
+    EXPECT_TRUE(is_simple(g));
+    ASSERT_TRUE(regularity(g).has_value());
+    EXPECT_EQ(*regularity(g), r);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSettings, RandomRegularP,
+    ::testing::Values(std::pair{36, 7}, std::pair{36, 8}, std::pair{36, 15},
+                      std::pair{36, 16}, std::pair{10, 3}, std::pair{12, 5},
+                      std::pair{8, 2}, std::pair{6, 5}, std::pair{20, 19},
+                      std::pair{4, 1}));
+
+TEST(RandomRegular, SwapsActuallyRandomize) {
+  Rng a(1), b(2);
+  Graph ga = random_regular(24, 5, a);
+  Graph gb = random_regular(24, 5, b);
+  int common = 0;
+  for (const Edge& e : ga.edges()) common += gb.has_edge(e.u, e.v);
+  EXPECT_LT(common, ga.edge_count());
+}
+
+TEST(RandomRegular, InfeasibleThrows) {
+  Rng rng(1);
+  EXPECT_THROW(random_regular(7, 3, rng), CheckError);
+}
+
+TEST(TrafficPatterns, AllToAll) {
+  DemandSet d = all_to_all_traffic(6);
+  EXPECT_EQ(d.size(), 15u);
+  Graph g = d.traffic_graph();
+  EXPECT_EQ(*regularity(g), 5);
+}
+
+TEST(TrafficPatterns, RegularPattern) {
+  Rng rng(4);
+  DemandSet d = regular_traffic(36, 7, rng);
+  Graph g = d.traffic_graph();
+  EXPECT_EQ(*regularity(g), 7);
+  EXPECT_EQ(d.size(), 36u * 7 / 2);
+}
+
+TEST(TrafficPatterns, RandomPattern) {
+  Rng rng(5);
+  DemandSet d = random_traffic(36, 0.5, rng);
+  EXPECT_EQ(d.size(), 216u);
+}
+
+TEST(TrafficPatterns, HubTraffic) {
+  DemandSet d = hub_traffic(10, 2);
+  // hub 0: 9 pairs; hub 1: 8 new pairs (pair {0,1} counted once).
+  EXPECT_EQ(d.size(), 17u);
+  EXPECT_TRUE(d.contains(0, 1));
+  EXPECT_TRUE(d.contains(1, 9));
+  EXPECT_FALSE(d.contains(2, 3));
+}
+
+}  // namespace
+}  // namespace tgroom

@@ -1,0 +1,206 @@
+#include <gtest/gtest.h>
+
+#include "gen/families.hpp"
+#include "graph/graph.hpp"
+#include "graph/io.hpp"
+#include "graph/properties.hpp"
+
+namespace tgroom {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.node_count(), 0);
+  EXPECT_EQ(g.edge_count(), 0);
+}
+
+TEST(Graph, AddNodesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.add_node(), 3);
+  EdgeId e = g.add_edge(0, 3);
+  EXPECT_EQ(g.edge_count(), 1);
+  EXPECT_EQ(g.real_edge_count(), 1);
+  EXPECT_EQ(g.edge(e).u, 0);
+  EXPECT_EQ(g.edge(e).v, 3);
+  EXPECT_EQ(g.edge(e).other(0), 3);
+  EXPECT_EQ(g.edge(e).other(3), 0);
+}
+
+TEST(Graph, RejectsSelfLoopsAndBadIds) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1), CheckError);
+  EXPECT_THROW(g.add_edge(0, 5), CheckError);
+  EXPECT_THROW(g.add_edge(-1, 0), CheckError);
+}
+
+TEST(Graph, VirtualEdgesTrackedSeparately) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2, /*is_virtual=*/true);
+  EXPECT_EQ(g.edge_count(), 2);
+  EXPECT_EQ(g.real_edge_count(), 1);
+  EXPECT_EQ(g.degree(1), 2);
+  EXPECT_EQ(g.real_degree(1), 1);
+}
+
+TEST(Graph, ParallelEdgesAllowed) {
+  Graph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);  // parallel real edges are storable (checked separately)
+  EXPECT_EQ(g.degree(0), 2);
+  EXPECT_FALSE(is_simple(g));
+}
+
+TEST(Graph, ResizeNodesGrowsOnly) {
+  Graph g(3);
+  g.resize_nodes(6);
+  EXPECT_EQ(g.node_count(), 6);
+  g.resize_nodes(2);  // shrink requests are ignored
+  EXPECT_EQ(g.node_count(), 6);
+  EXPECT_THROW(g.resize_nodes(-1), CheckError);
+}
+
+TEST(Graph, FindEdge) {
+  Graph g(4);
+  EdgeId e = g.add_edge(1, 3);
+  EXPECT_EQ(g.find_edge(1, 3), e);
+  EXPECT_EQ(g.find_edge(3, 1), e);
+  EXPECT_EQ(g.find_edge(0, 2), kInvalidEdge);
+  EXPECT_TRUE(g.has_edge(1, 3));
+  EXPECT_FALSE(g.has_edge(0, 1));
+}
+
+TEST(Properties, DegreesAndRegularity) {
+  Graph c5 = cycle_graph(5);
+  EXPECT_EQ(max_degree(c5), 2);
+  EXPECT_EQ(min_degree(c5), 2);
+  ASSERT_TRUE(regularity(c5).has_value());
+  EXPECT_EQ(*regularity(c5), 2);
+
+  Graph star = star_graph(5);
+  EXPECT_EQ(max_degree(star), 4);
+  EXPECT_EQ(min_degree(star), 1);
+  EXPECT_FALSE(regularity(star).has_value());
+}
+
+TEST(Properties, OddDegreeNodes) {
+  Graph p4 = path_graph(4);  // two endpoints odd
+  auto odd = odd_degree_nodes(p4);
+  EXPECT_EQ(odd, (std::vector<NodeId>{0, 3}));
+}
+
+TEST(Properties, IsSimpleDetectsParallelRealEdges) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  EXPECT_TRUE(is_simple(g));
+  g.add_edge(0, 1);
+  EXPECT_FALSE(is_simple(g));
+}
+
+TEST(Properties, IsSimpleIgnoresVirtualDuplicates) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1, /*is_virtual=*/true);
+  EXPECT_TRUE(is_simple(g));
+}
+
+TEST(Properties, SpannedNodes) {
+  Graph g = path_graph(5);
+  EXPECT_EQ(spanned_node_count(g, {0, 1}), 3);        // edges 0-1, 1-2
+  EXPECT_EQ(spanned_node_count(g, {0, 3}), 4);        // 0-1 and 3-4
+  EXPECT_EQ(spanned_nodes(g, {0}), (std::vector<NodeId>{0, 1}));
+  EXPECT_EQ(spanned_node_count(g, {}), 0);
+}
+
+TEST(Properties, MaskedDegrees) {
+  Graph g = cycle_graph(4);
+  std::vector<char> mask(4, 0);
+  mask[0] = 1;  // edge 0-1 only
+  auto deg = masked_degrees(g, mask);
+  EXPECT_EQ(deg[0], 1);
+  EXPECT_EQ(deg[1], 1);
+  EXPECT_EQ(deg[2], 0);
+}
+
+TEST(Properties, ActiveNodeCount) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  EXPECT_EQ(active_node_count(g), 2);
+}
+
+TEST(Families, Sizes) {
+  EXPECT_EQ(complete_graph(6).edge_count(), 15);
+  EXPECT_EQ(cycle_graph(7).edge_count(), 7);
+  EXPECT_EQ(path_graph(7).edge_count(), 6);
+  EXPECT_EQ(star_graph(7).edge_count(), 6);
+  EXPECT_EQ(complete_bipartite(3, 4).edge_count(), 12);
+  EXPECT_EQ(grid_graph(3, 4).edge_count(), 17);
+  EXPECT_EQ(triangle_forest(3).edge_count(), 9);
+}
+
+TEST(Families, PetersenIsCubic) {
+  Graph p = petersen_graph();
+  EXPECT_EQ(p.node_count(), 10);
+  EXPECT_EQ(p.edge_count(), 15);
+  ASSERT_TRUE(regularity(p).has_value());
+  EXPECT_EQ(*regularity(p), 3);
+  EXPECT_TRUE(is_simple(p));
+}
+
+TEST(Families, CaterpillarShape) {
+  Graph c = caterpillar_graph(4, 2);
+  EXPECT_EQ(c.node_count(), 12);
+  EXPECT_EQ(c.edge_count(), 11);  // spine 3 + legs 8
+  EXPECT_EQ(c.degree(0), 3);      // spine end: 1 spine + 2 legs
+  EXPECT_EQ(c.degree(1), 4);      // inner spine: 2 spine + 2 legs
+}
+
+TEST(GraphIo, RoundTrip) {
+  Graph g = petersen_graph();
+  std::string text = write_edge_list_string(g);
+  Graph back = read_edge_list_string(text);
+  EXPECT_EQ(back.node_count(), g.node_count());
+  ASSERT_EQ(back.edge_count(), g.edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(back.edge(e).u, g.edge(e).u);
+    EXPECT_EQ(back.edge(e).v, g.edge(e).v);
+  }
+}
+
+TEST(GraphIo, SkipsCommentsAndBlankLines) {
+  Graph g = read_edge_list_string(
+      "# a comment\n\n3 2\n# edges\n0 1\n\n1 2\n");
+  EXPECT_EQ(g.node_count(), 3);
+  EXPECT_EQ(g.edge_count(), 2);
+}
+
+TEST(GraphIo, RejectsMalformedInput) {
+  EXPECT_THROW(read_edge_list_string(""), CheckError);
+  EXPECT_THROW(read_edge_list_string("3 2\n0 1\n"), CheckError);   // missing edge
+  EXPECT_THROW(read_edge_list_string("2 1\n0 5\n"), CheckError);   // bad id
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  Graph g = grid_graph(3, 3);
+  std::string path = ::testing::TempDir() + "/tgroom_graph_io.txt";
+  write_edge_list_file(path, g);
+  Graph back = read_edge_list_file(path);
+  EXPECT_EQ(back.node_count(), g.node_count());
+  EXPECT_EQ(back.edge_count(), g.edge_count());
+}
+
+TEST(GraphIo, MissingFileThrows) {
+  EXPECT_THROW(read_edge_list_file("/nonexistent/tgroom.txt"), CheckError);
+}
+
+TEST(GraphIo, VirtualEdgesNotSerialized) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2, /*is_virtual=*/true);
+  Graph back = read_edge_list_string(write_edge_list_string(g));
+  EXPECT_EQ(back.edge_count(), 1);
+}
+
+}  // namespace
+}  // namespace tgroom

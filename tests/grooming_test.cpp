@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "gen/families.hpp"
+#include "grooming/demand.hpp"
+#include "grooming/plan.hpp"
+
+namespace tgroom {
+namespace {
+
+TEST(DemandSet, AddAndNormalize) {
+  DemandSet d(6);
+  d.add_pair(4, 1);
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.pairs()[0].a, 1);
+  EXPECT_EQ(d.pairs()[0].b, 4);
+  EXPECT_TRUE(d.contains(1, 4));
+  EXPECT_TRUE(d.contains(4, 1));
+}
+
+TEST(DemandSet, RejectsInvalidPairs) {
+  DemandSet d(4);
+  EXPECT_THROW(d.add_pair(0, 0), CheckError);
+  EXPECT_THROW(d.add_pair(0, 4), CheckError);
+  d.add_pair(0, 1);
+  EXPECT_THROW(d.add_pair(1, 0), CheckError);  // duplicate after normalize
+}
+
+TEST(DemandSet, TrafficGraphRoundTrip) {
+  DemandSet d(5);
+  d.add_pair(0, 2);
+  d.add_pair(2, 4);
+  Graph g = d.traffic_graph();
+  EXPECT_EQ(g.node_count(), 5);
+  EXPECT_EQ(g.edge_count(), 2);
+  DemandSet back = DemandSet::from_traffic_graph(g);
+  EXPECT_EQ(back.pairs(), d.pairs());
+}
+
+TEST(DemandSet, SerializeParseRoundTrip) {
+  DemandSet d(7);
+  d.add_pair(0, 6);
+  d.add_pair(3, 2);
+  DemandSet back = DemandSet::parse(d.serialize());
+  EXPECT_EQ(back.ring_size(), 7);
+  EXPECT_EQ(back.pairs(), d.pairs());
+}
+
+TEST(Plan, FromPartitionAssignsSlots) {
+  DemandSet d(5);
+  d.add_pair(0, 1);
+  d.add_pair(1, 2);
+  d.add_pair(2, 3);
+  Graph g = d.traffic_graph();
+  EdgePartition p;
+  p.k = 2;
+  p.parts = {{0, 1}, {2}};
+  GroomingPlan plan = plan_from_partition(d, g, p);
+  ASSERT_EQ(plan.pairs.size(), 3u);
+  EXPECT_EQ(plan.wavelength_count(), 2);
+  EXPECT_EQ(plan.pairs[0].wavelength, 0);
+  EXPECT_EQ(plan.pairs[0].timeslot, 0);
+  EXPECT_EQ(plan.pairs[1].timeslot, 1);
+  EXPECT_EQ(plan.pairs[2].wavelength, 1);
+}
+
+TEST(Plan, SadmCountMatchesPartitionCost) {
+  DemandSet d(6);
+  d.add_pair(0, 1);
+  d.add_pair(1, 2);
+  d.add_pair(3, 4);
+  Graph g = d.traffic_graph();
+  EdgePartition p;
+  p.k = 2;
+  p.parts = {{0, 1}, {2}};
+  GroomingPlan plan = plan_from_partition(d, g, p);
+  EXPECT_EQ(plan_sadm_count(plan), sadm_cost(g, p));
+  auto per_wavelength = plan_sadms_per_wavelength(plan);
+  EXPECT_EQ(per_wavelength, (std::vector<int>{3, 2}));
+}
+
+TEST(Plan, BypassCount) {
+  DemandSet d(8);
+  d.add_pair(0, 1);
+  Graph g = d.traffic_graph();
+  EdgePartition p;
+  p.k = 1;
+  p.parts = {{0}};
+  GroomingPlan plan = plan_from_partition(d, g, p);
+  // 1 wavelength, 8 nodes, 2 SADMs -> 6 bypasses.
+  EXPECT_EQ(plan_bypass_count(plan), 6);
+}
+
+TEST(Plan, SerializeParseRoundTrip) {
+  GroomingPlan plan;
+  plan.ring_size = 9;
+  plan.grooming_factor = 3;
+  plan.pairs = {{DemandPair{0, 4}, 0, 0},
+                {DemandPair{2, 7}, 0, 1},
+                {DemandPair{1, 8}, 1, 0}};
+  GroomingPlan back = parse_plan(serialize_plan(plan));
+  EXPECT_EQ(back.ring_size, plan.ring_size);
+  EXPECT_EQ(back.grooming_factor, plan.grooming_factor);
+  ASSERT_EQ(back.pairs.size(), plan.pairs.size());
+  for (std::size_t i = 0; i < plan.pairs.size(); ++i) {
+    EXPECT_EQ(back.pairs[i].pair, plan.pairs[i].pair);
+    EXPECT_EQ(back.pairs[i].wavelength, plan.pairs[i].wavelength);
+    EXPECT_EQ(back.pairs[i].timeslot, plan.pairs[i].timeslot);
+  }
+}
+
+TEST(Plan, ParseSkipsCommentsAndNormalizesPairs) {
+  GroomingPlan plan = parse_plan("# comment\n6 2 1\n\n5 1 0 1\n");
+  EXPECT_EQ(plan.ring_size, 6);
+  ASSERT_EQ(plan.pairs.size(), 1u);
+  EXPECT_EQ(plan.pairs[0].pair, (DemandPair{1, 5}));
+  EXPECT_EQ(plan.pairs[0].timeslot, 1);
+}
+
+TEST(Plan, ParseRejectsMalformedInput) {
+  EXPECT_THROW(parse_plan(""), CheckError);
+  EXPECT_THROW(parse_plan("6 0 1\n0 1 0 0\n"), CheckError);   // k < 1
+  EXPECT_THROW(parse_plan("6 2 2\n0 1 0 0\n"), CheckError);   // truncated
+  EXPECT_THROW(parse_plan("6 2 1\n0 1 0\n"), CheckError);     // short row
+}
+
+TEST(Plan, RejectsOversizedPart) {
+  DemandSet d(4);
+  d.add_pair(0, 1);
+  d.add_pair(1, 2);
+  Graph g = d.traffic_graph();
+  EdgePartition p;
+  p.k = 1;
+  p.parts = {{0, 1}};
+  EXPECT_THROW(plan_from_partition(d, g, p), CheckError);
+}
+
+}  // namespace
+}  // namespace tgroom

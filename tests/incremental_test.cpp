@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithm.hpp"
+#include "gen/traffic_patterns.hpp"
+#include "grooming/incremental.hpp"
+#include "sonet/simulator.hpp"
+
+namespace tgroom {
+namespace {
+
+GroomingPlan base_plan(NodeId n, double dense, int k, std::uint64_t seed,
+                       DemandSet* demands_out = nullptr) {
+  Rng rng(seed);
+  DemandSet demands = random_traffic(n, dense, rng);
+  Graph traffic = demands.traffic_graph();
+  EdgePartition p = run_algorithm(AlgorithmId::kSpanTEuler, traffic, k);
+  if (demands_out) *demands_out = demands;
+  return plan_from_partition(demands, traffic, p);
+}
+
+TEST(Incremental, ExistingAssignmentsUntouched) {
+  GroomingPlan plan = base_plan(12, 0.4, 4, 1);
+  std::size_t before = plan.pairs.size();
+  IncrementalResult r =
+      add_demands_incremental(plan, {DemandPair{0, 6}, DemandPair{3, 9}});
+  ASSERT_EQ(r.plan.pairs.size(), before + 2);
+  for (std::size_t i = 0; i < before; ++i) {
+    EXPECT_EQ(r.plan.pairs[i].pair, plan.pairs[i].pair);
+    EXPECT_EQ(r.plan.pairs[i].wavelength, plan.pairs[i].wavelength);
+    EXPECT_EQ(r.plan.pairs[i].timeslot, plan.pairs[i].timeslot);
+  }
+}
+
+TEST(Incremental, ResultSimulatesCleanly) {
+  GroomingPlan plan = base_plan(14, 0.5, 4, 2);
+  std::vector<DemandPair> churn;
+  for (NodeId v = 0; v < 7; ++v) {
+    churn.push_back(DemandPair{v, static_cast<NodeId>(v + 7)});
+  }
+  IncrementalResult r = add_demands_incremental(plan, churn);
+  UpsrRing ring(14);
+  SimulationResult sim = simulate_plan(ring, r.plan);
+  EXPECT_TRUE(sim.ok) << sim.issue;
+}
+
+TEST(Incremental, PrefersWavelengthsWithExistingSadms) {
+  // One wavelength terminating at {0, 3} with slack: adding {0, 3} again
+  // is impossible (duplicate demands allowed here — a second circuit
+  // between the same nodes), and adding {0, 5} should reuse node 0's SADM.
+  GroomingPlan plan;
+  plan.ring_size = 8;
+  plan.grooming_factor = 4;
+  plan.pairs = {{DemandPair{0, 3}, 0, 0}};
+  IncrementalResult r = add_demands_incremental(plan, {DemandPair{0, 5}});
+  EXPECT_EQ(r.plan.pairs.back().wavelength, 0);
+  EXPECT_EQ(r.new_sadms, 1);      // only node 5
+  EXPECT_EQ(r.reused_sites, 1);   // node 0 already had one
+  EXPECT_EQ(r.new_wavelengths, 0);
+}
+
+TEST(Incremental, OpensWavelengthWhenFull) {
+  GroomingPlan plan;
+  plan.ring_size = 6;
+  plan.grooming_factor = 1;
+  plan.pairs = {{DemandPair{0, 1}, 0, 0}};
+  IncrementalResult r = add_demands_incremental(plan, {DemandPair{0, 2}});
+  EXPECT_EQ(r.new_wavelengths, 1);
+  EXPECT_EQ(r.plan.pairs.back().wavelength, 1);
+  EXPECT_EQ(r.new_sadms, 2);
+}
+
+TEST(Incremental, FillsSlotHolesInParsedPlans) {
+  // Slots {0, 2} occupied: the next assignment must take slot 1, not 2.
+  GroomingPlan plan;
+  plan.ring_size = 8;
+  plan.grooming_factor = 3;
+  plan.pairs = {{DemandPair{0, 4}, 0, 0}, {DemandPair{1, 5}, 0, 2}};
+  IncrementalResult r = add_demands_incremental(plan, {DemandPair{2, 6}});
+  EXPECT_EQ(r.plan.pairs.back().wavelength, 0);
+  EXPECT_EQ(r.plan.pairs.back().timeslot, 1);
+  UpsrRing ring(8);
+  EXPECT_TRUE(simulate_plan(ring, r.plan).ok);
+}
+
+TEST(Incremental, PenaltyVersusFreshRegroom) {
+  DemandSet demands(0);
+  GroomingPlan plan = base_plan(16, 0.4, 4, 3, &demands);
+  // Churn: 10 new pairs not already present.
+  std::vector<DemandPair> churn;
+  Rng rng(77);
+  while (churn.size() < 10) {
+    auto a = static_cast<NodeId>(rng.below(16));
+    auto b = static_cast<NodeId>(rng.below(16));
+    if (a == b || demands.contains(a, b)) continue;
+    demands.add_pair(a, b);
+    churn.push_back(DemandPair{std::min(a, b), std::max(a, b)});
+  }
+  IncrementalResult incremental = add_demands_incremental(plan, churn);
+
+  Graph union_traffic = demands.traffic_graph();
+  EdgePartition fresh_partition =
+      run_algorithm(AlgorithmId::kSpanTEuler, union_traffic, 4);
+  GroomingPlan fresh =
+      plan_from_partition(demands, union_traffic, fresh_partition);
+
+  long long penalty = incremental_penalty(incremental, fresh);
+  // Incremental can never beat its own assignments being replanned with
+  // full freedom by much; in practice it pays a non-negative penalty.
+  EXPECT_GE(penalty, -2);
+  UpsrRing ring(16);
+  EXPECT_TRUE(simulate_plan(ring, incremental.plan).ok);
+}
+
+TEST(Incremental, RejectsBadDemand) {
+  GroomingPlan plan;
+  plan.ring_size = 6;
+  plan.grooming_factor = 2;
+  EXPECT_THROW(add_demands_incremental(plan, {DemandPair{0, 6}}), CheckError);
+  EXPECT_THROW(add_demands_incremental(plan, {DemandPair{2, 2}}), CheckError);
+}
+
+TEST(Incremental, NoNewDemandsIsIdentity) {
+  GroomingPlan plan = base_plan(10, 0.4, 3, 5);
+  IncrementalResult r = add_demands_incremental(plan, {});
+  EXPECT_EQ(r.plan.pairs.size(), plan.pairs.size());
+  EXPECT_EQ(r.new_sadms, 0);
+  EXPECT_EQ(r.new_wavelengths, 0);
+}
+
+}  // namespace
+}  // namespace tgroom

@@ -1,0 +1,172 @@
+// Cross-module integration: demands -> traffic graph -> algorithm ->
+// partition -> plan -> ring simulator, checking that the combinatorial
+// cost model and the simulated SONET ring agree exactly.
+#include <gtest/gtest.h>
+
+#include <fstream>
+
+#include "algorithms/algorithm.hpp"
+#include "bench_support/report.hpp"
+#include "bench_support/sweep.hpp"
+#include "gen/traffic_patterns.hpp"
+#include "grooming/plan.hpp"
+#include "sonet/simulator.hpp"
+
+namespace tgroom {
+namespace {
+
+class EndToEndP
+    : public ::testing::TestWithParam<std::tuple<AlgorithmId, int>> {};
+
+TEST_P(EndToEndP, PartitionCostEqualsSimulatedSadms) {
+  auto [algo, k] = GetParam();
+  Rng rng(99);
+  DemandSet demands = random_traffic(24, 0.5, rng);
+  Graph traffic = demands.traffic_graph();
+
+  EdgePartition partition = run_algorithm(algo, traffic, k);
+  ASSERT_TRUE(validate_partition(traffic, partition).ok);
+
+  GroomingPlan plan = plan_from_partition(demands, traffic, partition);
+  UpsrRing ring(24);
+  SimulationResult sim = simulate_plan(ring, plan);
+  EXPECT_TRUE(sim.ok) << sim.issue;
+  // The paper's central modelling step: Σ|V_i| == SADMs on the ring.
+  EXPECT_EQ(sim.sadm_count, sadm_cost(traffic, partition));
+  EXPECT_EQ(sim.wavelengths_used, partition.wavelength_count());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AlgorithmsAndK, EndToEndP,
+    ::testing::Combine(::testing::Values(AlgorithmId::kGoldschmidt,
+                                         AlgorithmId::kBrauner,
+                                         AlgorithmId::kWangGuIcc06,
+                                         AlgorithmId::kSpanTEuler,
+                                         AlgorithmId::kCliquePack),
+                       ::testing::Values(3, 8, 16)));
+
+TEST(EndToEnd, RegularTrafficWithRegularEuler) {
+  Rng rng(5);
+  DemandSet demands = regular_traffic(36, 7, rng);
+  Graph traffic = demands.traffic_graph();
+  EdgePartition partition =
+      run_algorithm(AlgorithmId::kRegularEuler, traffic, 16);
+  GroomingPlan plan = plan_from_partition(demands, traffic, partition);
+  SimulationResult sim = simulate_plan(UpsrRing(36), plan);
+  EXPECT_TRUE(sim.ok) << sim.issue;
+  EXPECT_EQ(sim.sadm_count, sadm_cost(traffic, partition));
+}
+
+TEST(EndToEnd, AllToAllTraffic) {
+  DemandSet demands = all_to_all_traffic(12);
+  Graph traffic = demands.traffic_graph();
+  EdgePartition partition =
+      run_algorithm(AlgorithmId::kRegularEuler, traffic, 4);
+  GroomingPlan plan = plan_from_partition(demands, traffic, partition);
+  SimulationResult sim = simulate_plan(UpsrRing(12), plan);
+  EXPECT_TRUE(sim.ok) << sim.issue;
+  EXPECT_TRUE(uses_min_wavelengths(traffic, partition));
+}
+
+TEST(Sweep, RunsAndAggregates) {
+  SweepConfig config;
+  config.seeds = 3;
+  config.grooming_factors = {4, 16};
+  SweepResult result = run_sweep(WorkloadSpec::dense(20, 0.5),
+                                 figure4_algorithms(), config);
+  ASSERT_EQ(result.series.size(), 4u);
+  for (const auto& series : result.series) {
+    ASSERT_EQ(series.cells.size(), 2u);
+    for (const auto& cell : series.cells) {
+      EXPECT_GT(cell.mean_sadms, 0);
+      EXPECT_GE(cell.mean_sadms, cell.mean_lower_bound);
+      EXPECT_GE(cell.max_sadms, cell.min_sadms);
+    }
+    // More grooming capacity never needs more wavelengths.
+    EXPECT_LE(series.cells[1].mean_wavelengths,
+              series.cells[0].mean_wavelengths);
+  }
+  EXPECT_GT(result.mean_edges, 0);
+}
+
+TEST(Sweep, DeterministicForFixedSeed) {
+  SweepConfig config;
+  config.seeds = 2;
+  config.grooming_factors = {8};
+  auto a = run_sweep(WorkloadSpec::dense(16, 0.5), {AlgorithmId::kSpanTEuler},
+                     config);
+  auto b = run_sweep(WorkloadSpec::dense(16, 0.5), {AlgorithmId::kSpanTEuler},
+                     config);
+  EXPECT_EQ(a.series[0].cells[0].mean_sadms, b.series[0].cells[0].mean_sadms);
+}
+
+TEST(Sweep, ParallelWorkersMatchInline) {
+  SweepConfig inline_cfg;
+  inline_cfg.seeds = 4;
+  inline_cfg.grooming_factors = {4, 8};
+  SweepConfig pooled_cfg = inline_cfg;
+  pooled_cfg.workers = 3;
+  auto a = run_sweep(WorkloadSpec::regular(20, 4),
+                     {AlgorithmId::kRegularEuler}, inline_cfg);
+  auto b = run_sweep(WorkloadSpec::regular(20, 4),
+                     {AlgorithmId::kRegularEuler}, pooled_cfg);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(a.series[0].cells[i].mean_sadms,
+              b.series[0].cells[i].mean_sadms);
+  }
+}
+
+TEST(Report, TableAndCsv) {
+  SweepConfig config;
+  config.seeds = 2;
+  config.grooming_factors = {4};
+  SweepResult result = run_sweep(WorkloadSpec::dense(12, 0.5),
+                                 {AlgorithmId::kSpanTEuler}, config);
+  TextTable table = sweep_table(result, "test");
+  std::string rendered = table.to_string();
+  EXPECT_NE(rendered.find("SpanT_Euler"), std::string::npos);
+  EXPECT_NE(rendered.find("n=12"), std::string::npos);
+
+  std::string path = ::testing::TempDir() + "/tgroom_sweep.csv";
+  write_sweep_csv(result, path);
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_NE(header.find("mean_sadms"), std::string::npos);
+}
+
+class RoundTripP : public ::testing::TestWithParam<int> {};
+
+TEST_P(RoundTripP, PlanSurvivesSerializationPipeline) {
+  // demands -> groom -> serialize -> parse -> simulate must agree with the
+  // in-memory plan on every statistic.
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 7 + 2);
+  NodeId n = static_cast<NodeId>(8 + rng.below(12));
+  DemandSet demands = random_traffic(n, 0.45, rng);
+  Graph traffic = demands.traffic_graph();
+  int k = static_cast<int>(2 + rng.below(8));
+  EdgePartition partition =
+      run_algorithm(AlgorithmId::kSpanTEuler, traffic, k);
+  GroomingPlan plan = plan_from_partition(demands, traffic, partition);
+  GroomingPlan restored = parse_plan(serialize_plan(plan));
+  UpsrRing ring(n);
+  SimulationResult a = simulate_plan(ring, plan);
+  SimulationResult b = simulate_plan(ring, restored);
+  EXPECT_TRUE(b.ok) << b.issue;
+  EXPECT_EQ(a.sadm_count, b.sadm_count);
+  EXPECT_EQ(a.wavelengths_used, b.wavelengths_used);
+  EXPECT_EQ(a.unit_hops, b.unit_hops);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripP, ::testing::Range(0, 8));
+
+TEST(Workload, LabelsAndFactories) {
+  EXPECT_EQ(workload_label(WorkloadSpec::dense(36, 0.5)), "n=36 d=0.5");
+  EXPECT_EQ(workload_label(WorkloadSpec::regular(36, 7)), "n=36 r=7");
+  EXPECT_EQ(workload_label(WorkloadSpec::all_to_all(8)), "n=8 all-to-all");
+  Rng rng(1);
+  EXPECT_EQ(make_workload(WorkloadSpec::all_to_all(8), rng).edge_count(), 28);
+}
+
+}  // namespace
+}  // namespace tgroom

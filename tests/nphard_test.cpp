@@ -1,0 +1,190 @@
+#include <gtest/gtest.h>
+
+#include "gen/families.hpp"
+#include "graph/properties.hpp"
+#include "nphard/ept.hpp"
+#include "nphard/gadget.hpp"
+#include "nphard/keprg.hpp"
+
+namespace tgroom {
+namespace {
+
+TEST(Ept, TriangleChecker) {
+  Graph g = complete_graph(4);
+  EdgeId e01 = g.find_edge(0, 1);
+  EdgeId e12 = g.find_edge(1, 2);
+  EdgeId e02 = g.find_edge(0, 2);
+  EdgeId e03 = g.find_edge(0, 3);
+  EXPECT_TRUE(is_triangle(g, {e01, e12, e02}));
+  EXPECT_FALSE(is_triangle(g, {e01, e12, e03}));   // a path, not a triangle
+  EXPECT_FALSE(is_triangle(g, {e01, e01, e02}));   // repeated edge
+}
+
+TEST(Ept, QuickcheckCatchesParityFailures) {
+  EXPECT_FALSE(ept_feasible_quickcheck(path_graph(3)));     // odd degrees
+  EXPECT_FALSE(ept_feasible_quickcheck(cycle_graph(4)));    // m % 3 != 0
+  EXPECT_TRUE(ept_feasible_quickcheck(triangle_forest(2)));
+}
+
+TEST(Ept, SolvesTriangleForest) {
+  Graph g = triangle_forest(3);
+  auto solution = solve_ept(g);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(is_triangle_partition(g, *solution));
+  EXPECT_EQ(solution->triangles.size(), 3u);
+}
+
+TEST(Ept, K4HasNoTrianglePartition) {
+  // K4: m=6 divisible by 3 but all degrees odd -> quickcheck fails.
+  EXPECT_FALSE(solve_ept(complete_graph(4)).has_value());
+}
+
+TEST(Ept, OctahedronPartitionsIntoTriangles) {
+  // K_{2,2,2} (octahedron): 4-regular, 12 edges, classic yes-instance.
+  Graph g(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < 6; ++v) {
+      if (v - u == 3) continue;  // antipodal non-edges 0-3, 1-4, 2-5
+      g.add_edge(u, v);
+    }
+  }
+  ASSERT_TRUE(regularity(g).has_value());
+  EXPECT_EQ(*regularity(g), 4);
+  auto solution = solve_ept(g);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(is_triangle_partition(g, *solution));
+}
+
+TEST(Ept, EvenDegreeYetUnsolvable) {
+  // C6 has even degrees and... m=6 divisible by 3, but no triangles at all.
+  EXPECT_FALSE(solve_ept(cycle_graph(6)).has_value());
+}
+
+TEST(Gadget, RejectsOddDegreeInput) {
+  EXPECT_THROW(build_regular_ept_gadget(path_graph(2)), CheckError);
+}
+
+TEST(Gadget, ProducesSimpleRegularGraph) {
+  // A yes-instance: two triangles sharing structure via disjointness.
+  Graph g = triangle_forest(2);
+  RegularEptGadget gadget = build_regular_ept_gadget(g);
+  EXPECT_EQ(gadget.delta, 2);
+  EXPECT_TRUE(is_simple(gadget.gstar));
+  ASSERT_TRUE(regularity(gadget.gstar).has_value());
+  EXPECT_EQ(*regularity(gadget.gstar), 2);
+}
+
+TEST(Gadget, HigherDegreeInstance) {
+  // Octahedron: Δ = 4; the gadget must be 4-regular and simple, and must
+  // exercise the corrected step-6 layers.
+  Graph g(6);
+  for (NodeId u = 0; u < 6; ++u) {
+    for (NodeId v = static_cast<NodeId>(u + 1); v < 6; ++v) {
+      if (v - u == 3) continue;
+      g.add_edge(u, v);
+    }
+  }
+  RegularEptGadget gadget = build_regular_ept_gadget(g);
+  EXPECT_EQ(gadget.delta, 4);
+  EXPECT_TRUE(is_simple(gadget.gstar));
+  ASSERT_TRUE(regularity(gadget.gstar).has_value());
+  EXPECT_EQ(*regularity(gadget.gstar), 4);
+}
+
+TEST(Gadget, MixedDegreeInstanceGetsPadded) {
+  // Triangle + one node participating in a second triangle: degrees 2,2,4.
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 0);
+  g.add_edge(0, 3);
+  g.add_edge(3, 4);
+  g.add_edge(4, 0);
+  RegularEptGadget gadget = build_regular_ept_gadget(g);
+  EXPECT_EQ(gadget.delta, 4);
+  EXPECT_TRUE(is_simple(gadget.gstar));
+  EXPECT_EQ(*regularity(gadget.gstar), 4);
+}
+
+TEST(Gadget, LiftedPartitionIsValid) {
+  Graph g = triangle_forest(2);
+  auto of_g = solve_ept(g);
+  ASSERT_TRUE(of_g.has_value());
+  RegularEptGadget gadget = build_regular_ept_gadget(g);
+  TrianglePartition lifted = lift_triangle_partition(gadget, g, *of_g);
+  EXPECT_TRUE(is_triangle_partition(gadget.gstar, lifted));
+}
+
+TEST(Gadget, YesInstanceStaysYes) {
+  Graph g = triangle_forest(1);
+  RegularEptGadget gadget = build_regular_ept_gadget(g);
+  auto solution = solve_ept(gadget.gstar);
+  ASSERT_TRUE(solution.has_value());
+  EXPECT_TRUE(is_triangle_partition(gadget.gstar, *solution));
+}
+
+TEST(Gadget, NoInstanceStaysNo) {
+  // C6: even degrees, m divisible by 3, but triangle-free -> EPT "no".
+  Graph g = cycle_graph(6);
+  RegularEptGadget gadget = build_regular_ept_gadget(g);
+  EXPECT_EQ(*regularity(gadget.gstar), 2);
+  EXPECT_FALSE(solve_ept(gadget.gstar).has_value());
+}
+
+TEST(Keprg, InstanceFromRegularGraph) {
+  Graph g = triangle_forest(2);
+  KeprgInstance instance = keprg_from_regular_ept(g);
+  EXPECT_EQ(instance.k, 3);
+  EXPECT_EQ(instance.budget_l, 6);
+}
+
+TEST(Keprg, RejectsIrregular) {
+  EXPECT_THROW(keprg_from_regular_ept(star_graph(4)), CheckError);
+}
+
+TEST(Keprg, ForwardDirection) {
+  Graph g = triangle_forest(2);
+  auto triangles = solve_ept(g);
+  ASSERT_TRUE(triangles.has_value());
+  EdgePartition p = partition_from_triangles(g, *triangles);
+  EXPECT_TRUE(validate_partition(g, p).ok);
+  EXPECT_EQ(sadm_cost(g, p), g.real_edge_count());
+}
+
+TEST(Keprg, BackwardDirection) {
+  Graph g = triangle_forest(2);
+  EdgePartition p;
+  p.k = 3;
+  p.parts = {{0, 1, 2}, {3, 4, 5}};
+  TrianglePartition t = triangles_from_partition(g, p);
+  EXPECT_TRUE(is_triangle_partition(g, t));
+}
+
+TEST(Keprg, BackwardDirectionRejectsCostlyPartition) {
+  Graph g = triangle_forest(2);
+  EdgePartition p;
+  p.k = 3;
+  p.parts = {{0, 1, 3}, {2, 4, 5}};  // mixes triangles: cost 12 > 6
+  EXPECT_THROW(triangles_from_partition(g, p), CheckError);
+}
+
+TEST(Keprg, DecideMatchesEptOnBothDirections) {
+  // Yes: two triangles.  No: C6 (2-regular, no triangles).
+  EXPECT_TRUE(keprg_decide(keprg_from_regular_ept(triangle_forest(2))));
+  EXPECT_FALSE(keprg_decide(keprg_from_regular_ept(cycle_graph(6))));
+}
+
+TEST(Keprg, Theorem7EquivalenceOnGadgets) {
+  // End-to-end over the full reduction chain: EPT(G) == KEPRG(G*, 3, m*)
+  // for a yes- and a no-instance.
+  for (bool expect_yes : {true, false}) {
+    Graph g = expect_yes ? triangle_forest(1) : cycle_graph(6);
+    RegularEptGadget gadget = build_regular_ept_gadget(g);
+    ASSERT_LE(gadget.gstar.real_edge_count(), 30);
+    KeprgInstance instance = keprg_from_regular_ept(gadget.gstar);
+    EXPECT_EQ(keprg_decide(instance), expect_yes);
+  }
+}
+
+}  // namespace
+}  // namespace tgroom

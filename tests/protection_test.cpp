@@ -1,0 +1,153 @@
+// Failure injection against the UPSR protection model.
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithm.hpp"
+#include "gen/traffic_patterns.hpp"
+#include "grooming/plan.hpp"
+#include "sonet/protection.hpp"
+#include "sonet/simulator.hpp"
+
+namespace tgroom {
+namespace {
+
+GroomingPlan sample_plan(NodeId n, double dense, int k,
+                         std::uint64_t seed = 3) {
+  Rng rng(seed);
+  DemandSet demands = random_traffic(n, dense, rng);
+  Graph traffic = demands.traffic_graph();
+  EdgePartition p = run_algorithm(AlgorithmId::kSpanTEuler, traffic, k);
+  return plan_from_partition(demands, traffic, p);
+}
+
+TEST(Protection, SingleSpanFailureAlwaysRecovers) {
+  GroomingPlan plan = sample_plan(12, 0.5, 4);
+  UpsrRing ring(12);
+  for (NodeId span = 0; span < ring.link_count(); ++span) {
+    SpanFailureImpact impact = simulate_span_failure(ring, plan, span);
+    EXPECT_TRUE(impact.fully_recovered()) << "span " << span;
+    EXPECT_EQ(impact.lost_demands, 0);
+  }
+}
+
+TEST(Protection, EveryDirectedDemandCrossesEachSpanOnce) {
+  // Across a pair's two directions exactly one crosses any given span, so
+  // switched == number of pairs for every span.
+  GroomingPlan plan = sample_plan(10, 0.4, 3);
+  UpsrRing ring(10);
+  for (NodeId span = 0; span < ring.link_count(); ++span) {
+    SpanFailureImpact impact = simulate_span_failure(ring, plan, span);
+    EXPECT_EQ(impact.switched_demands,
+              static_cast<int>(plan.pairs.size()));
+  }
+}
+
+TEST(Protection, ExtraHopsFormula) {
+  // One pair {0, 2} on a 6-ring: direction 0->2 has 2 hops, 2->0 has 4.
+  GroomingPlan plan;
+  plan.ring_size = 6;
+  plan.grooming_factor = 1;
+  plan.pairs = {{DemandPair{0, 2}, 0, 0}};
+  UpsrRing ring(6);
+  // Failing span 0 (link 0->1) cuts the 0->2 direction (2 hops); its
+  // protection path has 4 hops: +2.
+  SpanFailureImpact impact = simulate_span_failure(ring, plan, 0);
+  EXPECT_EQ(impact.switched_demands, 1);
+  EXPECT_EQ(impact.extra_hops, 2);
+  // Failing span 3 (link 3->4) cuts the 2->0 direction (4 hops);
+  // protection has 2: -2.
+  impact = simulate_span_failure(ring, plan, 3);
+  EXPECT_EQ(impact.switched_demands, 1);
+  EXPECT_EQ(impact.extra_hops, -2);
+}
+
+TEST(Protection, ProtectionLoadWithinGroomingFactor) {
+  GroomingPlan plan = sample_plan(16, 0.6, 6);
+  UpsrRing ring(16);
+  for (NodeId span = 0; span < ring.link_count(); ++span) {
+    SpanFailureImpact impact = simulate_span_failure(ring, plan, span);
+    EXPECT_LE(impact.peak_protection_load, plan.grooming_factor);
+  }
+}
+
+TEST(Protection, DoubleFailureLosesStraddlingDemands) {
+  // Pair {0, 3} on an 8-ring: working 0->3 uses spans 0,1,2; working 3->0
+  // uses 3..7.  Failing spans 1 and 5 cuts one span on each directed
+  // path's working side -> both directions lose exactly one copy... the
+  // 0->3 direction loses working (span 1) and its protection runs over
+  // spans 3..7 which includes failed span 5: lost.  Likewise 3->0.
+  GroomingPlan plan;
+  plan.ring_size = 8;
+  plan.grooming_factor = 1;
+  plan.pairs = {{DemandPair{0, 3}, 0, 0}};
+  UpsrRing ring(8);
+  SpanFailureImpact impact = simulate_double_failure(ring, plan, 1, 5);
+  EXPECT_EQ(impact.lost_demands, 2);
+  EXPECT_EQ(impact.switched_demands, 0);
+}
+
+TEST(Protection, DoubleFailureOnSameArcSurvives) {
+  GroomingPlan plan;
+  plan.ring_size = 8;
+  plan.grooming_factor = 1;
+  plan.pairs = {{DemandPair{0, 3}, 0, 0}};
+  UpsrRing ring(8);
+  // Both failures on the 0->3 working arc: that direction switches, the
+  // other is untouched.
+  SpanFailureImpact impact = simulate_double_failure(ring, plan, 0, 2);
+  EXPECT_EQ(impact.lost_demands, 0);
+  EXPECT_EQ(impact.switched_demands, 1);
+}
+
+TEST(Protection, DoubleFailureRejectsSameSpan) {
+  GroomingPlan plan = sample_plan(8, 0.4, 2);
+  UpsrRing ring(8);
+  EXPECT_THROW(simulate_double_failure(ring, plan, 2, 2), CheckError);
+}
+
+TEST(Protection, SurvivabilityReportSweepsAllSpans) {
+  GroomingPlan plan = sample_plan(14, 0.5, 4);
+  UpsrRing ring(14);
+  SurvivabilityReport report = survivability_report(ring, plan);
+  EXPECT_TRUE(report.survives_all_single_failures);
+  EXPECT_EQ(report.per_span.size(), 14u);
+  EXPECT_EQ(report.worst_case_switched,
+            static_cast<int>(plan.pairs.size()));
+  std::string text = render_survivability(report);
+  EXPECT_NE(text.find("all single span failures recovered"),
+            std::string::npos);
+  EXPECT_EQ(text.find("LOST"), std::string::npos);
+}
+
+TEST(Protection, EmptyPlanTriviallySurvives) {
+  GroomingPlan plan;
+  plan.ring_size = 6;
+  plan.grooming_factor = 4;
+  UpsrRing ring(6);
+  SurvivabilityReport report = survivability_report(ring, plan);
+  EXPECT_TRUE(report.survives_all_single_failures);
+  EXPECT_EQ(report.worst_case_switched, 0);
+}
+
+class ProtectionAlgorithmsP : public ::testing::TestWithParam<AlgorithmId> {};
+
+TEST_P(ProtectionAlgorithmsP, AllAlgorithmsYieldSurvivablePlans) {
+  Rng rng(11);
+  DemandSet demands = random_traffic(18, 0.5, rng);
+  Graph traffic = demands.traffic_graph();
+  EdgePartition p = run_algorithm(GetParam(), traffic, 8);
+  GroomingPlan plan = plan_from_partition(demands, traffic, p);
+  UpsrRing ring(18);
+  EXPECT_TRUE(simulate_plan(ring, plan).ok);
+  EXPECT_TRUE(
+      survivability_report(ring, plan).survives_all_single_failures);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, ProtectionAlgorithmsP,
+                         ::testing::Values(AlgorithmId::kGoldschmidt,
+                                           AlgorithmId::kBrauner,
+                                           AlgorithmId::kWangGuIcc06,
+                                           AlgorithmId::kSpanTEuler,
+                                           AlgorithmId::kCliquePack));
+
+}  // namespace
+}  // namespace tgroom

@@ -1,0 +1,52 @@
+#include <gtest/gtest.h>
+
+#include "sonet/rates.hpp"
+#include "util/check.hpp"
+
+namespace tgroom {
+namespace {
+
+TEST(Rates, Multipliers) {
+  EXPECT_EQ(oc_multiplier(OcRate::kOc1), 1);
+  EXPECT_EQ(oc_multiplier(OcRate::kOc3), 3);
+  EXPECT_EQ(oc_multiplier(OcRate::kOc12), 12);
+  EXPECT_EQ(oc_multiplier(OcRate::kOc48), 48);
+  EXPECT_EQ(oc_multiplier(OcRate::kOc192), 192);
+  EXPECT_EQ(oc_multiplier(OcRate::kOc768), 768);
+}
+
+TEST(Rates, Bandwidths) {
+  EXPECT_EQ(oc_bandwidth_kbps(OcRate::kOc1), 51840);
+  EXPECT_EQ(oc_bandwidth_kbps(OcRate::kOc3), 155520);   // STS-3 / STM-1
+  EXPECT_EQ(oc_bandwidth_kbps(OcRate::kOc48), 2488320); // ~2.5 Gbit/s
+}
+
+TEST(Rates, Names) {
+  EXPECT_EQ(oc_name(OcRate::kOc48), "OC-48");
+  EXPECT_EQ(oc_name(OcRate::kOc3), "OC-3");
+}
+
+TEST(Rates, Parse) {
+  EXPECT_EQ(parse_oc_rate("OC-48"), OcRate::kOc48);
+  EXPECT_EQ(parse_oc_rate("oc3"), OcRate::kOc3);
+  EXPECT_EQ(parse_oc_rate("192"), OcRate::kOc192);
+  EXPECT_EQ(parse_oc_rate("OC-7"), std::nullopt);
+  EXPECT_EQ(parse_oc_rate(""), std::nullopt);
+  EXPECT_EQ(parse_oc_rate("fast"), std::nullopt);
+}
+
+TEST(Rates, GroomingFactorPaperExample) {
+  // §1: "sixteen OC-3 traffic demands multiplexed onto one OC-48
+  // wavelength channel gives a grooming factor of 16".
+  EXPECT_EQ(grooming_factor(OcRate::kOc48, OcRate::kOc3), 16);
+  EXPECT_EQ(grooming_factor(OcRate::kOc48, OcRate::kOc12), 4);
+  EXPECT_EQ(grooming_factor(OcRate::kOc192, OcRate::kOc3), 64);
+  EXPECT_EQ(grooming_factor(OcRate::kOc3, OcRate::kOc3), 1);
+}
+
+TEST(Rates, GroomingFactorRejectsInversion) {
+  EXPECT_THROW(grooming_factor(OcRate::kOc3, OcRate::kOc48), CheckError);
+}
+
+}  // namespace
+}  // namespace tgroom

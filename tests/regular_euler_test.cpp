@@ -1,0 +1,199 @@
+#include <gtest/gtest.h>
+
+#include "algo/components.hpp"
+#include "algo/matching.hpp"
+#include "algorithms/regular_euler.hpp"
+#include "gen/families.hpp"
+#include "gen/regular_graph.hpp"
+#include "graph/properties.hpp"
+#include "partition/cover_transform.hpp"
+
+namespace tgroom {
+namespace {
+
+void expect_valid_min_wavelength(const Graph& g, const EdgePartition& p,
+                                 int k) {
+  EXPECT_EQ(p.k, k);
+  auto v = validate_partition(g, p);
+  EXPECT_TRUE(v.ok) << v.reason;
+  EXPECT_TRUE(uses_min_wavelengths(g, p));
+}
+
+TEST(RegularEuler, RejectsIrregularGraph) {
+  Graph g = star_graph(4);
+  EXPECT_THROW(regular_euler(g, 3), CheckError);
+}
+
+TEST(RegularEuler, EmptyAndZeroRegular) {
+  Graph g(5);  // 0-regular
+  EdgePartition p = regular_euler(g, 3);
+  EXPECT_TRUE(p.parts.empty());
+}
+
+TEST(RegularEuler, OneRegularIsOptimal) {
+  Graph g(6);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  g.add_edge(4, 5);
+  EdgePartition p = regular_euler(g, 2);
+  expect_valid_min_wavelength(g, p, 2);
+  EXPECT_EQ(sadm_cost(g, p), 6);  // 2 per demand; unavoidable
+}
+
+TEST(RegularEuler, EvenRegularConnectedIsSingleTour) {
+  Rng rng(1);
+  Graph g = random_regular(20, 4, rng);
+  RegularEulerTrace trace;
+  EdgePartition p = regular_euler(g, 5, {}, &trace);
+  expect_valid_min_wavelength(g, p, 5);
+  EXPECT_TRUE(trace.matching.empty());
+  if (is_connected(g)) {
+    EXPECT_EQ(trace.cover.size(), 1u);
+    // Theorem 10 even case: cost <= m(1 + 1/k) with no cover slack.
+    EXPECT_LE(sadm_cost(g, p),
+              prop2_cost_bound(g.real_edge_count(), 5, 1));
+  }
+}
+
+TEST(RegularEuler, CycleExactCost) {
+  Graph g = cycle_graph(12);  // 2-regular
+  EdgePartition p = regular_euler(g, 6);
+  expect_valid_min_wavelength(g, p, 6);
+  EXPECT_EQ(sadm_cost(g, p), 12 + 2);
+}
+
+TEST(RegularEuler, OddRegularTraceInvariants) {
+  Rng rng(2);
+  Graph g = random_regular(36, 7, rng);
+  RegularEulerTrace trace;
+  EdgePartition p = regular_euler(g, 8, {}, &trace);
+  expect_valid_min_wavelength(g, p, 8);
+  EXPECT_EQ(trace.r, 7);
+  EXPECT_TRUE(is_matching(g, trace.matching));
+  // Blossom matching meets Lemma 8.
+  EXPECT_GE(static_cast<long long>(trace.matching.size()),
+            lemma8_matching_lower_bound(36, 7));
+  EXPECT_TRUE(validate_cover(g, trace.cover));
+  EXPECT_TRUE(cover_spans_all_edges(g, trace.cover));
+  // Lemma 9: cover size <= 3n/(r+1).
+  EXPECT_LE(static_cast<long long>(trace.cover.size()),
+            lemma9_cover_bound(36, 7));
+}
+
+TEST(RegularEuler, PetersenGraph) {
+  Graph g = petersen_graph();  // 3-regular, perfect matching exists
+  RegularEulerTrace trace;
+  EdgePartition p = regular_euler(g, 4, {}, &trace);
+  expect_valid_min_wavelength(g, p, 4);
+  EXPECT_EQ(trace.matching.size(), 5u);
+  // G-M is 2-regular: every component is even (all saturated).
+  EXPECT_EQ(trace.odd_components, 0);
+}
+
+TEST(RegularEuler, CompleteGraphOddDegree) {
+  Graph g = complete_graph(8);  // 7-regular
+  RegularEulerTrace trace;
+  EdgePartition p = regular_euler(g, 4, {}, &trace);
+  expect_valid_min_wavelength(g, p, 4);
+  EXPECT_LE(static_cast<long long>(trace.cover.size()),
+            lemma9_cover_bound(8, 7));
+}
+
+class RegularEulerGridP
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(RegularEulerGridP, Theorem10BoundsHold) {
+  auto [r, k, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  Graph g = random_regular(36, static_cast<NodeId>(r), rng);
+  RegularEulerTrace trace;
+  EdgePartition p = regular_euler(g, k, {}, &trace);
+  auto v = validate_partition(g, p);
+  ASSERT_TRUE(v.ok) << v.reason;
+  EXPECT_TRUE(uses_min_wavelengths(g, p));
+
+  long long cost = sadm_cost(g, p);
+  int components =
+      trace.r % 2 == 0 ? static_cast<int>(trace.cover.size()) : 0;
+  EXPECT_LE(cost, regular_euler_cost_bound(36, static_cast<NodeId>(r),
+                                           g.real_edge_count(), k,
+                                           components))
+      << "r=" << r << " k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperGrid, RegularEulerGridP,
+    ::testing::Combine(::testing::Values(3, 7, 8, 15, 16, 35),
+                       ::testing::Values(3, 4, 16, 48),
+                       ::testing::Values(1, 2)));
+
+class RegularEulerMatchingPolicyP
+    : public ::testing::TestWithParam<MatchingPolicy> {};
+
+TEST_P(RegularEulerMatchingPolicyP, AllMatchingPoliciesValid) {
+  Rng rng(7);
+  Graph g = random_regular(36, 15, rng);
+  GroomingOptions options;
+  options.matching_policy = GetParam();
+  options.seed = 11;
+  EdgePartition p = regular_euler(g, 8, options);
+  expect_valid_min_wavelength(g, p, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Policies, RegularEulerMatchingPolicyP,
+                         ::testing::Values(MatchingPolicy::kGreedy,
+                                           MatchingPolicy::kBlossom,
+                                           MatchingPolicy::kColorClass));
+
+TEST(RegularEuler, DisconnectedEvenRegular) {
+  // Two disjoint 4-cycles: 2-regular, two components.
+  Graph g(8);
+  for (NodeId base : {0, 4}) {
+    for (NodeId i = 0; i < 4; ++i) {
+      g.add_edge(static_cast<NodeId>(base + i),
+                 static_cast<NodeId>(base + (i + 1) % 4));
+    }
+  }
+  RegularEulerTrace trace;
+  EdgePartition p = regular_euler(g, 3, {}, &trace);
+  expect_valid_min_wavelength(g, p, 3);
+  EXPECT_EQ(trace.even_components, 2);
+}
+
+TEST(RegularEuler, DisconnectedOddRegularWithOddComponents) {
+  // Two disjoint K4s: 3-regular; with a maximum matching the components
+  // stay fully saturated, so force odd components via a *greedy* matching
+  // that may differ — instead verify correctness only.
+  Graph g(8);
+  for (NodeId base : {0, 4}) {
+    for (NodeId i = 0; i < 4; ++i) {
+      for (NodeId j = static_cast<NodeId>(i + 1); j < 4; ++j) {
+        g.add_edge(static_cast<NodeId>(base + i),
+                   static_cast<NodeId>(base + j));
+      }
+    }
+  }
+  EdgePartition p = regular_euler(g, 4);
+  expect_valid_min_wavelength(g, p, 4);
+}
+
+TEST(RegularEuler, WorksOnRegularMultigraph) {
+  // A doubled 4-cycle: 4-regular multigraph (weighted traffic shape).
+  Graph g(4);
+  for (int rep = 0; rep < 2; ++rep) {
+    for (NodeId v = 0; v < 4; ++v) {
+      g.add_edge(v, static_cast<NodeId>((v + 1) % 4));
+    }
+  }
+  EdgePartition p = regular_euler(g, 3);
+  expect_valid_min_wavelength(g, p, 3);
+}
+
+TEST(Lemma9Bound, Formula) {
+  EXPECT_EQ(lemma9_cover_bound(36, 7), 14);   // ceil(108/8)
+  EXPECT_EQ(lemma9_cover_bound(36, 15), 7);   // ceil(108/16)
+  EXPECT_THROW(lemma9_cover_bound(36, 8), CheckError);  // even r
+}
+
+}  // namespace
+}  // namespace tgroom

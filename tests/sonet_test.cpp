@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "sonet/ring.hpp"
+#include "sonet/simulator.hpp"
+
+namespace tgroom {
+namespace {
+
+TEST(Ring, HopCountsAndPaths) {
+  UpsrRing ring(6);
+  EXPECT_EQ(ring.node_count(), 6);
+  EXPECT_EQ(ring.hop_count(0, 3), 3);
+  EXPECT_EQ(ring.hop_count(3, 0), 3);
+  EXPECT_EQ(ring.hop_count(5, 0), 1);
+  EXPECT_EQ(ring.working_path(4, 1), (std::vector<NodeId>{4, 5, 0}));
+  EXPECT_EQ(ring.working_path(1, 2), (std::vector<NodeId>{1}));
+}
+
+TEST(Ring, SymmetricPairWrapsWholeRing) {
+  UpsrRing ring(7);
+  for (NodeId x = 0; x < 7; ++x) {
+    for (NodeId y = 0; y < 7; ++y) {
+      if (x == y) continue;
+      auto forward = ring.working_path(x, y);
+      auto backward = ring.working_path(y, x);
+      EXPECT_EQ(forward.size() + backward.size(), 7u);
+    }
+  }
+}
+
+TEST(Ring, ProtectionPathIsComplement) {
+  UpsrRing ring(5);
+  auto protect = ring.protection_path(0, 3);
+  // Complement arc uses the working links from 3 to 0, reversed.
+  EXPECT_EQ(protect, (std::vector<NodeId>{4, 3}));
+}
+
+TEST(Ring, RejectsDegenerate) {
+  EXPECT_THROW(UpsrRing(1), CheckError);
+  UpsrRing ring(3);
+  EXPECT_THROW(ring.hop_count(0, 0), CheckError);
+}
+
+GroomingPlan make_plan(NodeId n, int k,
+                       std::vector<GroomedPair> pairs) {
+  GroomingPlan plan;
+  plan.ring_size = n;
+  plan.grooming_factor = k;
+  plan.pairs = std::move(pairs);
+  return plan;
+}
+
+TEST(Simulator, ValidPlanPasses) {
+  UpsrRing ring(6);
+  GroomingPlan plan = make_plan(
+      6, 2,
+      {{DemandPair{0, 3}, 0, 0}, {DemandPair{1, 4}, 0, 1},
+       {DemandPair{2, 5}, 1, 0}});
+  SimulationResult sim = simulate_plan(ring, plan);
+  EXPECT_TRUE(sim.ok) << sim.issue;
+  EXPECT_EQ(sim.wavelengths_used, 2);
+  EXPECT_EQ(sim.sadm_count, 6);
+  EXPECT_EQ(sim.bypass_count, 6);
+  // Each symmetric pair loads every link once: wavelength 0 carries 2
+  // pairs -> load 2 on all 6 links; wavelength 1 -> load 1.
+  for (NodeId link = 0; link < 6; ++link) {
+    EXPECT_EQ(sim.load[0][static_cast<std::size_t>(link)], 2);
+    EXPECT_EQ(sim.load[1][static_cast<std::size_t>(link)], 1);
+  }
+  EXPECT_EQ(sim.unit_hops, 3 * 6);
+}
+
+TEST(Simulator, DetectsTimeslotCollision) {
+  UpsrRing ring(5);
+  GroomingPlan plan = make_plan(
+      5, 4, {{DemandPair{0, 1}, 0, 0}, {DemandPair{2, 3}, 0, 0}});
+  SimulationResult sim = simulate_plan(ring, plan);
+  EXPECT_FALSE(sim.ok);
+  EXPECT_NE(sim.issue.find("collision"), std::string::npos);
+}
+
+TEST(Simulator, DetectsBadTimeslot) {
+  UpsrRing ring(5);
+  GroomingPlan plan = make_plan(5, 2, {{DemandPair{0, 1}, 0, 2}});
+  EXPECT_FALSE(simulate_plan(ring, plan).ok);
+}
+
+TEST(Simulator, DetectsBadEndpoints) {
+  UpsrRing ring(5);
+  GroomingPlan plan = make_plan(5, 2, {{DemandPair{0, 9}, 0, 0}});
+  EXPECT_FALSE(simulate_plan(ring, plan).ok);
+}
+
+TEST(Simulator, DetectsRingSizeMismatch) {
+  UpsrRing ring(5);
+  GroomingPlan plan = make_plan(6, 2, {{DemandPair{0, 1}, 0, 0}});
+  EXPECT_FALSE(simulate_plan(ring, plan).ok);
+}
+
+TEST(Simulator, FullWavelengthReachesCapacityNotBeyond) {
+  UpsrRing ring(4);
+  GroomingPlan plan = make_plan(
+      4, 3,
+      {{DemandPair{0, 1}, 0, 0}, {DemandPair{1, 2}, 0, 1},
+       {DemandPair{2, 3}, 0, 2}});
+  SimulationResult sim = simulate_plan(ring, plan);
+  EXPECT_TRUE(sim.ok) << sim.issue;
+  EXPECT_DOUBLE_EQ(sim.mean_utilization, 1.0);
+}
+
+TEST(Simulator, RenderSadmMap) {
+  UpsrRing ring(4);
+  GroomingPlan plan = make_plan(4, 2, {{DemandPair{0, 2}, 0, 0}});
+  std::string map = render_sadm_map(ring, plan);
+  EXPECT_NE(map.find("A.A."), std::string::npos);
+  EXPECT_NE(map.find("(2 SADMs)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tgroom

@@ -1,0 +1,188 @@
+// Stream-level tests of the tgroom CLI command layer.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "tools/commands.hpp"
+
+namespace tgroom::tools {
+namespace {
+
+struct ToolRun {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+ToolRun run(std::vector<std::string> argv_strings,
+            const std::string& stdin_text = "") {
+  std::vector<const char*> argv{"tgroom"};
+  for (const auto& s : argv_strings) argv.push_back(s.c_str());
+  std::istringstream in(stdin_text);
+  std::ostringstream out, err;
+  int code = run_tool(static_cast<int>(argv.size()), argv.data(), in, out,
+                      err);
+  return {code, out.str(), err.str()};
+}
+
+TEST(Tool, NoArgsPrintsUsage) {
+  ToolRun r = run({});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("tgroom <command>"), std::string::npos);
+}
+
+TEST(Tool, HelpSucceeds) {
+  ToolRun r = run({"help"});
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.out.find("generate"), std::string::npos);
+}
+
+TEST(Tool, UnknownCommandFails) {
+  ToolRun r = run({"frobnicate"});
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Tool, GeneratePatterns) {
+  for (std::string pattern : {"random", "regular", "all-to-all", "hub"}) {
+    ToolRun r = run({"generate", "--pattern", pattern, "--n", "12", "--r",
+                     "4", "--dense", "0.4", "--hubs", "2"});
+    EXPECT_EQ(r.exit_code, 0) << pattern << ": " << r.err;
+    EXPECT_NE(r.out.find("pattern=" + pattern), std::string::npos);
+  }
+  EXPECT_EQ(run({"generate", "--pattern", "nope"}).exit_code, 2);
+}
+
+TEST(Tool, GenerateIsSeedDeterministic) {
+  ToolRun a = run({"generate", "--n", "10", "--seed", "4"});
+  ToolRun b = run({"generate", "--n", "10", "--seed", "4"});
+  ToolRun c = run({"generate", "--n", "10", "--seed", "5"});
+  EXPECT_EQ(a.out, b.out);
+  EXPECT_NE(a.out, c.out);
+}
+
+TEST(Tool, GroomThenSimulatePipeline) {
+  ToolRun demands = run({"generate", "--n", "14", "--dense", "0.5"});
+  ASSERT_EQ(demands.exit_code, 0);
+  ToolRun plan = run({"groom", "--k", "4", "--algorithm", "spant"},
+                     demands.out);
+  ASSERT_EQ(plan.exit_code, 0) << plan.err;
+  EXPECT_NE(plan.out.find("algorithm=SpanT_Euler"), std::string::npos);
+  ToolRun sim = run({"simulate"}, plan.out);
+  EXPECT_EQ(sim.exit_code, 0) << sim.err;
+  EXPECT_NE(sim.out.find("valid:             yes"), std::string::npos);
+}
+
+TEST(Tool, SurviveReportsRecovery) {
+  ToolRun demands = run({"generate", "--n", "10", "--dense", "0.4"});
+  ToolRun plan = run({"groom", "--k", "3"}, demands.out);
+  ToolRun survive = run({"survive"}, plan.out);
+  EXPECT_EQ(survive.exit_code, 0) << survive.err;
+  EXPECT_NE(survive.out.find("all single span failures recovered"),
+            std::string::npos);
+}
+
+TEST(Tool, CompareListsAlgorithms) {
+  ToolRun demands = run({"generate", "--pattern", "regular", "--n", "12",
+                         "--r", "4"});
+  ToolRun compare = run({"compare", "--k", "6"}, demands.out);
+  EXPECT_EQ(compare.exit_code, 0) << compare.err;
+  EXPECT_NE(compare.out.find("SpanT_Euler"), std::string::npos);
+  // Regular traffic: Regular_Euler participates.
+  EXPECT_NE(compare.out.find("Regular_Euler"), std::string::npos);
+}
+
+TEST(Tool, CompareSkipsRegularEulerOnIrregularTraffic) {
+  ToolRun demands = run({"generate", "--pattern", "hub", "--n", "12",
+                         "--hubs", "2"});
+  ToolRun compare = run({"compare", "--k", "4"}, demands.out);
+  EXPECT_EQ(compare.exit_code, 0) << compare.err;
+  EXPECT_EQ(compare.out.find("Regular_Euler"), std::string::npos);
+}
+
+TEST(Tool, GroomWithAnnealStillValid) {
+  ToolRun demands = run({"generate", "--n", "14", "--dense", "0.6"});
+  ToolRun plain = run({"groom", "--k", "4"}, demands.out);
+  ToolRun annealed = run({"groom", "--k", "4", "--anneal",
+                          "--anneal-iterations", "3000"},
+                         demands.out);
+  ASSERT_EQ(annealed.exit_code, 0) << annealed.err;
+  ToolRun sim = run({"simulate"}, annealed.out);
+  EXPECT_EQ(sim.exit_code, 0) << sim.err;
+  auto sadms = [](const std::string& header) {
+    auto pos = header.find("sadms=");
+    return std::atoll(header.c_str() + pos + 6);
+  };
+  EXPECT_LE(sadms(annealed.out), sadms(plain.out));
+}
+
+TEST(Tool, GroomRejectsUnknownAlgorithm) {
+  ToolRun demands = run({"generate", "--n", "8"});
+  ToolRun r = run({"groom", "--algorithm", "quantum"}, demands.out);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.err.find("unknown algorithm"), std::string::npos);
+}
+
+TEST(Tool, GroomRejectsGarbageInput) {
+  ToolRun r = run({"groom", "--k", "4"}, "not a demand file");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_FALSE(r.err.empty());
+}
+
+TEST(Tool, SimulateFlagsBadPlan) {
+  // Two pairs on the same wavelength+timeslot.
+  std::string bad_plan = "8 4 2\n0 1 0 0\n2 3 0 0\n";
+  ToolRun r = run({"simulate"}, bad_plan);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.out.find("NO"), std::string::npos);
+}
+
+TEST(Tool, GrowExtendsPlanInPlace) {
+  ToolRun demands = run({"generate", "--n", "12", "--dense", "0.4"});
+  ToolRun plan = run({"groom", "--k", "4"}, demands.out);
+  ToolRun grown = run({"grow", "--add", "0-6,1-7"}, plan.out);
+  ASSERT_EQ(grown.exit_code, 0) << grown.err;
+  EXPECT_NE(grown.out.find("added=2"), std::string::npos);
+  ToolRun sim = run({"simulate"}, grown.out);
+  EXPECT_EQ(sim.exit_code, 0) << sim.err;
+}
+
+TEST(Tool, GrowRejectsEmptyOrBadSpec) {
+  ToolRun demands = run({"generate", "--n", "8", "--dense", "0.4"});
+  ToolRun plan = run({"groom", "--k", "4"}, demands.out);
+  EXPECT_EQ(run({"grow"}, plan.out).exit_code, 1);
+  EXPECT_EQ(run({"grow", "--add", "garbage"}, plan.out).exit_code, 1);
+}
+
+TEST(Tool, GadgetRoundTrip) {
+  // Octahedron: even degrees -> a valid gadget input.
+  std::ostringstream graph;
+  graph << "6 12\n";
+  for (int u = 0; u < 6; ++u) {
+    for (int v = u + 1; v < 6; ++v) {
+      if (v - u != 3) graph << u << ' ' << v << '\n';
+    }
+  }
+  ToolRun r = run({"gadget"}, graph.str());
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  EXPECT_NE(r.out.find("delta=4"), std::string::npos);
+}
+
+TEST(Tool, GadgetRejectsOddDegrees) {
+  ToolRun r = run({"gadget"}, "2 1\n0 1\n");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.err.find("even degrees"), std::string::npos);
+}
+
+TEST(Tool, AlgorithmAliasesResolve) {
+  ToolRun demands = run({"generate", "--n", "10", "--dense", "0.4"});
+  for (std::string alias : {"algo1", "algo2", "algo3", "clique",
+                            "SpanT_Euler"}) {
+    ToolRun r = run({"groom", "--k", "4", "--algorithm", alias},
+                    demands.out);
+    EXPECT_EQ(r.exit_code, 0) << alias << ": " << r.err;
+  }
+}
+
+}  // namespace
+}  // namespace tgroom::tools

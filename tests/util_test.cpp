@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+
+#include "util/check.hpp"
+#include "util/cli.hpp"
+#include "util/csv.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tgroom {
+namespace {
+
+TEST(Check, ThrowsWithMessage) {
+  try {
+    TGROOM_CHECK_MSG(1 == 2, "math broke");
+    FAIL() << "expected CheckError";
+  } catch (const CheckError& e) {
+    EXPECT_NE(std::string(e.what()).find("math broke"), std::string::npos);
+  }
+}
+
+TEST(Check, PassesSilently) { TGROOM_CHECK(2 + 2 == 4); }
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.below(13), 13u);
+  }
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(3);
+  bool low_hit = false, high_hit = false;
+  for (int i = 0; i < 5000; ++i) {
+    auto x = rng.uniform_int(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    low_hit |= (x == -2);
+    high_hit |= (x == 2);
+  }
+  EXPECT_TRUE(low_hit);
+  EXPECT_TRUE(high_hit);
+}
+
+TEST(Rng, Uniform01HalfOpen) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    double u = rng.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitProducesIndependentStream) {
+  Rng a(42);
+  Rng child = a.split();
+  Rng b(42);
+  // The child must not replay the parent's post-split outputs.
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (child() == b());
+  EXPECT_LT(same, 4);
+}
+
+TEST(Table, AlignsAndCounts) {
+  TextTable t("title");
+  t.set_header({"a", "long-column"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  EXPECT_EQ(t.row_count(), 2u);
+  std::string s = t.to_string();
+  EXPECT_NE(s.find("title"), std::string::npos);
+  EXPECT_NE(s.find("long-column"), std::string::npos);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  TextTable t;
+  t.set_header({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), CheckError);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(static_cast<long long>(42)), "42");
+}
+
+TEST(Csv, EscapesSpecialCharacters) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, WritesFile) {
+  std::string path = ::testing::TempDir() + "/tgroom_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.write_row({"x", "y"});
+    csv.write_row({"1", "two,three"});
+  }
+  std::ifstream in(path);
+  std::string line1, line2;
+  std::getline(in, line1);
+  std::getline(in, line2);
+  EXPECT_EQ(line1, "x,y");
+  EXPECT_EQ(line2, "1,\"two,three\"");
+}
+
+TEST(Cli, ParsesFlagsAndPositional) {
+  const char* argv[] = {"prog",       "--n",    "36",  "--dense=0.5",
+                        "positional", "--flag", nullptr};
+  CliArgs args(6, argv);
+  EXPECT_EQ(args.get_int("n", 0), 36);
+  EXPECT_DOUBLE_EQ(args.get_double("dense", 0), 0.5);
+  EXPECT_TRUE(args.get_bool("flag", false));
+  ASSERT_EQ(args.positional().size(), 1u);
+  EXPECT_EQ(args.positional()[0], "positional");
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+}
+
+TEST(Cli, ParsesIntList) {
+  const char* argv[] = {"prog", "--k=4,8,16", nullptr};
+  CliArgs args(2, argv);
+  EXPECT_EQ(args.get_int_list("k", {}), (std::vector<int>{4, 8, 16}));
+  EXPECT_EQ(args.get_int_list("other", {1}), (std::vector<int>{1}));
+}
+
+TEST(ThreadPool, InlineModeRunsTasks) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.worker_count(), 0u);
+  auto future = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(future.get(), 42);
+}
+
+TEST(ThreadPool, ParallelForCoversAllIndices) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for_index(100, [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for_index(
+                   8,
+                   [&](std::size_t i) {
+                     if (i == 5) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace tgroom

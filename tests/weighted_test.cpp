@@ -1,0 +1,138 @@
+#include <gtest/gtest.h>
+
+#include "algorithms/algorithm.hpp"
+#include "graph/properties.hpp"
+#include "grooming/weighted.hpp"
+#include "sonet/protection.hpp"
+#include "sonet/simulator.hpp"
+
+namespace tgroom {
+namespace {
+
+TEST(WeightedDemands, AddAndMerge) {
+  WeightedDemandSet set(8);
+  set.add(0, 3, 2);
+  set.add(3, 0, 1);  // merges after normalization
+  set.add(1, 2, 4);
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_EQ(set.demands()[0], (WeightedDemand{0, 3, 3}));
+  EXPECT_EQ(set.total_units(), 7);
+}
+
+TEST(WeightedDemands, RejectsInvalid) {
+  WeightedDemandSet set(4);
+  EXPECT_THROW(set.add(0, 0, 1), CheckError);
+  EXPECT_THROW(set.add(0, 9, 1), CheckError);
+  EXPECT_THROW(set.add(0, 1, 0), CheckError);
+  EXPECT_THROW(set.add(0, 1, -2), CheckError);
+}
+
+TEST(WeightedDemands, MultigraphExpansion) {
+  WeightedDemandSet set(5);
+  set.add(0, 1, 3);
+  set.add(2, 4, 2);
+  Graph g = set.traffic_multigraph();
+  EXPECT_EQ(g.edge_count(), 5);
+  EXPECT_FALSE(is_simple(g));  // parallel edges by construction
+  EXPECT_EQ(g.degree(0), 3);
+  EXPECT_EQ(set.demand_of_edge(0), 0u);
+  EXPECT_EQ(set.demand_of_edge(2), 0u);
+  EXPECT_EQ(set.demand_of_edge(3), 1u);
+  EXPECT_EQ(set.demand_of_edge(4), 1u);
+}
+
+TEST(WeightedDemands, SerializeParseRoundTrip) {
+  WeightedDemandSet set(6);
+  set.add(0, 5, 7);
+  set.add(2, 3, 1);
+  WeightedDemandSet back = WeightedDemandSet::parse(set.serialize());
+  EXPECT_EQ(back.ring_size(), 6);
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back.demands()[0], set.demands()[0]);
+  EXPECT_EQ(back.demands()[1], set.demands()[1]);
+}
+
+class WeightedGroomP : public ::testing::TestWithParam<AlgorithmId> {};
+
+TEST_P(WeightedGroomP, EndToEndOnMultigraph) {
+  WeightedDemandSet set(10);
+  set.add(0, 5, 6);   // a fat demand that must split across wavelengths
+  set.add(1, 2, 2);
+  set.add(3, 8, 3);
+  set.add(2, 7, 1);
+  Graph multigraph = set.traffic_multigraph();
+  const int k = 4;
+
+  EdgePartition p = run_algorithm(GetParam(), multigraph, k);
+  auto v = validate_partition(multigraph, p);
+  ASSERT_TRUE(v.ok) << v.reason;
+  EXPECT_TRUE(uses_min_wavelengths(multigraph, p));
+
+  GroomingPlan plan = plan_from_weighted_partition(set, multigraph, p);
+  EXPECT_EQ(plan.pairs.size(), static_cast<std::size_t>(set.total_units()));
+  UpsrRing ring(10);
+  SimulationResult sim = simulate_plan(ring, plan);
+  EXPECT_TRUE(sim.ok) << sim.issue;
+  EXPECT_EQ(sim.sadm_count, sadm_cost(multigraph, p));
+  EXPECT_TRUE(
+      survivability_report(ring, plan).survives_all_single_failures);
+}
+
+INSTANTIATE_TEST_SUITE_P(Algorithms, WeightedGroomP,
+                         ::testing::Values(AlgorithmId::kGoldschmidt,
+                                           AlgorithmId::kBrauner,
+                                           AlgorithmId::kSpanTEuler,
+                                           AlgorithmId::kWangGuIcc06,
+                                           AlgorithmId::kCliquePack));
+
+TEST(WeightedGroom, FatDemandMustSplit) {
+  // 6 units between one pair with k = 4: at least two wavelengths.
+  WeightedDemandSet set(4);
+  set.add(0, 2, 6);
+  Graph g = set.traffic_multigraph();
+  EdgePartition p = run_algorithm(AlgorithmId::kSpanTEuler, g, 4);
+  auto spread = demand_wavelength_spread(set, g, p);
+  ASSERT_EQ(spread.size(), 1u);
+  EXPECT_EQ(spread[0], 2);
+  // Cost: {0,2} on both wavelengths -> 4 SADMs total.
+  EXPECT_EQ(sadm_cost(g, p), 4);
+}
+
+TEST(WeightedGroom, SpreadCountsDistinctWavelengths) {
+  WeightedDemandSet set(6);
+  set.add(0, 1, 2);
+  set.add(2, 3, 2);
+  Graph g = set.traffic_multigraph();
+  EdgePartition p;
+  p.k = 2;
+  p.parts = {{0, 2}, {1, 3}};  // each demand split across both wavelengths
+  auto spread = demand_wavelength_spread(set, g, p);
+  EXPECT_EQ(spread, (std::vector<int>{2, 2}));
+}
+
+TEST(WeightedGroom, UnitWeightsMatchUnitaryPath) {
+  // All weights 1: the weighted pipeline must agree with the unitary one.
+  WeightedDemandSet set(8);
+  set.add(0, 1, 1);
+  set.add(2, 5, 1);
+  set.add(3, 7, 1);
+  Graph g = set.traffic_multigraph();
+  EXPECT_TRUE(is_simple(g));
+  EdgePartition p = run_algorithm(AlgorithmId::kSpanTEuler, g, 2);
+  GroomingPlan plan = plan_from_weighted_partition(set, g, p);
+  EXPECT_EQ(plan_sadm_count(plan), sadm_cost(g, p));
+}
+
+TEST(WeightedGroom, PlanRejectsMismatchedExpansion) {
+  WeightedDemandSet set(4);
+  set.add(0, 1, 2);
+  Graph wrong(4);
+  wrong.add_edge(0, 1);
+  EdgePartition p;
+  p.k = 2;
+  p.parts = {{0}};
+  EXPECT_THROW(plan_from_weighted_partition(set, wrong, p), CheckError);
+}
+
+}  // namespace
+}  // namespace tgroom
