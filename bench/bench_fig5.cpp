@@ -18,6 +18,7 @@ void print_fig5(const CliArgs& args) {
   config.seeds = static_cast<int>(args.get_int("seeds", 20));
   config.grooming_factors =
       args.get_int_list("k", {4, 8, 12, 16, 20, 24, 28, 32, 40, 48});
+  config.workers = static_cast<std::size_t>(args.get_int("workers", 0));
   const auto n = static_cast<NodeId>(args.get_int("n", 36));
 
   std::cout << "== Figure 5 reproduction: SADMs vs grooming factor, "

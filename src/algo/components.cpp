@@ -15,7 +15,8 @@ std::vector<std::vector<NodeId>> Components::groups() const {
 }
 
 namespace {
-Components bfs_components(const Graph& g, const std::vector<char>* mask) {
+template <typename G>
+Components bfs_components(const G& g, const std::vector<char>* mask) {
   const auto n = static_cast<std::size_t>(g.node_count());
   Components comp;
   comp.label.assign(n, -1);
@@ -44,7 +45,17 @@ Components connected_components(const Graph& g) {
   return bfs_components(g, nullptr);
 }
 
+Components connected_components(const CsrGraph& g) {
+  return bfs_components(g, nullptr);
+}
+
 Components connected_components_masked(const Graph& g,
+                                       const std::vector<char>& edge_mask) {
+  TGROOM_CHECK(edge_mask.size() == static_cast<std::size_t>(g.edge_count()));
+  return bfs_components(g, &edge_mask);
+}
+
+Components connected_components_masked(const CsrGraph& g,
                                        const std::vector<char>& edge_mask) {
   TGROOM_CHECK(edge_mask.size() == static_cast<std::size_t>(g.edge_count()));
   return bfs_components(g, &edge_mask);

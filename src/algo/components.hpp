@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
 
 namespace tgroom {
@@ -19,9 +20,12 @@ struct Components {
 
 /// Components using every edge of g (virtual included).
 Components connected_components(const Graph& g);
+Components connected_components(const CsrGraph& g);
 
 /// Components using only edges where edge_mask[e] != 0.
 Components connected_components_masked(const Graph& g,
+                                       const std::vector<char>& edge_mask);
+Components connected_components_masked(const CsrGraph& g,
                                        const std::vector<char>& edge_mask);
 
 /// True when the whole node set is one component (n <= 1 counts as

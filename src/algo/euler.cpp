@@ -7,51 +7,79 @@
 
 namespace tgroom {
 
-Walk euler_walk_from(const Graph& g, const std::vector<char>& edge_mask,
-                     NodeId start) {
-  TGROOM_CHECK(g.valid_node(start));
-  TGROOM_CHECK(edge_mask.size() == static_cast<std::size_t>(g.edge_count()));
+namespace {
 
-  std::vector<std::size_t> cursor(static_cast<std::size_t>(g.node_count()), 0);
-  std::vector<char> used(static_cast<std::size_t>(g.edge_count()), 0);
-
-  // Hierholzer with an explicit stack of (node, edge used to reach it).
-  std::vector<std::pair<NodeId, EdgeId>> stack{{start, kInvalidEdge}};
+// Shared scratch for one decomposition: cursors and the used-edge mask
+// survive across components (disjoint, so no interference), and the
+// stack/out vectors keep their capacity between walks.
+struct HierholzerScratch {
+  std::vector<std::size_t> cursor;               // per node
+  std::vector<char> used;                        // per edge
+  std::vector<std::pair<NodeId, EdgeId>> stack;  // (node, arriving edge)
   std::vector<std::pair<NodeId, EdgeId>> out;
-  while (!stack.empty()) {
-    NodeId v = stack.back().first;
+
+  template <typename G>
+  void reset(const G& g) {
+    cursor.assign(static_cast<std::size_t>(g.node_count()), 0);
+    used.assign(static_cast<std::size_t>(g.edge_count()), 0);
+  }
+};
+
+// Hierholzer with an explicit stack; consumes the masked, not-yet-used
+// edges reachable from `start` and appends nothing outside them.
+template <typename G>
+Walk euler_walk_impl(const G& g, const std::vector<char>& edge_mask,
+                     NodeId start, HierholzerScratch& scratch) {
+  scratch.stack.clear();
+  scratch.out.clear();
+  scratch.stack.push_back({start, kInvalidEdge});
+  while (!scratch.stack.empty()) {
+    NodeId v = scratch.stack.back().first;
     auto inc = g.incident(v);
-    auto& cur = cursor[static_cast<std::size_t>(v)];
+    auto& cur = scratch.cursor[static_cast<std::size_t>(v)];
     while (cur < inc.size() &&
            (!edge_mask[static_cast<std::size_t>(inc[cur].edge)] ||
-            used[static_cast<std::size_t>(inc[cur].edge)])) {
+            scratch.used[static_cast<std::size_t>(inc[cur].edge)])) {
       ++cur;
     }
     if (cur < inc.size()) {
       const Incidence& step = inc[cur];
-      used[static_cast<std::size_t>(step.edge)] = 1;
-      stack.push_back({step.neighbor, step.edge});
+      scratch.used[static_cast<std::size_t>(step.edge)] = 1;
+      scratch.stack.push_back({step.neighbor, step.edge});
     } else {
-      out.push_back(stack.back());
-      stack.pop_back();
+      scratch.out.push_back(scratch.stack.back());
+      scratch.stack.pop_back();
     }
   }
-  std::reverse(out.begin(), out.end());
+  std::reverse(scratch.out.begin(), scratch.out.end());
 
   Walk walk;
-  walk.nodes.reserve(out.size());
-  walk.edges.reserve(out.size() - 1);
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    walk.nodes.push_back(out[i].first);
-    if (i > 0) walk.edges.push_back(out[i].second);
+  walk.nodes.reserve(scratch.out.size());
+  walk.edges.reserve(scratch.out.size() - 1);
+  for (std::size_t i = 0; i < scratch.out.size(); ++i) {
+    walk.nodes.push_back(scratch.out[i].first);
+    if (i > 0) walk.edges.push_back(scratch.out[i].second);
   }
+  return walk;
+}
+
+template <typename G>
+Walk euler_walk_from_impl(const G& g, const std::vector<char>& edge_mask,
+                          NodeId start) {
+  TGROOM_CHECK(g.valid_node(start));
+  TGROOM_CHECK(edge_mask.size() == static_cast<std::size_t>(g.edge_count()));
+  HierholzerScratch scratch;
+  scratch.reset(g);
+  Walk walk = euler_walk_impl(g, edge_mask, start, scratch);
   TGROOM_CHECK_MSG(is_valid_walk(g, walk),
                    "component is not Eulerian from the given start node");
   return walk;
 }
 
-std::vector<Walk> euler_decomposition(const Graph& g,
-                                      const std::vector<char>& edge_mask) {
+template <typename G>
+std::vector<Walk> euler_decomposition_impl(const G& g,
+                                           const std::vector<char>& edge_mask) {
+  TGROOM_CHECK(edge_mask.size() == static_cast<std::size_t>(g.edge_count()));
   std::vector<NodeId> deg = masked_degrees(g, edge_mask);
   Components comp = connected_components_masked(g, edge_mask);
 
@@ -72,15 +100,69 @@ std::vector<Walk> euler_decomposition(const Graph& g,
     }
   }
 
+  HierholzerScratch scratch;
+  scratch.reset(g);
+  std::size_t consumed = 0;
+  std::size_t masked = 0;
+  for (char bit : edge_mask) masked += bit ? 1 : 0;
+
   std::vector<Walk> walks;
   for (std::size_t c = 0; c < static_cast<std::size_t>(comp.count); ++c) {
     if (start[c] == kInvalidNode) continue;  // edgeless component
     TGROOM_CHECK_MSG(odd_count[c] == 0 || odd_count[c] == 2,
                      "component has " + std::to_string(odd_count[c]) +
                          " odd-degree nodes; not Eulerian");
-    walks.push_back(euler_walk_from(g, edge_mask, start[c]));
+    Walk walk = euler_walk_impl(g, edge_mask, start[c], scratch);
+    consumed += walk.edges.size();
+    walks.push_back(std::move(walk));
   }
+  // Connected + 0/2 odd degrees per component means every walk consumed its
+  // whole component; this guards the invariant without re-validating each
+  // walk edge-by-edge.
+  TGROOM_CHECK_MSG(consumed == masked,
+                   "Euler decomposition left masked edges unconsumed");
   return walks;
+}
+
+template <typename G>
+bool is_valid_walk_impl(const G& g, const Walk& walk) {
+  if (walk.nodes.empty()) return false;
+  if (walk.nodes.size() != walk.edges.size() + 1) return false;
+  std::vector<char> seen(static_cast<std::size_t>(g.edge_count()), 0);
+  for (std::size_t i = 0; i < walk.edges.size(); ++i) {
+    EdgeId e = walk.edges[i];
+    if (e < 0 || e >= g.edge_count()) return false;
+    if (seen[static_cast<std::size_t>(e)]) return false;
+    seen[static_cast<std::size_t>(e)] = 1;
+    const Edge& edge = g.edge(e);
+    NodeId a = walk.nodes[i];
+    NodeId b = walk.nodes[i + 1];
+    if (!((edge.u == a && edge.v == b) || (edge.u == b && edge.v == a)))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Walk euler_walk_from(const Graph& g, const std::vector<char>& edge_mask,
+                     NodeId start) {
+  return euler_walk_from_impl(g, edge_mask, start);
+}
+
+Walk euler_walk_from(const CsrGraph& g, const std::vector<char>& edge_mask,
+                     NodeId start) {
+  return euler_walk_from_impl(g, edge_mask, start);
+}
+
+std::vector<Walk> euler_decomposition(const Graph& g,
+                                      const std::vector<char>& edge_mask) {
+  return euler_decomposition_impl(g, edge_mask);
+}
+
+std::vector<Walk> euler_decomposition(const CsrGraph& g,
+                                      const std::vector<char>& edge_mask) {
+  return euler_decomposition_impl(g, edge_mask);
 }
 
 std::vector<Walk> split_walk_on_virtual(const Graph& g, const Walk& walk) {
@@ -102,21 +184,11 @@ std::vector<Walk> split_walk_on_virtual(const Graph& g, const Walk& walk) {
 }
 
 bool is_valid_walk(const Graph& g, const Walk& walk) {
-  if (walk.nodes.empty()) return false;
-  if (walk.nodes.size() != walk.edges.size() + 1) return false;
-  std::vector<char> seen(static_cast<std::size_t>(g.edge_count()), 0);
-  for (std::size_t i = 0; i < walk.edges.size(); ++i) {
-    EdgeId e = walk.edges[i];
-    if (e < 0 || e >= g.edge_count()) return false;
-    if (seen[static_cast<std::size_t>(e)]) return false;
-    seen[static_cast<std::size_t>(e)] = 1;
-    const Edge& edge = g.edge(e);
-    NodeId a = walk.nodes[i];
-    NodeId b = walk.nodes[i + 1];
-    if (!((edge.u == a && edge.v == b) || (edge.u == b && edge.v == a)))
-      return false;
-  }
-  return true;
+  return is_valid_walk_impl(g, walk);
+}
+
+bool is_valid_walk(const CsrGraph& g, const Walk& walk) {
+  return is_valid_walk_impl(g, walk);
 }
 
 }  // namespace tgroom

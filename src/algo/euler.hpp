@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
 
 namespace tgroom {
@@ -29,15 +30,22 @@ struct Walk {
 /// them.  Throws CheckError if the component is not Eulerian from `start`.
 Walk euler_walk_from(const Graph& g, const std::vector<char>& edge_mask,
                      NodeId start);
+Walk euler_walk_from(const CsrGraph& g, const std::vector<char>& edge_mask,
+                     NodeId start);
 
 /// Decomposes the masked subgraph into Euler walks, one per component with
 /// at least one edge.  Every component must have 0 or 2 odd-degree nodes.
+/// Scratch buffers are shared across components, so multi-component masks
+/// cost O(n + m) total rather than O(components * (n + m)).
 std::vector<Walk> euler_decomposition(const Graph& g,
+                                      const std::vector<char>& edge_mask);
+std::vector<Walk> euler_decomposition(const CsrGraph& g,
                                       const std::vector<char>& edge_mask);
 
 /// Checks walk consistency: edge endpoints match consecutive nodes and no
 /// edge repeats.
 bool is_valid_walk(const Graph& g, const Walk& walk);
+bool is_valid_walk(const CsrGraph& g, const Walk& walk);
 
 /// Splits a walk at its virtual edges into maximal real sub-walks ("delete
 /// the virtual edges" in the paper's constructions).  Empty segments

@@ -11,7 +11,8 @@ namespace {
 
 // Tree path between u and v inside the masked forest, as edge ids; empty if
 // disconnected (cannot happen for endpoints of a non-tree edge).
-std::vector<EdgeId> tree_path(const Graph& g, const std::vector<char>& in_tree,
+template <typename G>
+std::vector<EdgeId> tree_path(const G& g, const std::vector<char>& in_tree,
                               NodeId u, NodeId v) {
   const auto n = static_cast<std::size_t>(g.node_count());
   std::vector<EdgeId> via(n, kInvalidEdge);
@@ -40,10 +41,9 @@ std::vector<EdgeId> tree_path(const Graph& g, const std::vector<char>& in_tree,
   return path;
 }
 
-}  // namespace
-
-NodeId forest_max_degree(const Graph& g,
-                         const std::vector<EdgeId>& tree_edges) {
+template <typename G>
+NodeId forest_max_degree_impl(const G& g,
+                              const std::vector<EdgeId>& tree_edges) {
   std::vector<NodeId> deg(static_cast<std::size_t>(g.node_count()), 0);
   NodeId best = 0;
   for (EdgeId e : tree_edges) {
@@ -54,7 +54,8 @@ NodeId forest_max_degree(const Graph& g,
   return best;
 }
 
-std::vector<EdgeId> min_max_degree_forest(const Graph& g) {
+template <typename G>
+std::vector<EdgeId> min_max_degree_forest_impl(const G& g) {
   std::vector<EdgeId> tree = spanning_forest(g, TreePolicy::kBfs);
   std::vector<char> in_tree(static_cast<std::size_t>(g.edge_count()), 0);
   std::vector<NodeId> deg(static_cast<std::size_t>(g.node_count()), 0);
@@ -102,6 +103,26 @@ std::vector<EdgeId> min_max_degree_forest(const Graph& g) {
     if (in_tree[static_cast<std::size_t>(e)]) out.push_back(e);
   }
   return out;
+}
+
+}  // namespace
+
+NodeId forest_max_degree(const Graph& g,
+                         const std::vector<EdgeId>& tree_edges) {
+  return forest_max_degree_impl(g, tree_edges);
+}
+
+NodeId forest_max_degree(const CsrGraph& g,
+                         const std::vector<EdgeId>& tree_edges) {
+  return forest_max_degree_impl(g, tree_edges);
+}
+
+std::vector<EdgeId> min_max_degree_forest(const Graph& g) {
+  return min_max_degree_forest_impl(g);
+}
+
+std::vector<EdgeId> min_max_degree_forest(const CsrGraph& g) {
+  return min_max_degree_forest_impl(g);
 }
 
 }  // namespace tgroom

@@ -1,48 +1,78 @@
 #include "algo/rooted_tree.hpp"
 
-#include <stack>
-
 namespace tgroom {
 
-RootedForest root_forest(const Graph& g,
-                         const std::vector<EdgeId>& tree_edges) {
+namespace {
+
+// The tree adjacency is a throwaway touched once per node, so it is built
+// as a flat counting-sorted array (offset table + incidence array) rather
+// than a vector-of-vectors; per-node order matches the order nodes appear
+// in `tree_edges`, preserving the DFS visit order of the old nested form.
+template <typename G>
+RootedForest root_forest_impl(const G& g,
+                              const std::vector<EdgeId>& tree_edges) {
   const auto n = static_cast<std::size_t>(g.node_count());
-  // Adjacency restricted to the tree edges.
-  std::vector<std::vector<Incidence>> adj(n);
+
+  std::vector<std::size_t> offset(n + 1, 0);
   for (EdgeId e : tree_edges) {
     const Edge& edge = g.edge(e);
-    adj[static_cast<std::size_t>(edge.u)].push_back({edge.v, e});
-    adj[static_cast<std::size_t>(edge.v)].push_back({edge.u, e});
+    ++offset[static_cast<std::size_t>(edge.u) + 1];
+    ++offset[static_cast<std::size_t>(edge.v) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) offset[v + 1] += offset[v];
+  std::vector<Incidence> inc(2 * tree_edges.size());
+  std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+  for (EdgeId e : tree_edges) {
+    const Edge& edge = g.edge(e);
+    inc[cursor[static_cast<std::size_t>(edge.u)]++] = Incidence{edge.v, e};
+    inc[cursor[static_cast<std::size_t>(edge.v)]++] = Incidence{edge.u, e};
   }
 
   RootedForest forest;
   forest.parent.assign(n, kInvalidNode);
   forest.parent_edge.assign(n, kInvalidEdge);
   forest.root_of.assign(n, kInvalidNode);
+  forest.preorder.clear();
   forest.preorder.reserve(n);
 
   std::vector<char> visited(n, 0);
-  std::stack<NodeId> stack;
+  std::vector<NodeId> stack;
   for (NodeId root = 0; root < g.node_count(); ++root) {
     if (visited[static_cast<std::size_t>(root)]) continue;
     visited[static_cast<std::size_t>(root)] = 1;
     forest.root_of[static_cast<std::size_t>(root)] = root;
-    stack.push(root);
+    stack.push_back(root);
     while (!stack.empty()) {
-      NodeId v = stack.top();
-      stack.pop();
+      NodeId v = stack.back();
+      stack.pop_back();
       forest.preorder.push_back(v);
-      for (const Incidence& inc : adj[static_cast<std::size_t>(v)]) {
-        if (visited[static_cast<std::size_t>(inc.neighbor)]) continue;
-        visited[static_cast<std::size_t>(inc.neighbor)] = 1;
-        forest.parent[static_cast<std::size_t>(inc.neighbor)] = v;
-        forest.parent_edge[static_cast<std::size_t>(inc.neighbor)] = inc.edge;
-        forest.root_of[static_cast<std::size_t>(inc.neighbor)] = root;
-        stack.push(inc.neighbor);
+      const auto lo = offset[static_cast<std::size_t>(v)];
+      const auto hi = offset[static_cast<std::size_t>(v) + 1];
+      for (std::size_t i = lo; i < hi; ++i) {
+        const Incidence& step = inc[i];
+        if (visited[static_cast<std::size_t>(step.neighbor)]) continue;
+        visited[static_cast<std::size_t>(step.neighbor)] = 1;
+        forest.parent[static_cast<std::size_t>(step.neighbor)] = v;
+        forest.parent_edge[static_cast<std::size_t>(step.neighbor)] =
+            step.edge;
+        forest.root_of[static_cast<std::size_t>(step.neighbor)] = root;
+        stack.push_back(step.neighbor);
       }
     }
   }
   return forest;
+}
+
+}  // namespace
+
+RootedForest root_forest(const Graph& g,
+                         const std::vector<EdgeId>& tree_edges) {
+  return root_forest_impl(g, tree_edges);
+}
+
+RootedForest root_forest(const CsrGraph& g,
+                         const std::vector<EdgeId>& tree_edges) {
+  return root_forest_impl(g, tree_edges);
 }
 
 std::vector<long long> subtree_sums(const RootedForest& forest,
@@ -62,10 +92,10 @@ std::vector<long long> subtree_sums(const RootedForest& forest,
   return total;
 }
 
-std::vector<EdgeId> odd_subtree_edges(const Graph& g,
-                                      const RootedForest& forest,
-                                      const std::vector<long long>& weight) {
-  (void)g;
+namespace {
+
+std::vector<EdgeId> odd_subtree_edges_impl(
+    const RootedForest& forest, const std::vector<long long>& weight) {
   std::vector<long long> total = subtree_sums(forest, weight);
   std::vector<EdgeId> odd_edges;
   for (NodeId v = 0; v < static_cast<NodeId>(forest.parent.size()); ++v) {
@@ -74,6 +104,22 @@ std::vector<EdgeId> odd_subtree_edges(const Graph& g,
     if (total[static_cast<std::size_t>(v)] % 2 != 0) odd_edges.push_back(pe);
   }
   return odd_edges;
+}
+
+}  // namespace
+
+std::vector<EdgeId> odd_subtree_edges(const Graph& g,
+                                      const RootedForest& forest,
+                                      const std::vector<long long>& weight) {
+  (void)g;
+  return odd_subtree_edges_impl(forest, weight);
+}
+
+std::vector<EdgeId> odd_subtree_edges(const CsrGraph& g,
+                                      const RootedForest& forest,
+                                      const std::vector<long long>& weight) {
+  (void)g;
+  return odd_subtree_edges_impl(forest, weight);
 }
 
 }  // namespace tgroom

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
 
 namespace tgroom {
@@ -22,6 +23,8 @@ struct RootedForest {
 /// Roots the forest given by `tree_edges`; every node appears (isolated
 /// nodes become their own roots).
 RootedForest root_forest(const Graph& g, const std::vector<EdgeId>& tree_edges);
+RootedForest root_forest(const CsrGraph& g,
+                         const std::vector<EdgeId>& tree_edges);
 
 /// For each node, sums `weight` over its subtree (weight has one entry per
 /// node); returns per-node subtree totals.  Linear via reverse preorder.
@@ -31,6 +34,9 @@ std::vector<long long> subtree_sums(const RootedForest& forest,
 /// Tree edges whose below-subtree weight sum is odd.  With weight = 1 on
 /// odd-degree nodes of G\T, this is exactly E_odd of the paper's Lemma 4.
 std::vector<EdgeId> odd_subtree_edges(const Graph& g,
+                                      const RootedForest& forest,
+                                      const std::vector<long long>& weight);
+std::vector<EdgeId> odd_subtree_edges(const CsrGraph& g,
                                       const RootedForest& forest,
                                       const std::vector<long long>& weight);
 

@@ -25,7 +25,8 @@ const char* tree_policy_name(TreePolicy policy) {
 
 namespace {
 
-std::vector<EdgeId> bfs_forest(const Graph& g) {
+template <typename G>
+std::vector<EdgeId> bfs_forest(const G& g) {
   std::vector<EdgeId> tree;
   std::vector<char> visited(static_cast<std::size_t>(g.node_count()), 0);
   std::queue<NodeId> q;
@@ -47,7 +48,8 @@ std::vector<EdgeId> bfs_forest(const Graph& g) {
   return tree;
 }
 
-std::vector<EdgeId> dfs_forest(const Graph& g) {
+template <typename G>
+std::vector<EdgeId> dfs_forest(const G& g) {
   std::vector<EdgeId> tree;
   std::vector<char> visited(static_cast<std::size_t>(g.node_count()), 0);
   // Explicit stack of (node, incidence cursor) to avoid deep recursion.
@@ -100,7 +102,8 @@ class Dsu {
   std::vector<NodeId> parent_;
 };
 
-std::vector<EdgeId> random_kruskal_forest(const Graph& g, Rng& rng) {
+template <typename G>
+std::vector<EdgeId> random_kruskal_forest(const G& g, Rng& rng) {
   std::vector<EdgeId> order(static_cast<std::size_t>(g.edge_count()));
   std::iota(order.begin(), order.end(), EdgeId{0});
   rng.shuffle(order);
@@ -113,10 +116,9 @@ std::vector<EdgeId> random_kruskal_forest(const Graph& g, Rng& rng) {
   return tree;
 }
 
-}  // namespace
-
-std::vector<EdgeId> spanning_forest(const Graph& g, TreePolicy policy,
-                                    Rng* rng) {
+template <typename G>
+std::vector<EdgeId> spanning_forest_impl(const G& g, TreePolicy policy,
+                                         Rng* rng) {
   switch (policy) {
     case TreePolicy::kBfs:
       return bfs_forest(g);
@@ -131,6 +133,18 @@ std::vector<EdgeId> spanning_forest(const Graph& g, TreePolicy policy,
   }
   TGROOM_CHECK_MSG(false, "unknown tree policy");
   return {};
+}
+
+}  // namespace
+
+std::vector<EdgeId> spanning_forest(const Graph& g, TreePolicy policy,
+                                    Rng* rng) {
+  return spanning_forest_impl(g, policy, rng);
+}
+
+std::vector<EdgeId> spanning_forest(const CsrGraph& g, TreePolicy policy,
+                                    Rng* rng) {
+  return spanning_forest_impl(g, policy, rng);
 }
 
 bool is_spanning_forest(const Graph& g,

@@ -8,6 +8,7 @@
 
 #include <vector>
 
+#include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
 #include "util/rng.hpp"
 
@@ -23,8 +24,11 @@ enum class TreePolicy {
 const char* tree_policy_name(TreePolicy policy);
 
 /// Returns tree edge ids of a spanning forest of g (n - #components edges).
-/// `rng` is required for kRandom and optional elsewhere.
+/// `rng` is required for kRandom and optional elsewhere.  Both overloads
+/// produce identical trees for the same input graph and seed.
 std::vector<EdgeId> spanning_forest(const Graph& g, TreePolicy policy,
+                                    Rng* rng = nullptr);
+std::vector<EdgeId> spanning_forest(const CsrGraph& g, TreePolicy policy,
                                     Rng* rng = nullptr);
 
 /// True when `tree_edges` forms a spanning forest (acyclic, spans every

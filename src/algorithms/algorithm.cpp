@@ -70,6 +70,12 @@ void check_algorithm_input(const Graph& traffic_graph, int k) {
 
 EdgePartition run_algorithm(AlgorithmId id, const Graph& traffic_graph, int k,
                             const GroomingOptions& options) {
+  return run_algorithm(id, traffic_graph, k, options, nullptr);
+}
+
+EdgePartition run_algorithm(AlgorithmId id, const Graph& traffic_graph, int k,
+                            const GroomingOptions& options,
+                            GroomingWorkspace* workspace) {
   EdgePartition partition;
   switch (id) {
     case AlgorithmId::kGoldschmidt:
@@ -82,7 +88,7 @@ EdgePartition run_algorithm(AlgorithmId id, const Graph& traffic_graph, int k,
       partition = wanggu_skeleton_cover(traffic_graph, k, options);
       break;
     case AlgorithmId::kSpanTEuler:
-      partition = spant_euler(traffic_graph, k, options);
+      partition = spant_euler(traffic_graph, k, options, nullptr, workspace);
       break;
     case AlgorithmId::kRegularEuler:
       partition = regular_euler(traffic_graph, k, options);

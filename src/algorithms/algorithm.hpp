@@ -52,6 +52,16 @@ struct GroomingOptions {
 EdgePartition run_algorithm(AlgorithmId id, const Graph& traffic_graph, int k,
                             const GroomingOptions& options = {});
 
+struct GroomingWorkspace;
+
+/// Same, with caller-owned reusable scratch (see algorithms/workspace.hpp).
+/// Output is identical to the workspace-free overload; algorithms that do
+/// not yet use a workspace simply ignore it.  Pass nullptr to fall back to
+/// per-call scratch.
+EdgePartition run_algorithm(AlgorithmId id, const Graph& traffic_graph, int k,
+                            const GroomingOptions& options,
+                            GroomingWorkspace* workspace);
+
 /// The four algorithms of the paper's Figure 4 comparison, in its order.
 std::vector<AlgorithmId> figure4_algorithms();
 

@@ -5,6 +5,7 @@
 #include "algo/components.hpp"
 #include "algo/euler.hpp"
 #include "algo/rooted_tree.hpp"
+#include "algorithms/workspace.hpp"
 #include "graph/properties.hpp"
 #include "partition/cover_transform.hpp"
 #include "util/rng.hpp"
@@ -13,54 +14,54 @@ namespace tgroom {
 
 EdgePartition spant_euler(const Graph& g, int k,
                           const GroomingOptions& options,
-                          SpanTEulerTrace* trace) {
+                          SpanTEulerTrace* trace,
+                          GroomingWorkspace* workspace) {
   check_algorithm_input(g, k);
-  const auto m = static_cast<std::size_t>(g.edge_count());
+
+  GroomingWorkspace local;
+  GroomingWorkspace& ws = workspace ? *workspace : local;
+  ws.prepare(g);
+  const CsrGraph& csr = ws.csr;
 
   Rng rng(options.seed);
-  std::vector<EdgeId> tree = spanning_forest(g, options.tree_policy, &rng);
-  std::vector<char> in_tree(m, 0);
-  for (EdgeId e : tree) in_tree[static_cast<std::size_t>(e)] = 1;
+  std::vector<EdgeId> tree = spanning_forest(csr, options.tree_policy, &rng);
+  for (EdgeId e : tree) ws.in_tree[static_cast<std::size_t>(e)] = 1;
 
-  // G\T mask and its odd-degree node weights.
-  std::vector<char> cotree(m, 0);
-  for (EdgeId e = 0; e < g.edge_count(); ++e) {
-    cotree[static_cast<std::size_t>(e)] =
-        in_tree[static_cast<std::size_t>(e)] ? 0 : 1;
+  // G\T mask and the parity of each node's degree in it (the odd/even
+  // status is all Lemma 4 needs, so the full degree array never
+  // materializes).
+  for (EdgeId e = 0; e < csr.edge_count(); ++e) {
+    ws.cotree[static_cast<std::size_t>(e)] =
+        ws.in_tree[static_cast<std::size_t>(e)] ? 0 : 1;
   }
-  std::vector<NodeId> cotree_deg = masked_degrees(g, cotree);
-  std::vector<long long> odd_weight(static_cast<std::size_t>(g.node_count()));
-  for (NodeId v = 0; v < g.node_count(); ++v) {
-    odd_weight[static_cast<std::size_t>(v)] =
-        cotree_deg[static_cast<std::size_t>(v)] % 2;
+  for (EdgeId e = 0; e < csr.edge_count(); ++e) {
+    if (!ws.cotree[static_cast<std::size_t>(e)]) continue;
+    const Edge& edge = csr.edge(e);
+    ws.odd_weight[static_cast<std::size_t>(edge.u)] ^= 1;
+    ws.odd_weight[static_cast<std::size_t>(edge.v)] ^= 1;
   }
 
   // E_odd: tree edges with odd V_odd count below (Lemma 4, pairing-free).
-  RootedForest forest = root_forest(g, tree);
-  std::vector<EdgeId> e_odd = odd_subtree_edges(g, forest, odd_weight);
+  RootedForest forest = root_forest(csr, tree);
+  std::vector<EdgeId> e_odd = odd_subtree_edges(csr, forest, ws.odd_weight);
 
   // G'' = E_odd ∪ (E \ T): all degrees even by the Lemma 4 parity argument.
-  std::vector<char> g2_mask = cotree;
-  for (EdgeId e : e_odd) g2_mask[static_cast<std::size_t>(e)] = 1;
+  std::copy(ws.cotree.begin(), ws.cotree.end(), ws.g2_mask.begin());
+  for (EdgeId e : e_odd) ws.g2_mask[static_cast<std::size_t>(e)] = 1;
 
-  std::vector<Walk> walks = euler_decomposition(g, g2_mask);
+  std::vector<Walk> walks = euler_decomposition(csr, ws.g2_mask);
 
   // Backbones: one skeleton per Euler tour; record the first backbone
   // position of every node for branch attachment.
   SkeletonCover cover;
-  struct Site {
-    std::size_t skeleton = 0;
-    std::size_t position = 0;
-  };
-  std::vector<Site> site(static_cast<std::size_t>(g.node_count()));
-  std::vector<char> on_backbone(static_cast<std::size_t>(g.node_count()), 0);
+  using Site = GroomingWorkspace::Site;
   for (Walk& walk : walks) {
     std::size_t idx = cover.size();
     for (std::size_t pos = 0; pos < walk.nodes.size(); ++pos) {
       auto v = static_cast<std::size_t>(walk.nodes[pos]);
-      if (!on_backbone[v]) {
-        on_backbone[v] = 1;
-        site[v] = Site{idx, pos};
+      if (!ws.on_backbone[v]) {
+        ws.on_backbone[v] = 1;
+        ws.site[v] = Site{idx, pos};
       }
     }
     cover.push_back(Skeleton::from_walk(std::move(walk)));
@@ -71,29 +72,26 @@ EdgePartition spant_euler(const Graph& g, int k,
   // degenerate one-node Euler path) so later branches can share it.  With
   // smart_branches, anchor each branch at its busier endpoint so branches
   // cluster at hubs and large parts share nodes.
-  std::vector<char> in_g2 = g2_mask;
-  std::vector<NodeId> branch_degree(static_cast<std::size_t>(g.node_count()),
-                                    0);
   auto is_branch = [&](EdgeId e) {
-    return in_tree[static_cast<std::size_t>(e)] &&
-           !in_g2[static_cast<std::size_t>(e)];
+    return ws.in_tree[static_cast<std::size_t>(e)] &&
+           !ws.g2_mask[static_cast<std::size_t>(e)];
   };
   if (options.smart_branches) {
-    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    for (EdgeId e = 0; e < csr.edge_count(); ++e) {
       if (!is_branch(e)) continue;
-      ++branch_degree[static_cast<std::size_t>(g.edge(e).u)];
-      ++branch_degree[static_cast<std::size_t>(g.edge(e).v)];
+      ++ws.branch_degree[static_cast<std::size_t>(csr.edge(e).u)];
+      ++ws.branch_degree[static_cast<std::size_t>(csr.edge(e).v)];
     }
   }
-  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+  for (EdgeId e = 0; e < csr.edge_count(); ++e) {
     if (!is_branch(e)) continue;
-    const Edge& edge = g.edge(e);
-    bool u_ok = on_backbone[static_cast<std::size_t>(edge.u)];
-    bool v_ok = on_backbone[static_cast<std::size_t>(edge.v)];
+    const Edge& edge = csr.edge(e);
+    bool u_ok = ws.on_backbone[static_cast<std::size_t>(edge.u)];
+    bool v_ok = ws.on_backbone[static_cast<std::size_t>(edge.v)];
     NodeId anchor;
     if (u_ok && v_ok && options.smart_branches) {
-      anchor = branch_degree[static_cast<std::size_t>(edge.v)] >
-                       branch_degree[static_cast<std::size_t>(edge.u)]
+      anchor = ws.branch_degree[static_cast<std::size_t>(edge.v)] >
+                       ws.branch_degree[static_cast<std::size_t>(edge.u)]
                    ? edge.v
                    : edge.u;
     } else if (u_ok) {
@@ -102,22 +100,23 @@ EdgePartition spant_euler(const Graph& g, int k,
       anchor = edge.v;
     } else {
       anchor = options.smart_branches &&
-                       branch_degree[static_cast<std::size_t>(edge.v)] >
-                           branch_degree[static_cast<std::size_t>(edge.u)]
+                       ws.branch_degree[static_cast<std::size_t>(edge.v)] >
+                           ws.branch_degree[static_cast<std::size_t>(edge.u)]
                    ? edge.v
                    : edge.u;
-      on_backbone[static_cast<std::size_t>(anchor)] = 1;
-      site[static_cast<std::size_t>(anchor)] = Site{cover.size(), 0};
+      ws.on_backbone[static_cast<std::size_t>(anchor)] = 1;
+      ws.site[static_cast<std::size_t>(anchor)] = Site{cover.size(), 0};
       cover.push_back(Skeleton::single_node(anchor));
     }
-    const Site& s = site[static_cast<std::size_t>(anchor)];
+    const Site& s = ws.site[static_cast<std::size_t>(anchor)];
     cover[s.skeleton].add_branch(s.position, e);
   }
 
   if (trace) {
     trace->tree = std::move(tree);
     trace->e_odd = std::move(e_odd);
-    trace->g2_component_count = connected_components_masked(g, cotree).count;
+    trace->g2_component_count =
+        connected_components_masked(csr, ws.cotree).count;
     trace->cover = cover;
   }
   return partition_from_cover(g, cover, k);

@@ -18,6 +18,8 @@
 
 namespace tgroom {
 
+struct GroomingWorkspace;
+
 /// White-box intermediates for tests and ablations.
 struct SpanTEulerTrace {
   std::vector<EdgeId> tree;
@@ -26,9 +28,12 @@ struct SpanTEulerTrace {
   SkeletonCover cover;
 };
 
+/// `workspace` (optional) supplies reusable scratch; results are identical
+/// with or without one.
 EdgePartition spant_euler(const Graph& g, int k,
                           const GroomingOptions& options = {},
-                          SpanTEulerTrace* trace = nullptr);
+                          SpanTEulerTrace* trace = nullptr,
+                          GroomingWorkspace* workspace = nullptr);
 
 /// Theorem 5 cost bound: m + ceil(m/k) + (c - 1) extra part-components.
 long long spant_euler_cost_bound(long long real_edges, int k,

@@ -1,0 +1,49 @@
+// Reusable per-run scratch for the grooming hot path.
+//
+// A single run_algorithm call needs ~10 scratch arrays sized by the input
+// graph (edge masks, node flags, backbone sites).  Allocating them fresh
+// per call dominates the runtime of the O(m) algorithms once the graph fits
+// in cache.  A GroomingWorkspace owns those buffers plus a CsrGraph
+// snapshot; prepare() resizes-and-clears them, so repeat runs on same-sized
+// (or smaller) instances perform no allocation at all.
+//
+// Thread-safety: a workspace belongs to one thread at a time.  The batch
+// engine (grooming/batch.hpp) keeps one per worker chunk.
+//
+// Determinism: using a workspace never changes an algorithm's output —
+// every buffer is fully (re)initialized by prepare(); csr_test.cpp pins
+// partition-for-partition equality against the workspace-free path.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/csr_graph.hpp"
+
+namespace tgroom {
+
+struct GroomingWorkspace {
+  /// First backbone occurrence of a node: (skeleton index, walk position).
+  struct Site {
+    std::size_t skeleton = 0;
+    std::size_t position = 0;
+  };
+
+  CsrGraph csr;  // flat traversal snapshot of the input graph
+
+  // Edge-indexed scratch.
+  std::vector<char> in_tree;
+  std::vector<char> cotree;
+  std::vector<char> g2_mask;
+
+  // Node-indexed scratch.
+  std::vector<long long> odd_weight;
+  std::vector<NodeId> branch_degree;
+  std::vector<char> on_backbone;
+  std::vector<Site> site;
+
+  /// Re-snapshots `g` into `csr` and sizes-and-clears every buffer.
+  void prepare(const Graph& g);
+};
+
+}  // namespace tgroom

@@ -1,7 +1,8 @@
 #include "bench_support/sweep.hpp"
 
 #include <limits>
-#include <mutex>
+
+#include "grooming/batch.hpp"
 
 namespace tgroom {
 
@@ -23,54 +24,66 @@ SweepResult run_sweep(const WorkloadSpec& workload,
     }
   }
 
-  std::mutex merge_mutex;
+  const std::size_t seeds = static_cast<std::size_t>(config.seeds);
+  const std::size_t algo_count = algorithms.size();
+  const std::size_t k_count = config.grooming_factors.size();
+
+  // One traffic graph per seed, shared by that seed's (algorithm, k) cells.
+  // Each slot is written by exactly one index, so parallel generation stays
+  // deterministic.
+  std::vector<Graph> graphs(seeds);
+  {
+    ThreadPool pool(config.workers);
+    pool.parallel_for_index(seeds, [&](std::size_t seed_index) {
+      Rng rng(config.base_seed + seed_index);
+      graphs[seed_index] = make_workload(workload, rng);
+    });
+  }
+
+  // Flat (seed, algorithm, k) cell grid; the per-cell option seed formula
+  // is pinned by the regression suite — keep it in sync with older sweeps.
+  std::vector<BatchCell> cells;
+  cells.reserve(seeds * algo_count * k_count);
+  for (std::size_t s = 0; s < seeds; ++s) {
+    for (std::size_t a = 0; a < algo_count; ++a) {
+      for (std::size_t ki = 0; ki < k_count; ++ki) {
+        BatchCell cell;
+        cell.graph = &graphs[s];
+        cell.algorithm = algorithms[a];
+        cell.k = config.grooming_factors[ki];
+        cell.options = config.options;
+        cell.options.seed = config.base_seed ^ (s * 7919 + ki);
+        cells.push_back(cell);
+      }
+    }
+  }
+
+  BatchGroomer groomer(
+      BatchConfig{config.workers, /*validate=*/true,
+                  /*keep_partitions=*/false});
+  std::vector<BatchCellResult> cell_results = groomer.run(cells);
+
+  // Aggregate in ascending seed order per (algorithm, k) cell so the double
+  // sums are bit-identical for every worker count.
   double edge_total = 0;
-
-  auto run_seed = [&](std::size_t seed_index) {
-    Rng rng(config.base_seed + seed_index);
-    Graph traffic = make_workload(workload, rng);
-
-    // Local accumulation, merged under the lock at the end.
-    std::vector<std::vector<SweepCell>> local(
-        algorithms.size(),
-        std::vector<SweepCell>(config.grooming_factors.size()));
-    for (std::size_t a = 0; a < algorithms.size(); ++a) {
-      for (std::size_t ki = 0; ki < config.grooming_factors.size(); ++ki) {
-        int k = config.grooming_factors[ki];
-        GroomingOptions options = config.options;
-        options.seed = config.base_seed ^ (seed_index * 7919 + ki);
-        EdgePartition partition =
-            run_algorithm(algorithms[a], traffic, k, options);
-        PartitionValidation valid = validate_partition(traffic, partition);
-        TGROOM_CHECK_MSG(valid.ok, std::string("sweep produced an invalid "
-                                               "partition: ") +
-                                       valid.reason);
-        SweepCell& cell = local[a][ki];
-        cell.mean_sadms = static_cast<double>(sadm_cost(traffic, partition));
-        cell.mean_wavelengths =
-            static_cast<double>(partition.wavelength_count());
-        cell.mean_lower_bound =
-            static_cast<double>(partition_cost_lower_bound(traffic, k));
+  for (std::size_t s = 0; s < seeds; ++s) {
+    edge_total += static_cast<double>(graphs[s].real_edge_count());
+  }
+  for (std::size_t a = 0; a < algo_count; ++a) {
+    for (std::size_t ki = 0; ki < k_count; ++ki) {
+      SweepCell& agg = result.series[a].cells[ki];
+      for (std::size_t s = 0; s < seeds; ++s) {
+        const BatchCellResult& one =
+            cell_results[(s * algo_count + a) * k_count + ki];
+        const double sadms = static_cast<double>(one.sadms);
+        agg.mean_sadms += sadms;
+        agg.mean_wavelengths += static_cast<double>(one.wavelengths);
+        agg.mean_lower_bound += static_cast<double>(one.lower_bound);
+        agg.min_sadms = std::min(agg.min_sadms, sadms);
+        agg.max_sadms = std::max(agg.max_sadms, sadms);
       }
     }
-
-    std::lock_guard<std::mutex> lock(merge_mutex);
-    edge_total += static_cast<double>(traffic.real_edge_count());
-    for (std::size_t a = 0; a < algorithms.size(); ++a) {
-      for (std::size_t ki = 0; ki < config.grooming_factors.size(); ++ki) {
-        SweepCell& agg = result.series[a].cells[ki];
-        const SweepCell& one = local[a][ki];
-        agg.mean_sadms += one.mean_sadms;
-        agg.mean_wavelengths += one.mean_wavelengths;
-        agg.mean_lower_bound += one.mean_lower_bound;
-        agg.min_sadms = std::min(agg.min_sadms, one.mean_sadms);
-        agg.max_sadms = std::max(agg.max_sadms, one.mean_sadms);
-      }
-    }
-  };
-
-  ThreadPool pool(config.workers);
-  pool.parallel_for_index(static_cast<std::size_t>(config.seeds), run_seed);
+  }
 
   const double denom = static_cast<double>(config.seeds);
   result.mean_edges = edge_total / denom;

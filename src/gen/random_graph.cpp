@@ -14,6 +14,7 @@ Graph random_gnm(NodeId n, long long m, Rng& rng) {
                    "edge count out of range for simple graph");
   Graph g(n);
   if (m == 0) return g;
+  g.reserve_edges(static_cast<EdgeId>(m));
 
   if (m * 3 >= max_edges) {
     // Dense regime: sample by shuffling the full pair list.

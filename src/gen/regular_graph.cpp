@@ -73,6 +73,8 @@ Graph random_regular(NodeId n, NodeId r, Rng& rng, int max_restarts) {
     edges[j] = e2;
   }
 
+  g.reserve_edges(static_cast<EdgeId>(edges.size()));
+  for (NodeId v = 0; v < n; ++v) g.reserve_degree(v, r);
   for (const auto& [u, v] : edges) g.add_edge(u, v);
   return g;
 }

@@ -1,0 +1,31 @@
+#include "graph/csr_graph.hpp"
+
+namespace tgroom {
+
+void CsrGraph::rebuild(const Graph& g) {
+  node_count_ = g.node_count();
+  real_edges_ = g.real_edge_count();
+  const auto n = static_cast<std::size_t>(node_count_);
+
+  edges_.assign(g.edges().begin(), g.edges().end());
+
+  offsets_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++offsets_[static_cast<std::size_t>(e.u) + 1];
+    ++offsets_[static_cast<std::size_t>(e.v) + 1];
+  }
+  for (std::size_t v = 0; v < n; ++v) offsets_[v + 1] += offsets_[v];
+
+  incidences_.resize(2 * edges_.size());
+  fill_cursor_.assign(offsets_.begin(), offsets_.end() - 1);
+  // Filling in edge-id order reproduces Graph's per-node adjacency order.
+  for (EdgeId id = 0; id < edge_count(); ++id) {
+    const Edge& e = edges_[static_cast<std::size_t>(id)];
+    incidences_[static_cast<std::size_t>(
+        fill_cursor_[static_cast<std::size_t>(e.u)]++)] = Incidence{e.v, id};
+    incidences_[static_cast<std::size_t>(
+        fill_cursor_[static_cast<std::size_t>(e.v)]++)] = Incidence{e.u, id};
+  }
+}
+
+}  // namespace tgroom

@@ -1,0 +1,74 @@
+// Flat, immutable CSR snapshot of a Graph for the traversal hot path.
+//
+// Graph stores adjacency as vector<vector<Incidence>>, which is convenient
+// while edges are being added but pointer-chasing to traverse: every
+// incident() call lands in a separately allocated inner vector.  CsrGraph
+// packs all incidences into one contiguous array indexed by a per-node
+// offset table, so BFS/DFS/Euler sweeps walk memory linearly.
+//
+// Determinism contract: incidences appear in ascending edge-id order per
+// node — exactly the order Graph::incident() yields (each add_edge appends
+// to both endpoint lists) — so every traversal kernel produces
+// bit-identical output on either representation.  csr_test.cpp pins this.
+//
+// rebuild() reuses the snapshot's storage, so a long-lived CsrGraph (e.g.
+// inside a GroomingWorkspace) makes repeat runs allocation-free once its
+// buffers have grown to the working-set size.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tgroom {
+
+class CsrGraph {
+ public:
+  CsrGraph() = default;
+  explicit CsrGraph(const Graph& g) { rebuild(g); }
+
+  /// Re-snapshots `g`, reusing existing capacity.
+  void rebuild(const Graph& g);
+
+  NodeId node_count() const { return node_count_; }
+  EdgeId edge_count() const { return static_cast<EdgeId>(edges_.size()); }
+
+  /// Number of non-virtual edges.
+  EdgeId real_edge_count() const { return real_edges_; }
+
+  const Edge& edge(EdgeId e) const {
+    TGROOM_DCHECK(e >= 0 && e < edge_count());
+    return edges_[static_cast<std::size_t>(e)];
+  }
+
+  /// All edges in id order.
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Incidences of `v`, ascending by edge id (same order as Graph).
+  std::span<const Incidence> incident(NodeId v) const {
+    TGROOM_DCHECK(valid_node(v));
+    const auto lo =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v)]);
+    const auto hi =
+        static_cast<std::size_t>(offsets_[static_cast<std::size_t>(v) + 1]);
+    return {incidences_.data() + lo, hi - lo};
+  }
+
+  /// Degree counting all incident edges (virtual included).
+  NodeId degree(NodeId v) const {
+    return static_cast<NodeId>(incident(v).size());
+  }
+
+  bool valid_node(NodeId v) const { return v >= 0 && v < node_count_; }
+
+ private:
+  NodeId node_count_ = 0;
+  EdgeId real_edges_ = 0;
+  std::vector<EdgeId> offsets_;        // node_count_ + 1 entries
+  std::vector<Incidence> incidences_;  // 2 * edge_count entries
+  std::vector<Edge> edges_;            // edge copy, id order
+  std::vector<EdgeId> fill_cursor_;    // rebuild scratch, kept for reuse
+};
+
+}  // namespace tgroom

@@ -25,6 +25,17 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, bool is_virtual) {
   return id;
 }
 
+void Graph::reserve_edges(EdgeId edge_count) {
+  TGROOM_CHECK(edge_count >= 0);
+  edges_.reserve(static_cast<std::size_t>(edge_count));
+}
+
+void Graph::reserve_degree(NodeId v, NodeId degree) {
+  TGROOM_CHECK_MSG(valid_node(v), "reserve_degree: node out of range");
+  TGROOM_CHECK(degree >= 0);
+  adj_[static_cast<std::size_t>(v)].reserve(static_cast<std::size_t>(degree));
+}
+
 NodeId Graph::real_degree(NodeId v) const {
   NodeId d = 0;
   for (const Incidence& inc : incident(v)) {
@@ -50,6 +61,17 @@ EdgeId Graph::find_edge(NodeId u, NodeId v) const {
 Graph make_graph(NodeId n,
                  const std::vector<std::pair<NodeId, NodeId>>& edges) {
   Graph g(n);
+  g.reserve_edges(static_cast<EdgeId>(edges.size()));
+  // Two passes: count degrees first so each adjacency list is allocated
+  // exactly once.
+  std::vector<NodeId> degree(static_cast<std::size_t>(n), 0);
+  for (const auto& [u, v] : edges) {
+    if (g.valid_node(u)) ++degree[static_cast<std::size_t>(u)];
+    if (g.valid_node(v)) ++degree[static_cast<std::size_t>(v)];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    g.reserve_degree(v, degree[static_cast<std::size_t>(v)]);
+  }
   for (const auto& [u, v] : edges) g.add_edge(u, v);
   return g;
 }

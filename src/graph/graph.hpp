@@ -68,6 +68,13 @@ class Graph {
   /// Adds edge {u, v}; returns its id.  Throws on self-loops or bad ids.
   EdgeId add_edge(NodeId u, NodeId v, bool is_virtual = false);
 
+  /// Pre-sizes the edge table for `edge_count` edges (generators know their
+  /// edge count up front; this avoids growth reallocations in hot loops).
+  void reserve_edges(EdgeId edge_count);
+
+  /// Pre-sizes node v's adjacency list for `degree` incidences.
+  void reserve_degree(NodeId v, NodeId degree);
+
   const Edge& edge(EdgeId e) const {
     TGROOM_DCHECK(e >= 0 && e < edge_count());
     return edges_[static_cast<std::size_t>(e)];

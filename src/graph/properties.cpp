@@ -65,8 +65,11 @@ std::vector<NodeId> spanned_nodes(const Graph& g,
   return nodes;
 }
 
-std::vector<NodeId> masked_degrees(const Graph& g,
-                                   const std::vector<char>& edge_mask) {
+namespace {
+
+template <typename G>
+std::vector<NodeId> masked_degrees_impl(const G& g,
+                                        const std::vector<char>& edge_mask) {
   TGROOM_CHECK(edge_mask.size() ==
                static_cast<std::size_t>(g.edge_count()));
   std::vector<NodeId> deg(static_cast<std::size_t>(g.node_count()), 0);
@@ -76,6 +79,18 @@ std::vector<NodeId> masked_degrees(const Graph& g,
     ++deg[static_cast<std::size_t>(g.edge(e).v)];
   }
   return deg;
+}
+
+}  // namespace
+
+std::vector<NodeId> masked_degrees(const Graph& g,
+                                   const std::vector<char>& edge_mask) {
+  return masked_degrees_impl(g, edge_mask);
+}
+
+std::vector<NodeId> masked_degrees(const CsrGraph& g,
+                                   const std::vector<char>& edge_mask) {
+  return masked_degrees_impl(g, edge_mask);
 }
 
 NodeId active_node_count(const Graph& g) {

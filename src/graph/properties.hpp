@@ -4,6 +4,7 @@
 #include <optional>
 #include <vector>
 
+#include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
 
 namespace tgroom {
@@ -33,6 +34,8 @@ std::vector<NodeId> spanned_nodes(const Graph& g,
 
 /// Per-node degree restricted to edges where mask[e] is true.
 std::vector<NodeId> masked_degrees(const Graph& g,
+                                   const std::vector<char>& edge_mask);
+std::vector<NodeId> masked_degrees(const CsrGraph& g,
                                    const std::vector<char>& edge_mask);
 
 /// Number of nodes with degree > 0.

@@ -1,0 +1,52 @@
+#include "grooming/batch.hpp"
+
+#include <string>
+
+#include "algorithms/workspace.hpp"
+#include "util/check.hpp"
+#include "util/rng.hpp"
+#include "util/thread_pool.hpp"
+
+namespace tgroom {
+
+std::vector<BatchCellResult> BatchGroomer::run(
+    const std::vector<BatchCell>& cells) const {
+  std::vector<BatchCellResult> results(cells.size());
+  ThreadPool pool(config_.workers);
+  pool.parallel_for_chunks(
+      cells.size(), [&](std::size_t begin, std::size_t end) {
+        GroomingWorkspace workspace;  // reused across this chunk's cells
+        for (std::size_t i = begin; i < end; ++i) {
+          const BatchCell& cell = cells[i];
+          TGROOM_CHECK_MSG(cell.graph != nullptr, "batch cell has no graph");
+          EdgePartition partition = run_algorithm(
+              cell.algorithm, *cell.graph, cell.k, cell.options, &workspace);
+          if (config_.validate) {
+            PartitionValidation valid =
+                validate_partition(*cell.graph, partition);
+            TGROOM_CHECK_MSG(valid.ok,
+                             std::string("batch produced an invalid "
+                                         "partition: ") +
+                                 valid.reason);
+          }
+          BatchCellResult& result = results[i];
+          result.sadms = sadm_cost(*cell.graph, partition);
+          result.wavelengths = partition.wavelength_count();
+          result.lower_bound =
+              partition_cost_lower_bound(*cell.graph, cell.k);
+          if (config_.keep_partitions) {
+            result.partition = std::move(partition);
+          }
+        }
+      });
+  return results;
+}
+
+std::uint64_t BatchGroomer::cell_seed(std::uint64_t base_seed,
+                                      std::size_t index) {
+  std::uint64_t state =
+      base_seed + 0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) + 1);
+  return splitmix64(state);
+}
+
+}  // namespace tgroom

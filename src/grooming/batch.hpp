@@ -1,0 +1,65 @@
+// Parallel batch-grooming engine.
+//
+// Grooming thousands of traffic graphs (sweeps over instance families,
+// figure reproductions, capacity studies) is embarrassingly parallel, but
+// naive fan-out either leaves determinism to thread timing or re-allocates
+// every scratch buffer per instance.  BatchGroomer fans a flat list of
+// (graph, algorithm, k, options) cells across a ThreadPool in contiguous
+// chunks, one GroomingWorkspace per chunk, and writes results by cell
+// index.
+//
+// Determinism contract: results[i] is a pure function of cells[i] — the
+// RNG seed lives in each cell's options (derive it per cell, e.g. with
+// cell_seed(), never per worker) and no state is shared across cells — so
+// the output is bit-identical for any worker count, including 0 (inline).
+// batch_test.cpp pins this for workers ∈ {0, 1, 4}.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+#include "partition/edge_partition.hpp"
+
+namespace tgroom {
+
+/// One unit of work.  `graph` is borrowed and must outlive run(); many
+/// cells may share one graph (e.g. a per-seed instance swept over k).
+struct BatchCell {
+  const Graph* graph = nullptr;
+  AlgorithmId algorithm = AlgorithmId::kSpanTEuler;
+  int k = 1;
+  GroomingOptions options;
+};
+
+struct BatchCellResult {
+  long long sadms = 0;
+  int wavelengths = 0;
+  long long lower_bound = 0;  // partition_cost_lower_bound for (graph, k)
+  EdgePartition partition;    // empty unless config.keep_partitions
+};
+
+struct BatchConfig {
+  std::size_t workers = 0;      // 0 = run inline on the calling thread
+  bool validate = true;         // validate every partition (throws if bad)
+  bool keep_partitions = true;  // false: drop partitions, keep the stats
+};
+
+class BatchGroomer {
+ public:
+  explicit BatchGroomer(BatchConfig config = {}) : config_(config) {}
+
+  /// Grooms every cell; results are indexed like `cells`.
+  std::vector<BatchCellResult> run(const std::vector<BatchCell>& cells) const;
+
+  /// Splitmix64-derived per-cell seed stream: decorrelated across indices,
+  /// reproducible from (base_seed, index) alone.
+  static std::uint64_t cell_seed(std::uint64_t base_seed, std::size_t index);
+
+  const BatchConfig& config() const { return config_; }
+
+ private:
+  BatchConfig config_;
+};
+
+}  // namespace tgroom

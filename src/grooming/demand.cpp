@@ -28,6 +28,7 @@ bool DemandSet::contains(NodeId x, NodeId y) const {
 
 Graph DemandSet::traffic_graph() const {
   Graph g(ring_size_);
+  g.reserve_edges(static_cast<EdgeId>(pairs_.size()));
   for (const DemandPair& p : pairs_) g.add_edge(p.a, p.b);
   return g;
 }

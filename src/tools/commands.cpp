@@ -5,6 +5,7 @@
 
 #include "algorithms/algorithm.hpp"
 #include "algorithms/anneal.hpp"
+#include "bench_support/sweep.hpp"
 #include "gen/traffic_patterns.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
@@ -43,6 +44,31 @@ GroomingOptions options_from_flags(const CliArgs& args) {
   return options;
 }
 
+/// Parses a comma-separated integer list, e.g. "4,8,16".
+std::optional<std::vector<int>> int_list_flag(const CliArgs& args,
+                                              const std::string& flag,
+                                              const std::string& fallback,
+                                              std::ostream& err) {
+  std::vector<int> values;
+  std::stringstream spec(args.get(flag, fallback));
+  std::string item;
+  while (std::getline(spec, item, ',')) {
+    if (item.empty()) continue;
+    int value = std::atoi(item.c_str());
+    if (value <= 0) {
+      err << "--" << flag << " expects positive integers, got '" << item
+          << "'\n";
+      return std::nullopt;
+    }
+    values.push_back(value);
+  }
+  if (values.empty()) {
+    err << "--" << flag << " lists no values\n";
+    return std::nullopt;
+  }
+  return values;
+}
+
 }  // namespace
 
 std::string usage() {
@@ -63,6 +89,10 @@ std::string usage() {
       "             pairs incrementally (existing circuits untouched)\n"
       "  gadget     reads an even-degree graph, writes the Lemma 6\n"
       "             Δ-regular EPT gadget\n"
+      "  sweep      --pattern dense|regular|all-to-all --n N [--dense D]\n"
+      "             [--r R] [--k K1,K2,...] [--seeds S] [--workers W]\n"
+      "             [--algorithms a,b,...] [--csv] runs the batch engine\n"
+      "             over a (seed x k) grid and prints aggregate SADMs\n"
       "\n"
       "algorithms: Algo1-Goldschmidt, Algo2-Brauner, Algo3-WangGu,\n"
       "            SpanT_Euler, Regular_Euler, CliquePack (aliases: algo1,\n"
@@ -246,6 +276,90 @@ int cmd_gadget(const CliArgs& args, std::istream& in, std::ostream& out,
   }
 }
 
+int cmd_sweep(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  const auto n = static_cast<NodeId>(args.get_int("n", 36));
+  const std::string pattern = args.get("pattern", "dense");
+  WorkloadSpec workload;
+  if (pattern == "dense") {
+    workload = WorkloadSpec::dense(n, args.get_double("dense", 0.5));
+  } else if (pattern == "regular") {
+    workload =
+        WorkloadSpec::regular(n, static_cast<NodeId>(args.get_int("r", 8)));
+  } else if (pattern == "all-to-all") {
+    workload = WorkloadSpec::all_to_all(n);
+  } else {
+    err << "unknown pattern '" << pattern << "'\n";
+    return 2;
+  }
+
+  auto factors = int_list_flag(args, "k", "4,8,12,16,20,24,28,32,40,48", err);
+  if (!factors) return 2;
+
+  std::vector<AlgorithmId> algorithms;
+  std::stringstream names(args.get("algorithms", ""));
+  std::string name;
+  while (std::getline(names, name, ',')) {
+    if (name.empty()) continue;
+    auto id = parse_algorithm_name(name);
+    if (!id) {
+      err << "unknown algorithm '" << name << "'\n";
+      return 2;
+    }
+    algorithms.push_back(*id);
+  }
+  if (algorithms.empty()) algorithms = figure4_algorithms();
+
+  SweepConfig config;
+  config.grooming_factors = *factors;
+  config.seeds = static_cast<int>(args.get_int("seeds", 20));
+  config.base_seed = static_cast<std::uint64_t>(
+      args.get_int("base-seed", 20060101));
+  config.workers = static_cast<std::size_t>(args.get_int("workers", 0));
+  config.options = options_from_flags(args);
+
+  try {
+    SweepResult result = run_sweep(workload, algorithms, config);
+    if (args.get_bool("csv", false)) {
+      out << "algorithm,k,mean_sadms,min_sadms,max_sadms,"
+             "mean_wavelengths,mean_lower_bound\n";
+      for (const auto& series : result.series) {
+        for (std::size_t ki = 0; ki < series.cells.size(); ++ki) {
+          const SweepCell& cell = series.cells[ki];
+          out << algorithm_name(series.algorithm) << ','
+              << config.grooming_factors[ki] << ',' << cell.mean_sadms << ','
+              << cell.min_sadms << ',' << cell.max_sadms << ','
+              << cell.mean_wavelengths << ',' << cell.mean_lower_bound
+              << '\n';
+        }
+      }
+      return 0;
+    }
+    TextTable table(workload_label(workload) + ", seeds=" +
+                    std::to_string(config.seeds) + ", mean edges=" +
+                    TextTable::num(result.mean_edges, 1));
+    table.set_header({"algorithm", "k", "mean SADMs", "min", "max",
+                      "mean waves", "mean LB"});
+    for (const auto& series : result.series) {
+      for (std::size_t ki = 0; ki < series.cells.size(); ++ki) {
+        const SweepCell& cell = series.cells[ki];
+        table.add_row({algorithm_name(series.algorithm),
+                       TextTable::num(static_cast<long long>(
+                           config.grooming_factors[ki])),
+                       TextTable::num(cell.mean_sadms, 2),
+                       TextTable::num(cell.min_sadms, 0),
+                       TextTable::num(cell.max_sadms, 0),
+                       TextTable::num(cell.mean_wavelengths, 2),
+                       TextTable::num(cell.mean_lower_bound, 2)});
+      }
+    }
+    table.print(out);
+    return 0;
+  } catch (const CheckError& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
 int run_tool(int argc, const char* const* argv, std::istream& in,
              std::ostream& out, std::ostream& err) {
   if (argc < 2) {
@@ -261,6 +375,7 @@ int run_tool(int argc, const char* const* argv, std::istream& in,
   if (command == "compare") return cmd_compare(args, in, out, err);
   if (command == "grow") return cmd_grow(args, in, out, err);
   if (command == "gadget") return cmd_gadget(args, in, out, err);
+  if (command == "sweep") return cmd_sweep(args, out, err);
   if (command == "help" || command == "--help") {
     out << usage();
     return 0;

@@ -10,6 +10,8 @@
 //   compare    demand file -> per-algorithm SADM comparison table
 //   grow       plan file + --add pairs -> incrementally extended plan
 //   gadget     EPT graph file -> Lemma 6 regular gadget graph file
+//   sweep      (seed x k) grid over generated workloads -> aggregate
+//              SADM table, fanned across workers by the batch engine
 //
 // All file arguments default to stdin/stdout via "-".
 #pragma once
@@ -40,6 +42,7 @@ int cmd_grow(const CliArgs& args, std::istream& in, std::ostream& out,
              std::ostream& err);
 int cmd_gadget(const CliArgs& args, std::istream& in, std::ostream& out,
                std::ostream& err);
+int cmd_sweep(const CliArgs& args, std::ostream& out, std::ostream& err);
 
 /// Usage text for the whole tool.
 std::string usage();

@@ -37,10 +37,30 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::parallel_for_index(
     std::size_t count, const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunks(count, [&fn](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) fn(i);
+  });
+}
+
+void ThreadPool::parallel_for_chunks(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty()) {
+    fn(0, count);
+    return;
+  }
+  // 4 chunks per worker balances load without drowning the queue.
+  const std::size_t chunks = std::min(count, threads_.size() * 4);
+  const std::size_t base = count / chunks;
+  const std::size_t remainder = count % chunks;
   std::vector<std::future<void>> futures;
-  futures.reserve(count);
-  for (std::size_t i = 0; i < count; ++i) {
-    futures.push_back(submit([i, &fn] { fn(i); }));
+  futures.reserve(chunks);
+  std::size_t begin = 0;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t end = begin + base + (c < remainder ? 1 : 0);
+    futures.push_back(submit([begin, end, &fn] { fn(begin, end); }));
+    begin = end;
   }
   // get() propagates the first stored exception; remaining futures are
   // still joined by their destructors.

@@ -49,9 +49,19 @@ class ThreadPool {
   }
 
   /// Runs fn(i) for i in [0, count); blocks until all complete.  Exceptions
-  /// from tasks are rethrown (first one wins).
+  /// from tasks are rethrown (first one wins).  The range is dispatched in
+  /// contiguous chunks (one queued task per chunk, not per index) so fine-
+  /// grained loops do not pay a std::function dispatch per element.
   void parallel_for_index(std::size_t count,
                           const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn(begin, end) over a contiguous chunking of [0, count); blocks
+  /// until all complete.  Lets callers keep per-chunk state (scratch
+  /// buffers, workspaces) alive across the indices a chunk covers.  With no
+  /// workers the whole range is one inline chunk.
+  void parallel_for_chunks(
+      std::size_t count,
+      const std::function<void(std::size_t, std::size_t)>& fn);
 
  private:
   void worker_loop();

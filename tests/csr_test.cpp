@@ -1,0 +1,231 @@
+// CsrGraph: structural equality with Graph and bit-identical kernel output
+// on both representations — the determinism contract the hot path relies on.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "algo/components.hpp"
+#include "algo/euler.hpp"
+#include "algo/min_degree_tree.hpp"
+#include "algo/rooted_tree.hpp"
+#include "algo/spanning_tree.hpp"
+#include "algorithms/algorithm.hpp"
+#include "algorithms/workspace.hpp"
+#include "gen/random_graph.hpp"
+#include "gen/regular_graph.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/properties.hpp"
+
+namespace tgroom {
+namespace {
+
+std::vector<Graph> test_graphs() {
+  std::vector<Graph> graphs;
+  graphs.emplace_back(0);           // empty
+  graphs.emplace_back(5);           // isolated nodes only
+  graphs.push_back(make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {3, 0}}));
+  {
+    Rng rng(42);
+    graphs.push_back(random_gnm(24, 60, rng));
+  }
+  {
+    Rng rng(43);
+    graphs.push_back(random_gnm(36, 200, rng));
+  }
+  {
+    Rng rng(44);
+    graphs.push_back(random_regular(20, 4, rng));
+  }
+  {
+    // Parallel + virtual edges exercise the full incidence layout.
+    Graph g(6);
+    g.add_edge(0, 1);
+    g.add_edge(0, 1);
+    g.add_edge(1, 2, /*is_virtual=*/true);
+    g.add_edge(2, 3);
+    g.add_edge(4, 5, /*is_virtual=*/true);
+    graphs.push_back(std::move(g));
+  }
+  return graphs;
+}
+
+void expect_same_structure(const Graph& g, const CsrGraph& csr) {
+  ASSERT_EQ(csr.node_count(), g.node_count());
+  ASSERT_EQ(csr.edge_count(), g.edge_count());
+  ASSERT_EQ(csr.real_edge_count(), g.real_edge_count());
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    EXPECT_EQ(csr.edge(e).u, g.edge(e).u);
+    EXPECT_EQ(csr.edge(e).v, g.edge(e).v);
+    EXPECT_EQ(csr.edge(e).is_virtual, g.edge(e).is_virtual);
+  }
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    auto expected = g.incident(v);
+    auto actual = csr.incident(v);
+    ASSERT_EQ(actual.size(), expected.size()) << "node " << v;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].neighbor, expected[i].neighbor);
+      EXPECT_EQ(actual[i].edge, expected[i].edge);
+    }
+    EXPECT_EQ(csr.degree(v), g.degree(v));
+  }
+}
+
+TEST(CsrGraph, MatchesGraphStructure) {
+  for (const Graph& g : test_graphs()) {
+    expect_same_structure(g, CsrGraph(g));
+  }
+}
+
+TEST(CsrGraph, RebuildReusesAcrossSizeChanges) {
+  CsrGraph csr;
+  // Big, then small, then big again: stale tails from a larger snapshot
+  // must not leak into a smaller one.
+  std::vector<Graph> graphs = test_graphs();
+  for (int round = 0; round < 2; ++round) {
+    for (const Graph& g : graphs) {
+      csr.rebuild(g);
+      expect_same_structure(g, csr);
+    }
+    std::reverse(graphs.begin(), graphs.end());
+  }
+}
+
+TEST(CsrGraph, SpanningForestIdenticalPerPolicy) {
+  for (const Graph& g : test_graphs()) {
+    CsrGraph csr(g);
+    for (TreePolicy policy : {TreePolicy::kBfs, TreePolicy::kDfs,
+                              TreePolicy::kMinMaxDegree}) {
+      EXPECT_EQ(spanning_forest(csr, policy), spanning_forest(g, policy))
+          << tree_policy_name(policy);
+    }
+    // The randomized policy must consume its RNG identically too.
+    Rng rng_graph(7), rng_csr(7);
+    EXPECT_EQ(spanning_forest(csr, TreePolicy::kRandom, &rng_csr),
+              spanning_forest(g, TreePolicy::kRandom, &rng_graph));
+    EXPECT_EQ(rng_csr(), rng_graph());
+  }
+}
+
+TEST(CsrGraph, ComponentsIdentical) {
+  for (const Graph& g : test_graphs()) {
+    CsrGraph csr(g);
+    Components expected = connected_components(g);
+    Components actual = connected_components(csr);
+    EXPECT_EQ(actual.count, expected.count);
+    EXPECT_EQ(actual.label, expected.label);
+
+    // Mask out every other edge.
+    std::vector<char> mask(static_cast<std::size_t>(g.edge_count()), 0);
+    for (std::size_t e = 0; e < mask.size(); e += 2) mask[e] = 1;
+    Components expected_masked = connected_components_masked(g, mask);
+    Components actual_masked = connected_components_masked(csr, mask);
+    EXPECT_EQ(actual_masked.count, expected_masked.count);
+    EXPECT_EQ(actual_masked.label, expected_masked.label);
+  }
+}
+
+TEST(CsrGraph, MaskedDegreesIdentical) {
+  for (const Graph& g : test_graphs()) {
+    CsrGraph csr(g);
+    std::vector<char> mask(static_cast<std::size_t>(g.edge_count()), 0);
+    for (std::size_t e = 0; e < mask.size(); e += 3) mask[e] = 1;
+    EXPECT_EQ(masked_degrees(csr, mask), masked_degrees(g, mask));
+  }
+}
+
+TEST(CsrGraph, EulerDecompositionIdentical) {
+  // Even-regular graphs are Eulerian in every component under a full mask.
+  for (NodeId r : {2, 4, 8}) {
+    Rng rng(static_cast<std::uint64_t>(100 + r));
+    Graph g = random_regular(18, r, rng);
+    CsrGraph csr(g);
+    std::vector<char> mask(static_cast<std::size_t>(g.edge_count()), 1);
+    auto expected = euler_decomposition(g, mask);
+    auto actual = euler_decomposition(csr, mask);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].nodes, expected[i].nodes);
+      EXPECT_EQ(actual[i].edges, expected[i].edges);
+      EXPECT_TRUE(is_valid_walk(csr, actual[i]));
+    }
+    // Single-walk entry point from an arbitrary even-degree start.
+    Walk w_graph = euler_walk_from(g, mask, 0);
+    Walk w_csr = euler_walk_from(csr, mask, 0);
+    EXPECT_EQ(w_csr.nodes, w_graph.nodes);
+    EXPECT_EQ(w_csr.edges, w_graph.edges);
+  }
+}
+
+TEST(CsrGraph, RootedForestAndOddSubtreesIdentical) {
+  for (const Graph& g : test_graphs()) {
+    CsrGraph csr(g);
+    std::vector<EdgeId> tree = spanning_forest(g, TreePolicy::kBfs);
+    RootedForest expected = root_forest(g, tree);
+    RootedForest actual = root_forest(csr, tree);
+    EXPECT_EQ(actual.parent, expected.parent);
+    EXPECT_EQ(actual.parent_edge, expected.parent_edge);
+    EXPECT_EQ(actual.preorder, expected.preorder);
+    EXPECT_EQ(actual.root_of, expected.root_of);
+
+    std::vector<long long> weight(
+        static_cast<std::size_t>(g.node_count()), 0);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      weight[static_cast<std::size_t>(v)] = v % 3;
+    }
+    EXPECT_EQ(odd_subtree_edges(csr, actual, weight),
+              odd_subtree_edges(g, expected, weight));
+  }
+}
+
+TEST(CsrGraph, MinMaxDegreeForestIdentical) {
+  for (const Graph& g : test_graphs()) {
+    CsrGraph csr(g);
+    std::vector<EdgeId> expected = min_max_degree_forest(g);
+    std::vector<EdgeId> actual = min_max_degree_forest(csr);
+    EXPECT_EQ(actual, expected);
+    EXPECT_EQ(forest_max_degree(csr, actual),
+              forest_max_degree(g, expected));
+  }
+}
+
+// The workspace overload of run_algorithm must be a pure optimization:
+// identical partitions whether the workspace is fresh, reused, or absent,
+// including across graphs of different sizes (stale-buffer hazard).
+TEST(Workspace, ReusedWorkspaceMatchesFreshRuns) {
+  GroomingWorkspace shared;
+  std::vector<std::pair<NodeId, long long>> sizes = {
+      {16, 40}, {48, 300}, {12, 20}, {36, 180}};
+  for (std::size_t trial = 0; trial < sizes.size(); ++trial) {
+    Rng rng(900 + trial);
+    Graph g = random_gnm(sizes[trial].first, sizes[trial].second, rng);
+    for (int k : {4, 16}) {
+      GroomingOptions options;
+      options.seed = trial * 31 + static_cast<std::uint64_t>(k);
+      EdgePartition baseline =
+          run_algorithm(AlgorithmId::kSpanTEuler, g, k, options);
+      EdgePartition with_ws = run_algorithm(AlgorithmId::kSpanTEuler, g, k,
+                                            options, &shared);
+      EXPECT_EQ(with_ws.k, baseline.k);
+      EXPECT_EQ(with_ws.parts, baseline.parts);
+    }
+  }
+}
+
+TEST(Workspace, SmartBranchesAndRefineMatchToo) {
+  GroomingWorkspace shared;
+  Rng rng(77);
+  Graph g = random_gnm(30, 120, rng);
+  GroomingOptions options;
+  options.seed = 5;
+  options.smart_branches = true;
+  options.refine = true;
+  EdgePartition baseline =
+      run_algorithm(AlgorithmId::kSpanTEuler, g, 8, options);
+  EdgePartition with_ws =
+      run_algorithm(AlgorithmId::kSpanTEuler, g, 8, options, &shared);
+  EXPECT_EQ(with_ws.parts, baseline.parts);
+}
+
+}  // namespace
+}  // namespace tgroom

@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <mutex>
 #include <set>
+#include <utility>
 
 #include "util/check.hpp"
 #include "util/cli.hpp"
@@ -166,6 +168,34 @@ TEST(ThreadPool, ParallelForCoversAllIndices) {
   std::vector<std::atomic<int>> hits(100);
   pool.parallel_for_index(100, [&](std::size_t i) { ++hits[i]; });
   for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, ChunksPartitionTheRange) {
+  ThreadPool pool(3);
+  std::mutex mutex;
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  std::vector<std::atomic<int>> hits(103);
+  pool.parallel_for_chunks(103, [&](std::size_t begin, std::size_t end) {
+    EXPECT_LT(begin, end);
+    for (std::size_t i = begin; i < end; ++i) ++hits[i];
+    std::lock_guard<std::mutex> lock(mutex);
+    chunks.push_back({begin, end});
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  // One task per chunk, not per index: 3 workers -> at most 12 chunks.
+  EXPECT_LE(chunks.size(), 12u);
+  EXPECT_GE(chunks.size(), 3u);
+}
+
+TEST(ThreadPool, ChunksInlineWhenNoWorkers) {
+  ThreadPool pool(0);
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  pool.parallel_for_chunks(7, [&](std::size_t begin, std::size_t end) {
+    chunks.push_back({begin, end});
+  });
+  ASSERT_EQ(chunks.size(), 1u);
+  EXPECT_EQ(chunks[0], (std::pair<std::size_t, std::size_t>{0, 7}));
+  pool.parallel_for_chunks(0, [&](std::size_t, std::size_t) { FAIL(); });
 }
 
 TEST(ThreadPool, PropagatesExceptions) {
