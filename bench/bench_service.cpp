@@ -1,0 +1,184 @@
+// SERVICE — end-to-end NDJSON daemon throughput: requests/sec through
+// GroomingService::run() as worker count varies, on a mixed groom +
+// provision request stream.  Measures the whole service path (parse,
+// admission, dispatch, compute, serialize) rather than the bare
+// algorithms, so it exposes protocol and locking overhead.  A second pass
+// over the same stream isolates the LRU cache: every groom repeats, so the
+// cached requests/sec gives the protocol-only ceiling.  Emits
+// BENCH_service.json for CI artifact upload.  Plain main for the same
+// reason as bench_throughput: wall clock over a fixed stream is the
+// quantity of interest.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+#include "gen/traffic_patterns.hpp"
+#include "grooming/plan.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
+#include "util/cli.hpp"
+#include "util/json.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace tgroom;
+
+struct Measurement {
+  std::size_t workers = 0;
+  double cold_seconds = 0;
+  double cold_rps = 0;
+  double warm_seconds = 0;  // same stream again: grooms hit the cache
+  double warm_rps = 0;
+};
+
+std::string build_stream(int requests, int graphs, NodeId n, int k) {
+  std::vector<Graph> pool;
+  std::vector<GroomingPlan> plans;
+  for (int i = 0; i < graphs; ++i) {
+    Rng rng(static_cast<std::uint64_t>(7 + i));
+    pool.push_back(random_traffic(n, 0.5, rng).traffic_graph());
+    EdgePartition partition =
+        run_algorithm(AlgorithmId::kSpanTEuler, pool.back(), k);
+    plans.push_back(plan_from_partition(
+        DemandSet::from_traffic_graph(pool.back()), pool.back(), partition));
+  }
+  std::string stream;
+  for (int i = 0; i < requests; ++i) {
+    const std::size_t gi = static_cast<std::size_t>(i % graphs);
+    JsonWriter w;
+    w.begin_object();
+    if (i % 4 != 3) {  // 3:1 groom:provision mix
+      w.kv("op", "groom");
+      w.kv("id", static_cast<long long>(i));
+      w.key("graph");
+      write_graph_json(w, pool[gi]);
+      w.kv("k", static_cast<long long>(k));
+      w.kv("seed", std::uint64_t{1});
+    } else {
+      w.kv("op", "provision");
+      w.kv("id", static_cast<long long>(i));
+      w.key("plan");
+      write_plan_json(w, plans[gi]);
+      const NodeId a = static_cast<NodeId>(i % (n - 1));
+      w.key("add")
+          .begin_array()
+          .begin_array()
+          .value(static_cast<long long>(a))
+          .value(static_cast<long long>(a + 1))
+          .end_array()
+          .end_array();
+    }
+    w.end_object();
+    stream += w.take();
+    stream += '\n';
+  }
+  return stream;
+}
+
+double run_once(const std::string& stream, std::size_t workers,
+                std::size_t cache_capacity, int requests) {
+  ServiceConfig config;
+  config.workers = workers;
+  config.queue_capacity = static_cast<std::size_t>(requests) + 1;
+  config.cache_capacity = cache_capacity;
+  config.metrics_on_exit = false;
+  GroomingService service(config);
+  std::istringstream in(stream);
+  std::ostringstream out;
+  Stopwatch timer;
+  service.run(in, out);
+  double seconds = timer.elapsed_seconds();
+  if (service.metrics().count(ServiceMetrics::Counter::kOk) != requests) {
+    std::cerr << "BUG: only "
+              << service.metrics().count(ServiceMetrics::Counter::kOk)
+              << " of " << requests << " requests succeeded\n";
+    std::exit(1);
+  }
+  return seconds;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliArgs args(argc, argv);
+  const int requests = static_cast<int>(args.get_int("requests", 2000));
+  const auto n = static_cast<NodeId>(args.get_int("n", 24));
+  const int k = static_cast<int>(args.get_int("k", 8));
+  const int graphs = static_cast<int>(args.get_int("graphs", 32));
+  const std::string json_path = args.get("json", "BENCH_service.json");
+
+  const std::string stream = build_stream(requests, graphs, n, k);
+  std::cout << "service bench: " << requests << " requests, " << graphs
+            << " graphs, n=" << n << ", k=" << k << ", stream "
+            << stream.size() / 1024 << " KiB\n\n";
+
+  std::vector<Measurement> measurements;
+  for (std::size_t workers : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                              std::size_t{4}, std::size_t{8}}) {
+    Measurement m;
+    m.workers = workers;
+    // Cold: cache disabled, every groom pays full compute.
+    m.cold_seconds = run_once(stream, workers, 0, requests);
+    m.cold_rps = static_cast<double>(requests) / m.cold_seconds;
+    // Warm: cache big enough that each distinct groom computes once.
+    {
+      ServiceConfig config;
+      config.workers = workers;
+      config.queue_capacity = static_cast<std::size_t>(requests) + 1;
+      config.cache_capacity = static_cast<std::size_t>(graphs) * 2;
+      config.metrics_on_exit = false;
+      GroomingService service(config);
+      std::istringstream prime(stream);
+      std::ostringstream sink;
+      service.run(prime, sink);  // populate the cache
+      std::istringstream in(stream);
+      std::ostringstream out;
+      Stopwatch timer;
+      service.run(in, out);
+      m.warm_seconds = timer.elapsed_seconds();
+    }
+    m.warm_rps = static_cast<double>(requests) / m.warm_seconds;
+    measurements.push_back(m);
+  }
+
+  TextTable table("service throughput (cold = cache off, warm = all hits)");
+  table.set_header({"workers", "cold req/s", "warm req/s", "speedup"});
+  const double base = measurements[0].cold_rps;
+  for (const Measurement& m : measurements) {
+    table.add_row({TextTable::num(static_cast<long long>(m.workers)),
+                   TextTable::num(m.cold_rps, 0), TextTable::num(m.warm_rps, 0),
+                   TextTable::num(m.cold_rps / base, 2)});
+  }
+  table.print(std::cout);
+
+  std::ofstream out(json_path);
+  JsonWriter w;
+  w.begin_object();
+  w.kv("benchmark", "service_throughput");
+  w.key("workload").begin_object();
+  w.kv("requests", static_cast<long long>(requests));
+  w.kv("graphs", static_cast<long long>(graphs));
+  w.kv("n", static_cast<long long>(n));
+  w.kv("k", static_cast<long long>(k));
+  w.end_object();
+  w.key("runs").begin_array();
+  for (const Measurement& m : measurements) {
+    w.begin_object();
+    w.kv("workers", static_cast<std::uint64_t>(m.workers));
+    w.kv("cold_seconds", m.cold_seconds);
+    w.kv("cold_rps", m.cold_rps);
+    w.kv("warm_seconds", m.warm_seconds);
+    w.kv("warm_rps", m.warm_rps);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  out << w.str() << "\n";
+  std::cout << "\nwrote " << json_path << "\n";
+  return 0;
+}

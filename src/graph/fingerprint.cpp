@@ -1,0 +1,53 @@
+#include "graph/fingerprint.hpp"
+
+#include "util/rng.hpp"
+
+namespace tgroom {
+
+namespace {
+
+constexpr std::uint64_t kFingerprintSeed = 0x7467726f6f6d2e31ULL;  // "tgroom.1"
+
+/// Works for Graph and CsrGraph alike: both expose the same incidence
+/// interface and the same per-node ascending-edge-id order, so the absorbed
+/// word sequence — node/edge counts, cumulative degrees (the CSR offset
+/// table), incidences, edge table — is identical across representations.
+template <typename G>
+std::uint64_t fingerprint_impl(const G& g) {
+  std::uint64_t h = kFingerprintSeed;
+  auto absorb = [&h](std::uint64_t word) {
+    std::uint64_t state = h ^ word;
+    h = splitmix64(state);
+  };
+  absorb(static_cast<std::uint64_t>(g.node_count()));
+  absorb(static_cast<std::uint64_t>(g.edge_count()));
+  absorb(static_cast<std::uint64_t>(g.real_edge_count()));
+  std::uint64_t offset = 0;
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    offset += static_cast<std::uint64_t>(g.degree(v));
+    absorb(offset);
+    for (const Incidence& inc : g.incident(v)) {
+      absorb((static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                  inc.neighbor))
+              << 32) |
+             static_cast<std::uint32_t>(inc.edge));
+    }
+  }
+  for (const Edge& e : g.edges()) {
+    absorb((static_cast<std::uint64_t>(static_cast<std::uint32_t>(e.u))
+            << 32) |
+           static_cast<std::uint32_t>(e.v));
+    absorb(e.is_virtual ? 1 : 0);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::uint64_t graph_fingerprint(const Graph& g) { return fingerprint_impl(g); }
+
+std::uint64_t graph_fingerprint(const CsrGraph& g) {
+  return fingerprint_impl(g);
+}
+
+}  // namespace tgroom

@@ -1,0 +1,29 @@
+// 64-bit identity fingerprint of a labeled graph.
+//
+// The service's plan cache needs a cheap, stable key for "the same request
+// graph again".  The fingerprint absorbs exactly the data CsrGraph
+// snapshots — the per-node offset table (cumulative degrees) and the
+// incidence array in per-node ascending-edge-id order, plus the edge
+// endpoint/virtual table — through a splitmix64 sponge.  Both overloads
+// walk that same canonical sequence, so fingerprinting a Graph and its
+// CsrGraph snapshot yields the same value.
+//
+// This is a *labeled* identity: relabelling the nodes of an isomorphic
+// graph changes the fingerprint (with overwhelming probability), which is
+// the desired cache semantics — a request names nodes, not an isomorphism
+// class.  Collisions between distinct graphs are possible in principle
+// (64-bit pigeonhole) but the sponge mixes every word, so accidental
+// collisions are a ~2^-64 event per pair.
+#pragma once
+
+#include <cstdint>
+
+#include "graph/csr_graph.hpp"
+#include "graph/graph.hpp"
+
+namespace tgroom {
+
+std::uint64_t graph_fingerprint(const Graph& g);
+std::uint64_t graph_fingerprint(const CsrGraph& g);
+
+}  // namespace tgroom

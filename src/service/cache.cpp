@@ -1,0 +1,46 @@
+#include "service/cache.hpp"
+
+#include "util/rng.hpp"
+
+namespace tgroom {
+
+std::size_t GroomCacheKeyHash::operator()(const GroomCacheKey& key) const {
+  std::uint64_t state = key.fingerprint;
+  state ^= splitmix64(state) + static_cast<std::uint64_t>(key.algorithm);
+  state ^= splitmix64(state) + static_cast<std::uint64_t>(key.k);
+  state ^= splitmix64(state) + key.seed;
+  state ^= splitmix64(state) + key.flags;
+  return static_cast<std::size_t>(splitmix64(state));
+}
+
+std::optional<GroomCacheValue> PlanCache::get(const GroomCacheKey& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return std::nullopt;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->second;
+}
+
+void PlanCache::put(const GroomCacheKey& key, GroomCacheValue value) {
+  if (capacity_ == 0) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->second = std::move(value);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.emplace_front(key, std::move(value));
+  index_.emplace(key, lru_.begin());
+  while (lru_.size() > capacity_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+  }
+}
+
+std::size_t PlanCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace tgroom

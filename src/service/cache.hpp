@@ -1,0 +1,74 @@
+// LRU cache of groom results keyed by graph identity + algorithm config.
+//
+// Production grooming traffic is repetitive — the same ring's traffic
+// graph gets re-groomed when operators compare k values or re-request a
+// plan — so the service memoizes `groom` by (graph fingerprint, algorithm,
+// k, seed, option flags).  The cached value is the full result payload
+// including the partition parts, so a hit rebuilds plans/responses
+// byte-identically to a fresh computation (determinism contract: every
+// algorithm is a pure function of that key).
+//
+// Thread-safety: one mutex around the map+list; cache operations are
+// microseconds against grooming runs of milliseconds, so contention is
+// negligible.  capacity 0 disables caching (get always misses, put drops).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace tgroom {
+
+struct GroomCacheKey {
+  std::uint64_t fingerprint = 0;
+  int algorithm = 0;
+  int k = 0;
+  std::uint64_t seed = 0;
+  unsigned flags = 0;  // bit 0: refine, bit 1: smart_branches
+
+  friend bool operator==(const GroomCacheKey&, const GroomCacheKey&) = default;
+};
+
+struct GroomCacheKeyHash {
+  std::size_t operator()(const GroomCacheKey& key) const;
+};
+
+struct GroomCacheValue {
+  long long sadms = 0;
+  int wavelengths = 0;
+  long long lower_bound = 0;
+  std::vector<std::vector<EdgeId>> parts;  // the partition, part-by-part
+};
+
+class PlanCache {
+ public:
+  explicit PlanCache(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Returns a copy of the cached value and refreshes its recency.
+  std::optional<GroomCacheValue> get(const GroomCacheKey& key);
+
+  /// Inserts (or refreshes) `value`; evicts the least recently used entry
+  /// beyond capacity.
+  void put(const GroomCacheKey& key, GroomCacheValue value);
+
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  using Entry = std::pair<GroomCacheKey, GroomCacheValue>;
+
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<GroomCacheKey, std::list<Entry>::iterator,
+                     GroomCacheKeyHash>
+      index_;
+};
+
+}  // namespace tgroom

@@ -1,0 +1,80 @@
+#include "service/metrics.hpp"
+
+#include <bit>
+
+#include "util/json.hpp"
+
+namespace tgroom {
+
+namespace {
+
+constexpr const char* kCounterNames[ServiceMetrics::kCounterCount] = {
+    "received",        "ok",
+    "error",           "overloaded",
+    "shutting_down",   "deadline_exceeded",
+    "cache_hits",      "cache_misses",
+};
+
+}  // namespace
+
+void ServiceMetrics::increment(Counter c, long long delta) {
+  counters_[static_cast<std::size_t>(c)].fetch_add(
+      delta, std::memory_order_relaxed);
+}
+
+long long ServiceMetrics::count(Counter c) const {
+  return counters_[static_cast<std::size_t>(c)].load(
+      std::memory_order_relaxed);
+}
+
+void ServiceMetrics::observe_latency(std::chrono::nanoseconds elapsed) {
+  long long us =
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count();
+  if (us < 0) us = 0;
+  // bucket 0: < 1 µs; bucket i >= 1: [2^(i-1), 2^i) µs; last bucket open.
+  std::size_t bucket = static_cast<std::size_t>(
+      std::bit_width(static_cast<std::uint64_t>(us)));
+  if (bucket >= kLatencyBuckets) bucket = kLatencyBuckets - 1;
+  latency_buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  latency_count_.fetch_add(1, std::memory_order_relaxed);
+  latency_sum_us_.fetch_add(us, std::memory_order_relaxed);
+  long long seen = latency_max_us_.load(std::memory_order_relaxed);
+  while (us > seen && !latency_max_us_.compare_exchange_weak(
+                          seen, us, std::memory_order_relaxed)) {
+  }
+}
+
+void ServiceMetrics::write_json(JsonWriter& w) const {
+  w.begin_object();
+  w.key("counters").begin_object();
+  for (std::size_t i = 0; i < kCounterCount; ++i) {
+    w.kv(kCounterNames[i],
+         counters_[i].load(std::memory_order_relaxed));
+  }
+  w.end_object();
+  w.key("latency").begin_object();
+  w.kv("count", latency_count_.load(std::memory_order_relaxed));
+  w.kv("sum_us", latency_sum_us_.load(std::memory_order_relaxed));
+  w.kv("max_us", latency_max_us_.load(std::memory_order_relaxed));
+  // Sparse dump: only non-empty buckets, as [upper_bound_us, count] pairs
+  // (the last bucket is open-ended; its bound is reported as 0).
+  w.key("buckets").begin_array();
+  for (std::size_t i = 0; i < kLatencyBuckets; ++i) {
+    long long n = latency_buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    long long upper =
+        i + 1 < kLatencyBuckets ? (1LL << i) : 0;
+    w.begin_array().value(upper).value(n).end_array();
+  }
+  w.end_array();
+  w.end_object();
+  w.end_object();
+}
+
+std::string ServiceMetrics::to_json() const {
+  JsonWriter w;
+  write_json(w);
+  return w.take();
+}
+
+}  // namespace tgroom

@@ -1,0 +1,58 @@
+// Service-level observability: request counters and a latency histogram.
+//
+// All mutation is lock-free (relaxed atomics — the counters are
+// statistics, not synchronization), so workers never contend on a metrics
+// mutex.  Snapshots are taken counter-by-counter; a snapshot concurrent
+// with traffic is approximate, which is the standard metrics contract.
+//
+// The latency histogram is log2-bucketed in microseconds: bucket i counts
+// requests with latency in [2^(i-1), 2^i) µs (bucket 0 is < 1 µs), which
+// spans sub-microsecond cache hits to multi-minute groomings in 32
+// buckets with no configuration.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <string>
+
+namespace tgroom {
+
+class JsonWriter;
+
+class ServiceMetrics {
+ public:
+  enum class Counter : std::size_t {
+    kReceived,          // parseable or not, every non-blank request line
+    kOk,                // responses with "ok":true
+    kError,             // structured error responses (all codes)
+    kOverloaded,        // subset of kError: admission-queue rejections
+    kShuttingDown,      // subset of kError: queued requests answered on drain
+    kDeadlineExceeded,  // subset of kError: per-request deadline expired
+    kCacheHits,
+    kCacheMisses,
+    kCount_,
+  };
+  static constexpr std::size_t kCounterCount =
+      static_cast<std::size_t>(Counter::kCount_);
+  static constexpr std::size_t kLatencyBuckets = 32;
+
+  void increment(Counter c, long long delta = 1);
+  long long count(Counter c) const;
+
+  void observe_latency(std::chrono::nanoseconds elapsed);
+
+  /// Emits {"counters":{...},"latency":{count,sum_us,max_us,buckets:[...]}}.
+  void write_json(JsonWriter& w) const;
+  std::string to_json() const;
+
+ private:
+  std::array<std::atomic<long long>, kCounterCount> counters_{};
+  std::array<std::atomic<long long>, kLatencyBuckets> latency_buckets_{};
+  std::atomic<long long> latency_count_{0};
+  std::atomic<long long> latency_sum_us_{0};
+  std::atomic<long long> latency_max_us_{0};
+};
+
+}  // namespace tgroom

@@ -1,0 +1,299 @@
+#include "service/protocol.hpp"
+
+#include <algorithm>
+
+#include "util/json.hpp"
+
+namespace tgroom {
+
+const char* service_op_name(ServiceOp op) {
+  switch (op) {
+    case ServiceOp::kGroom: return "groom";
+    case ServiceOp::kProvision: return "provision";
+    case ServiceOp::kStats: return "stats";
+    case ServiceOp::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+const char* service_error_name(ServiceError code) {
+  switch (code) {
+    case ServiceError::kBadRequest: return "bad_request";
+    case ServiceError::kOverloaded: return "overloaded";
+    case ServiceError::kShuttingDown: return "shutting_down";
+    case ServiceError::kDeadlineExceeded: return "deadline_exceeded";
+    case ServiceError::kInternal: return "internal";
+  }
+  return "?";
+}
+
+namespace {
+
+bool bool_field(const JsonValue& doc, const char* name, bool fallback) {
+  const JsonValue* v = doc.find(name);
+  if (!v) return fallback;
+  TGROOM_CHECK_MSG(v->is_bool(),
+                   std::string("\"") + name + "\" must be a boolean");
+  return v->boolean;
+}
+
+std::int64_t int_field(const JsonValue& doc, const char* name,
+                       std::int64_t fallback) {
+  const JsonValue* v = doc.find(name);
+  if (!v) return fallback;
+  TGROOM_CHECK_MSG(v->is_number(),
+                   std::string("\"") + name + "\" must be an integer");
+  return v->as_int();
+}
+
+void write_id(JsonWriter& w, std::int64_t id, bool has_id) {
+  if (has_id) {
+    w.kv("id", static_cast<long long>(id));
+  } else {
+    w.key("id").null();
+  }
+}
+
+}  // namespace
+
+void begin_ok_response(JsonWriter& w, std::int64_t id, bool has_id,
+                       ServiceOp op) {
+  w.begin_object();
+  write_id(w, id, has_id);
+  w.kv("ok", true);
+  w.kv("op", service_op_name(op));
+}
+
+std::string make_error_response(std::int64_t id, bool has_id,
+                                ServiceError code,
+                                const std::string& message) {
+  JsonWriter w;
+  w.begin_object();
+  write_id(w, id, has_id);
+  w.kv("ok", false);
+  w.kv("error", service_error_name(code));
+  w.kv("message", message);
+  w.end_object();
+  return w.take();
+}
+
+void write_graph_json(JsonWriter& w, const Graph& g) {
+  w.begin_object();
+  w.kv("n", static_cast<long long>(g.node_count()));
+  w.key("edges").begin_array();
+  for (const Edge& e : g.edges()) {
+    if (e.is_virtual) continue;
+    w.begin_array()
+        .value(static_cast<long long>(e.u))
+        .value(static_cast<long long>(e.v))
+        .end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+Graph graph_from_json(const JsonValue& v) {
+  TGROOM_CHECK_MSG(v.is_object(), "\"graph\" must be an object");
+  const JsonValue* n = v.find("n");
+  TGROOM_CHECK_MSG(n != nullptr, "graph.n is required");
+  std::int64_t nodes = n->as_int();
+  TGROOM_CHECK_MSG(nodes >= 0 && nodes <= 50'000'000, "graph.n out of range");
+  const JsonValue* edges = v.find("edges");
+  TGROOM_CHECK_MSG(edges != nullptr && edges->is_array(),
+                   "graph.edges (array) is required");
+  Graph g(static_cast<NodeId>(nodes));
+  g.reserve_edges(static_cast<EdgeId>(edges->array.size()));
+  for (const JsonValue& e : edges->array) {
+    TGROOM_CHECK_MSG(e.is_array() && e.array.size() == 2,
+                     "graph edge must be a [u,v] pair");
+    std::int64_t u = e.array[0].as_int();
+    std::int64_t w2 = e.array[1].as_int();
+    TGROOM_CHECK_MSG(u >= 0 && u < nodes && w2 >= 0 && w2 < nodes,
+                     "edge endpoint out of range");
+    TGROOM_CHECK_MSG(u != w2, "self-loop edges are not allowed");
+    TGROOM_CHECK_MSG(g.find_edge(static_cast<NodeId>(u),
+                                 static_cast<NodeId>(w2)) == kInvalidEdge,
+                     "duplicate edge in graph.edges");
+    g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(w2));
+  }
+  return g;
+}
+
+void write_plan_json(JsonWriter& w, const GroomingPlan& plan) {
+  w.begin_object();
+  w.kv("ring_size", static_cast<long long>(plan.ring_size));
+  w.kv("k", static_cast<long long>(plan.grooming_factor));
+  w.key("pairs").begin_array();
+  for (const GroomedPair& gp : plan.pairs) {
+    w.begin_array()
+        .value(static_cast<long long>(gp.pair.a))
+        .value(static_cast<long long>(gp.pair.b))
+        .value(static_cast<long long>(gp.wavelength))
+        .value(static_cast<long long>(gp.timeslot))
+        .end_array();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+GroomingPlan plan_from_json(const JsonValue& v) {
+  TGROOM_CHECK_MSG(v.is_object(), "\"plan\" must be an object");
+  GroomingPlan plan;
+  std::int64_t ring = int_field(v, "ring_size", -1);
+  TGROOM_CHECK_MSG(ring >= 0, "plan.ring_size is required");
+  std::int64_t k = int_field(v, "k", -1);
+  TGROOM_CHECK_MSG(k >= 1, "plan.k must be >= 1");
+  plan.ring_size = static_cast<NodeId>(ring);
+  plan.grooming_factor = static_cast<int>(k);
+  const JsonValue* pairs = v.find("pairs");
+  TGROOM_CHECK_MSG(pairs != nullptr && pairs->is_array(),
+                   "plan.pairs (array) is required");
+  plan.pairs.reserve(pairs->array.size());
+  for (const JsonValue& p : pairs->array) {
+    TGROOM_CHECK_MSG(p.is_array() && p.array.size() == 4,
+                     "plan pair must be [a,b,wavelength,timeslot]");
+    std::int64_t a = p.array[0].as_int();
+    std::int64_t b = p.array[1].as_int();
+    std::int64_t wavelength = p.array[2].as_int();
+    std::int64_t timeslot = p.array[3].as_int();
+    TGROOM_CHECK_MSG(a >= 0 && b >= 0 && a < ring && b < ring && a != b,
+                     "plan pair endpoints out of range");
+    TGROOM_CHECK_MSG(wavelength >= 0, "plan wavelength must be >= 0");
+    TGROOM_CHECK_MSG(timeslot >= 0 && timeslot < k,
+                     "plan timeslot out of range");
+    GroomedPair gp;
+    gp.pair = DemandPair{static_cast<NodeId>(std::min(a, b)),
+                         static_cast<NodeId>(std::max(a, b))};
+    gp.wavelength = static_cast<int>(wavelength);
+    gp.timeslot = static_cast<int>(timeslot);
+    plan.pairs.push_back(gp);
+  }
+  return plan;
+}
+
+void write_partition_json(JsonWriter& w, const EdgePartition& partition) {
+  w.begin_array();
+  for (const auto& part : partition.parts) {
+    w.begin_array();
+    for (EdgeId e : part) w.value(static_cast<long long>(e));
+    w.end_array();
+  }
+  w.end_array();
+}
+
+void write_incremental_json(JsonWriter& w, const IncrementalResult& result,
+                            bool include_plan) {
+  w.kv("new_sadms", static_cast<long long>(result.new_sadms));
+  w.kv("new_wavelengths", static_cast<long long>(result.new_wavelengths));
+  w.kv("reused_sites", static_cast<long long>(result.reused_sites));
+  w.kv("sadms", plan_sadm_count(result.plan));
+  w.kv("wavelengths", static_cast<long long>(result.plan.wavelength_count()));
+  if (include_plan) {
+    w.key("plan");
+    write_plan_json(w, result.plan);
+  }
+}
+
+std::vector<DemandPair> demand_pairs_from_json(const JsonValue& v) {
+  TGROOM_CHECK_MSG(v.is_array(), "\"add\" must be an array of [a,b] pairs");
+  std::vector<DemandPair> pairs;
+  pairs.reserve(v.array.size());
+  for (const JsonValue& p : v.array) {
+    TGROOM_CHECK_MSG(p.is_array() && p.array.size() == 2,
+                     "demand pair must be [a,b]");
+    std::int64_t a = p.array[0].as_int();
+    std::int64_t b = p.array[1].as_int();
+    TGROOM_CHECK_MSG(a >= 0 && b >= 0, "demand endpoints must be >= 0");
+    TGROOM_CHECK_MSG(a != b, "demand pair {x,x} is meaningless");
+    pairs.push_back(DemandPair{static_cast<NodeId>(std::min(a, b)),
+                               static_cast<NodeId>(std::max(a, b))});
+  }
+  return pairs;
+}
+
+RequestParse parse_request(const std::string& line) {
+  RequestParse out;
+  JsonValue doc;
+  try {
+    doc = parse_json(line);
+  } catch (const CheckError& e) {
+    out.error = e.what();
+    return out;
+  }
+  if (!doc.is_object()) {
+    out.error = "request must be a JSON object";
+    return out;
+  }
+  try {
+    if (const JsonValue* id = doc.find("id")) {
+      out.id = id->as_int();
+      out.has_id = true;
+    }
+  } catch (const CheckError&) {
+    out.error = "\"id\" must be an integer";
+    return out;
+  }
+
+  ServiceRequest request;
+  request.id = out.id;
+  request.has_id = out.has_id;
+  try {
+    const JsonValue* op = doc.find("op");
+    TGROOM_CHECK_MSG(op != nullptr && op->is_string(),
+                     "\"op\" (string) is required");
+    if (op->string == "groom") request.op = ServiceOp::kGroom;
+    else if (op->string == "provision") request.op = ServiceOp::kProvision;
+    else if (op->string == "stats") request.op = ServiceOp::kStats;
+    else if (op->string == "shutdown") request.op = ServiceOp::kShutdown;
+    else TGROOM_CHECK_MSG(false, "unknown op '" + op->string + "'");
+
+    request.deadline_ms = int_field(doc, "deadline_ms", 0);
+    TGROOM_CHECK_MSG(request.deadline_ms >= 0,
+                     "\"deadline_ms\" must be >= 0");
+
+    if (request.op == ServiceOp::kGroom) {
+      const JsonValue* graph = doc.find("graph");
+      TGROOM_CHECK_MSG(graph != nullptr, "\"graph\" is required for groom");
+      request.graph = graph_from_json(*graph);
+      if (const JsonValue* algorithm = doc.find("algorithm")) {
+        TGROOM_CHECK_MSG(algorithm->is_string(),
+                         "\"algorithm\" must be a string");
+        auto id = parse_algorithm_name(algorithm->string);
+        TGROOM_CHECK_MSG(id.has_value(),
+                         "unknown algorithm '" + algorithm->string + "'");
+        request.algorithm = *id;
+      }
+      std::int64_t k = int_field(doc, "k", 16);
+      TGROOM_CHECK_MSG(k >= 1 && k <= 1'000'000, "\"k\" must be in [1, 1e6]");
+      request.k = static_cast<int>(k);
+      request.seed = static_cast<std::uint64_t>(int_field(doc, "seed", 1));
+      request.refine = bool_field(doc, "refine", false);
+      request.smart_branches = bool_field(doc, "smart_branches", false);
+      request.hold = bool_field(doc, "hold", false);
+      request.include_partition = bool_field(doc, "include_partition", false);
+    } else if (request.op == ServiceOp::kProvision) {
+      const JsonValue* plan = doc.find("plan");
+      const JsonValue* plan_id = doc.find("plan_id");
+      TGROOM_CHECK_MSG((plan != nullptr) != (plan_id != nullptr),
+                       "provision needs exactly one of \"plan\"/\"plan_id\"");
+      if (plan != nullptr) {
+        request.plan = plan_from_json(*plan);
+      } else {
+        request.plan_id = plan_id->as_int();
+        TGROOM_CHECK_MSG(request.plan_id >= 0, "\"plan_id\" must be >= 0");
+      }
+      const JsonValue* add = doc.find("add");
+      TGROOM_CHECK_MSG(add != nullptr, "\"add\" is required for provision");
+      request.add = demand_pairs_from_json(*add);
+      TGROOM_CHECK_MSG(!request.add.empty(), "\"add\" lists no pairs");
+      request.include_plan = bool_field(doc, "include_plan", false);
+    }
+  } catch (const CheckError& e) {
+    out.error = e.what();
+    return out;
+  }
+  out.request = std::move(request);
+  return out;
+}
+
+}  // namespace tgroom

@@ -1,0 +1,129 @@
+// Wire protocol of the grooming service: newline-delimited JSON.
+//
+// Every request is one JSON object on one line; every response is one
+// JSON object on one line.  Requests carry an optional integer "id" that
+// is echoed verbatim in the response (responses may be emitted out of
+// order when the daemon runs with workers).  Grammar:
+//
+//   request    := groom | provision | stats | shutdown
+//   groom      := {"op":"groom", "id"?:int, "graph":{"n":int,
+//                  "edges":[[u,v],...]}, "algorithm"?:string, "k"?:int,
+//                  "seed"?:int, "refine"?:bool, "smart_branches"?:bool,
+//                  "hold"?:bool, "include_partition"?:bool,
+//                  "deadline_ms"?:int}
+//   provision  := {"op":"provision", "id"?:int,
+//                  ("plan_id":int | "plan":plan), "add":[[a,b],...],
+//                  "include_plan"?:bool, "deadline_ms"?:int}
+//   stats      := {"op":"stats", "id"?:int}
+//   shutdown   := {"op":"shutdown", "id"?:int}
+//   plan       := {"ring_size":int, "k":int,
+//                  "pairs":[[a,b,wavelength,timeslot],...]}
+//
+//   response   := {"id":int|null, "ok":true, "op":string, ...payload}
+//               | {"id":int|null, "ok":false, "error":code,
+//                  "message":string}
+//   code       := "bad_request" | "overloaded" | "shutting_down"
+//               | "deadline_exceeded" | "internal"
+//
+// The serializers here are shared with the CLI's `--format json` output,
+// so scripted pipelines and service clients parse one format.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+#include "graph/graph.hpp"
+#include "grooming/incremental.hpp"
+#include "grooming/plan.hpp"
+
+namespace tgroom {
+
+class JsonValue;
+class JsonWriter;
+
+enum class ServiceOp { kGroom, kProvision, kStats, kShutdown };
+const char* service_op_name(ServiceOp op);
+
+enum class ServiceError {
+  kBadRequest,
+  kOverloaded,
+  kShuttingDown,
+  kDeadlineExceeded,
+  kInternal,
+};
+const char* service_error_name(ServiceError code);
+
+struct ServiceRequest {
+  std::int64_t id = 0;
+  bool has_id = false;
+  ServiceOp op = ServiceOp::kStats;
+
+  // groom fields
+  Graph graph;
+  AlgorithmId algorithm = AlgorithmId::kSpanTEuler;
+  int k = 16;
+  std::uint64_t seed = 1;
+  bool refine = false;
+  bool smart_branches = false;
+  bool hold = false;               // keep the plan server-side, return plan_id
+  bool include_partition = false;  // echo the partition parts
+
+  // provision fields
+  std::int64_t plan_id = -1;           // >= 0 references a held plan
+  std::optional<GroomingPlan> plan;    // inline base plan (stateless mode)
+  std::vector<DemandPair> add;
+  bool include_plan = false;           // echo the extended plan
+
+  // lifecycle (stamped by the server at admission)
+  std::int64_t deadline_ms = 0;  // 0 = no deadline
+  std::chrono::steady_clock::time_point admitted{};
+};
+
+struct RequestParse {
+  std::optional<ServiceRequest> request;  // empty: `error` says why
+  std::string error;
+  std::int64_t id = 0;  // best-effort id echo for error responses
+  bool has_id = false;
+};
+
+/// Parses one request line; never throws — malformed input lands in
+/// RequestParse::error.
+RequestParse parse_request(const std::string& line);
+
+/// One structured error response line (without trailing newline).
+std::string make_error_response(std::int64_t id, bool has_id,
+                                ServiceError code,
+                                const std::string& message);
+
+/// Opens a response object and writes the shared "id"/"ok"/"op" head; the
+/// caller appends payload keys and closes the object.
+void begin_ok_response(JsonWriter& w, std::int64_t id, bool has_id,
+                       ServiceOp op);
+
+// ---- serializers shared between service responses and CLI --format json.
+
+/// {"n":...,"edges":[[u,v],...]} with real edges in id order.
+void write_graph_json(JsonWriter& w, const Graph& g);
+/// Builds a simple graph; throws CheckError on malformed/duplicate input.
+Graph graph_from_json(const JsonValue& v);
+
+/// {"ring_size":...,"k":...,"pairs":[[a,b,wavelength,timeslot],...]}.
+void write_plan_json(JsonWriter& w, const GroomingPlan& plan);
+GroomingPlan plan_from_json(const JsonValue& v);
+
+/// The parts array only: [[edge ids...],...].
+void write_partition_json(JsonWriter& w, const EdgePartition& partition);
+
+/// Emits the incremental-provisioning payload keys into an open object:
+/// new_sadms/new_wavelengths/reused_sites/sadms/wavelengths[, plan].
+void write_incremental_json(JsonWriter& w, const IncrementalResult& result,
+                            bool include_plan);
+
+/// [[a,b],...] demand pairs; normalizes a < b, rejects a == b.
+std::vector<DemandPair> demand_pairs_from_json(const JsonValue& v);
+
+}  // namespace tgroom

@@ -1,0 +1,99 @@
+// Bounded MPMC admission queue — the service's backpressure point.
+//
+// The daemon must never buffer unboundedly: when producers outrun the
+// workers, try_push() fails fast and the server answers `overloaded`
+// instead of letting the queue (and response latency) grow without limit.
+// close_and_drain() supports graceful shutdown: it atomically stops
+// admission, hands back everything still queued (so each gets a
+// `shutting_down` response), and wakes blocked consumers, whose pop()
+// then returns false once the queue is empty.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace tgroom {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Enqueues `item` unless the queue is full or closed; `item` is moved
+  /// from only on success.
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item arrives or the queue is closed; returns false
+  /// only when closed and drained.
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Stops admission; consumers keep popping until the queue is empty,
+  /// then pop() returns false.  (EOF semantics: everything admitted is
+  /// still processed.)
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Stops admission and returns every still-queued item.  Consumers
+  /// blocked in pop() wake up and see the closed, empty queue.
+  /// (Shutdown/SIGTERM semantics: queued work is handed back for
+  /// structured rejection.)
+  std::vector<T> close_and_drain() {
+    std::vector<T> leftover;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+      leftover.reserve(items_.size());
+      while (!items_.empty()) {
+        leftover.push_back(std::move(items_.front()));
+        items_.pop_front();
+      }
+    }
+    cv_.notify_all();
+    return leftover;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace tgroom

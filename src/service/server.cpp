@@ -1,0 +1,375 @@
+#include "service/server.hpp"
+
+#include <exception>
+#include <future>
+#include <istream>
+#include <ostream>
+#include <utility>
+#include <vector>
+
+#include "algorithms/workspace.hpp"
+#include "graph/fingerprint.hpp"
+#include "grooming/demand.hpp"
+#include "service/queue.hpp"
+#include "util/json.hpp"
+#include "util/thread_pool.hpp"
+
+#if defined(__unix__)
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#endif
+#if defined(__GLIBCXX__)
+#include <ext/stdio_filebuf.h>
+#endif
+
+namespace tgroom {
+
+std::atomic<bool>& GroomingService::stop_flag() {
+  static std::atomic<bool> flag{false};
+  return flag;
+}
+
+std::size_t GroomingService::held_plan_count() const {
+  std::lock_guard<std::mutex> lock(plans_mutex_);
+  return plans_.size();
+}
+
+bool GroomingService::deadline_expired(const ServiceRequest& request) const {
+  if (request.deadline_ms <= 0) return false;
+  return std::chrono::steady_clock::now() - request.admitted >=
+         std::chrono::milliseconds(request.deadline_ms);
+}
+
+std::string GroomingService::deadline_response(const ServiceRequest& request) {
+  metrics_.increment(ServiceMetrics::Counter::kError);
+  metrics_.increment(ServiceMetrics::Counter::kDeadlineExceeded);
+  return make_error_response(
+      request.id, request.has_id, ServiceError::kDeadlineExceeded,
+      "deadline of " + std::to_string(request.deadline_ms) + " ms expired");
+}
+
+std::string GroomingService::execute(ServiceRequest& request,
+                                     GroomingWorkspace* workspace) {
+  if (request.admitted == std::chrono::steady_clock::time_point{}) {
+    request.admitted = std::chrono::steady_clock::now();
+  }
+  std::string response;
+  try {
+    switch (request.op) {
+      case ServiceOp::kGroom:
+        response = handle_groom(request, workspace);
+        break;
+      case ServiceOp::kProvision:
+        response = handle_provision(request);
+        break;
+      case ServiceOp::kStats:
+        response = handle_stats(request);
+        break;
+      case ServiceOp::kShutdown:
+        // run() intercepts shutdown before dispatch; a direct execute()
+        // (tests) gets a structured refusal instead of silence.
+        metrics_.increment(ServiceMetrics::Counter::kError);
+        response = make_error_response(request.id, request.has_id,
+                                       ServiceError::kBadRequest,
+                                       "shutdown is handled by the server");
+        break;
+    }
+  } catch (const std::exception& e) {
+    metrics_.increment(ServiceMetrics::Counter::kError);
+    response = make_error_response(request.id, request.has_id,
+                                   ServiceError::kInternal, e.what());
+  }
+  metrics_.observe_latency(std::chrono::steady_clock::now() -
+                           request.admitted);
+  return response;
+}
+
+std::string GroomingService::handle_groom(ServiceRequest& request,
+                                          GroomingWorkspace* workspace) {
+  if (deadline_expired(request)) return deadline_response(request);
+
+  GroomCacheKey key;
+  key.fingerprint = graph_fingerprint(request.graph);
+  key.algorithm = static_cast<int>(request.algorithm);
+  key.k = request.k;
+  key.seed = request.seed;
+  key.flags = (request.refine ? 1u : 0u) | (request.smart_branches ? 2u : 0u);
+
+  std::optional<GroomCacheValue> cached = cache_.get(key);
+  const bool hit = cached.has_value();
+  metrics_.increment(hit ? ServiceMetrics::Counter::kCacheHits
+                         : ServiceMetrics::Counter::kCacheMisses);
+  GroomCacheValue value;
+  if (hit) {
+    value = std::move(*cached);
+  } else {
+    GroomingOptions options;
+    options.seed = request.seed;
+    options.refine = request.refine;
+    options.smart_branches = request.smart_branches;
+    EdgePartition partition;
+    try {
+      partition = run_algorithm(request.algorithm, request.graph, request.k,
+                                options, workspace);
+    } catch (const CheckError& e) {
+      metrics_.increment(ServiceMetrics::Counter::kError);
+      return make_error_response(request.id, request.has_id,
+                                 ServiceError::kBadRequest, e.what());
+    }
+    value.sadms = sadm_cost(request.graph, partition);
+    value.wavelengths = partition.wavelength_count();
+    value.lower_bound = partition_cost_lower_bound(request.graph, request.k);
+    value.parts = std::move(partition.parts);
+    cache_.put(key, value);
+  }
+
+  // The work is already cached, so an expired deadline still pays forward.
+  if (deadline_expired(request)) return deadline_response(request);
+
+  std::int64_t held_id = -1;
+  if (request.hold) {
+    EdgePartition partition;
+    partition.k = request.k;
+    partition.parts = value.parts;
+    GroomingPlan plan = plan_from_partition(
+        DemandSet::from_traffic_graph(request.graph), request.graph,
+        partition);
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    held_id = next_plan_id_++;
+    plans_.emplace(held_id, std::move(plan));
+  }
+
+  JsonWriter w;
+  begin_ok_response(w, request.id, request.has_id, ServiceOp::kGroom);
+  w.kv("algorithm", algorithm_name(request.algorithm));
+  w.kv("k", static_cast<long long>(request.k));
+  w.kv("sadms", value.sadms);
+  w.kv("wavelengths", static_cast<long long>(value.wavelengths));
+  w.kv("lower_bound", value.lower_bound);
+  w.kv("cached", hit);
+  if (held_id >= 0) w.kv("plan_id", static_cast<long long>(held_id));
+  if (request.include_partition) {
+    EdgePartition partition;
+    partition.k = request.k;
+    partition.parts = std::move(value.parts);
+    w.key("partition");
+    write_partition_json(w, partition);
+  }
+  w.end_object();
+  metrics_.increment(ServiceMetrics::Counter::kOk);
+  return w.take();
+}
+
+std::string GroomingService::handle_provision(ServiceRequest& request) {
+  if (deadline_expired(request)) return deadline_response(request);
+
+  IncrementalResult result;
+  try {
+    if (request.plan.has_value()) {
+      result = add_demands_incremental(*request.plan, request.add);
+    } else {
+      std::lock_guard<std::mutex> lock(plans_mutex_);
+      auto it = plans_.find(request.plan_id);
+      if (it == plans_.end()) {
+        metrics_.increment(ServiceMetrics::Counter::kError);
+        return make_error_response(
+            request.id, request.has_id, ServiceError::kBadRequest,
+            "unknown plan_id " + std::to_string(request.plan_id));
+      }
+      result = add_demands_incremental(it->second, request.add);
+      it->second = result.plan;
+    }
+  } catch (const CheckError& e) {
+    metrics_.increment(ServiceMetrics::Counter::kError);
+    return make_error_response(request.id, request.has_id,
+                               ServiceError::kBadRequest, e.what());
+  }
+
+  JsonWriter w;
+  begin_ok_response(w, request.id, request.has_id, ServiceOp::kProvision);
+  if (request.plan_id >= 0) {
+    w.kv("plan_id", static_cast<long long>(request.plan_id));
+  }
+  w.kv("added", static_cast<long long>(request.add.size()));
+  write_incremental_json(w, result, request.include_plan);
+  w.end_object();
+  metrics_.increment(ServiceMetrics::Counter::kOk);
+  return w.take();
+}
+
+std::string GroomingService::handle_stats(const ServiceRequest& request) {
+  JsonWriter w;
+  begin_ok_response(w, request.id, request.has_id, ServiceOp::kStats);
+  w.kv("workers", static_cast<long long>(config_.workers));
+  w.kv("queue_capacity", static_cast<long long>(config_.queue_capacity));
+  w.kv("cache_capacity", static_cast<long long>(config_.cache_capacity));
+  w.kv("cache_size", static_cast<long long>(cache_.size()));
+  w.kv("held_plans", static_cast<long long>(held_plan_count()));
+  w.key("metrics");
+  metrics_.write_json(w);
+  w.end_object();
+  metrics_.increment(ServiceMetrics::Counter::kOk);
+  return w.take();
+}
+
+int GroomingService::run(std::istream& in, std::ostream& out) {
+  shutdown_ = false;
+
+  std::mutex out_mutex;
+  auto emit = [&out, &out_mutex](const std::string& line) {
+    std::lock_guard<std::mutex> lock(out_mutex);
+    out << line << '\n';
+    out.flush();
+  };
+
+  BoundedQueue<ServiceRequest> queue(config_.queue_capacity);
+  ThreadPool pool(config_.workers);
+  std::vector<std::future<void>> worker_done;
+  worker_done.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i) {
+    worker_done.push_back(pool.submit([this, &queue, &emit] {
+      GroomingWorkspace workspace;
+      ServiceRequest request;
+      while (queue.pop(request)) emit(execute(request, &workspace));
+    }));
+  }
+
+  GroomingWorkspace inline_workspace;
+  std::int64_t shutdown_id = 0;
+  bool shutdown_has_id = false;
+  std::string line;
+  while (!stop_requested() && std::getline(in, line)) {
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    metrics_.increment(ServiceMetrics::Counter::kReceived);
+    RequestParse parsed = parse_request(line);
+    if (!parsed.request.has_value()) {
+      metrics_.increment(ServiceMetrics::Counter::kError);
+      emit(make_error_response(parsed.id, parsed.has_id,
+                               ServiceError::kBadRequest, parsed.error));
+      continue;
+    }
+    ServiceRequest request = std::move(*parsed.request);
+    if (request.deadline_ms == 0) {
+      request.deadline_ms = config_.default_deadline_ms;
+    }
+    request.admitted = std::chrono::steady_clock::now();
+    if (request.op == ServiceOp::kShutdown) {
+      shutdown_ = true;
+      shutdown_id = request.id;
+      shutdown_has_id = request.has_id;
+      break;
+    }
+    if (config_.workers == 0) {
+      emit(execute(request, &inline_workspace));
+      continue;
+    }
+    const std::int64_t id = request.id;
+    const bool has_id = request.has_id;
+    if (!queue.try_push(std::move(request))) {
+      metrics_.increment(ServiceMetrics::Counter::kError);
+      metrics_.increment(ServiceMetrics::Counter::kOverloaded);
+      emit(make_error_response(
+          id, has_id, ServiceError::kOverloaded,
+          "admission queue full (capacity " +
+              std::to_string(config_.queue_capacity) + ")"));
+    }
+  }
+
+  // Drain.  EOF closes admission but lets the workers finish everything
+  // already accepted; `shutdown`/SIGTERM additionally hands queued (not
+  // yet started) requests back for structured rejection.
+  std::vector<ServiceRequest> leftover;
+  if (shutdown_ || stop_requested()) {
+    leftover = queue.close_and_drain();
+  } else {
+    queue.close();
+  }
+  for (const ServiceRequest& request : leftover) {
+    metrics_.increment(ServiceMetrics::Counter::kError);
+    metrics_.increment(ServiceMetrics::Counter::kShuttingDown);
+    emit(make_error_response(request.id, request.has_id,
+                             ServiceError::kShuttingDown,
+                             "service is draining"));
+  }
+  for (auto& done : worker_done) done.get();
+
+  if (shutdown_) {
+    JsonWriter w;
+    begin_ok_response(w, shutdown_id, shutdown_has_id, ServiceOp::kShutdown);
+    w.kv("rejected_queued", static_cast<long long>(leftover.size()));
+    w.end_object();
+    metrics_.increment(ServiceMetrics::Counter::kOk);
+    emit(w.take());
+  }
+  if (config_.metrics_on_exit) {
+    JsonWriter w;
+    w.begin_object();
+    w.kv("event", "exit");
+    w.kv("held_plans", static_cast<long long>(held_plan_count()));
+    w.kv("cache_size", static_cast<long long>(cache_.size()));
+    w.key("metrics");
+    metrics_.write_json(w);
+    w.end_object();
+    emit(w.take());
+  }
+  return 0;
+}
+
+int serve_tcp(GroomingService& service, int port, std::ostream& log) {
+#if defined(__unix__) && defined(__GLIBCXX__)
+  int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd < 0) {
+    log << "socket: " << std::strerror(errno) << "\n";
+    return 1;
+  }
+  int enable = 1;
+  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0 ||
+      ::listen(listen_fd, 8) < 0) {
+    log << "bind/listen on 127.0.0.1:" << port << ": "
+        << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
+  log << "tgroom serve: listening on 127.0.0.1:" << port << "\n";
+  while (!GroomingService::stop_requested() && !service.shutdown_requested()) {
+    int fd = ::accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;  // SIGTERM: loop re-checks the flag
+      log << "accept: " << std::strerror(errno) << "\n";
+      break;
+    }
+    int out_fd = ::dup(fd);
+    if (out_fd < 0) {
+      ::close(fd);
+      continue;
+    }
+    // Each filebuf owns (and closes) its fd; the dup keeps in/out halves
+    // independently closable.
+    __gnu_cxx::stdio_filebuf<char> in_buf(fd, std::ios::in);
+    __gnu_cxx::stdio_filebuf<char> out_buf(out_fd, std::ios::out);
+    std::istream session_in(&in_buf);
+    std::ostream session_out(&out_buf);
+    service.run(session_in, session_out);
+  }
+  ::close(listen_fd);
+  return 0;
+#else
+  (void)service;
+  (void)port;
+  log << "serve --port requires a unix/libstdc++ build\n";
+  return 2;
+#endif
+}
+
+}  // namespace tgroom

@@ -1,0 +1,106 @@
+// The grooming service: a long-running daemon over the batch substrate.
+//
+// One GroomingService owns the cross-request state — the groom-result LRU
+// cache, the held-plan table for incremental provisioning, and the
+// metrics registry.  run() serves one NDJSON session: a reader loop
+// parses and admits requests into a BoundedQueue, `workers` long-running
+// ThreadPool tasks (one GroomingWorkspace each, so scratch buffers
+// amortize across requests exactly as in the batch engine) drain it, and
+// responses are emitted line-atomically under an output mutex.
+//
+// Overload: when the admission queue is full the request is answered
+// `overloaded` immediately — the connection is never dropped and memory
+// never grows with offered load.  Deadlines: a request's `deadline_ms`
+// (or the config default) is checked between pipeline stages (dequeue,
+// post-compute); an expired groom still populates the cache so a retry
+// hits.  Drain: on EOF admission stops and the workers finish everything
+// already accepted; on `shutdown` or request_stop() (SIGTERM), in-flight
+// requests finish but still-queued ones are answered `shutting_down`.
+// Either way every accepted request gets a response before run() returns.
+//
+// With workers == 0 requests execute inline on the reader thread in
+// arrival order (deterministic, single-core CI friendly); responses are
+// then in order.  With workers > 0 responses may interleave; the echoed
+// "id" correlates them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+#include "service/protocol.hpp"
+
+namespace tgroom {
+
+struct GroomingWorkspace;
+
+struct ServiceConfig {
+  std::size_t workers = 0;        // 0 = inline, in-order execution
+  std::size_t queue_capacity = 256;  // admission bound (workers > 0)
+  std::size_t cache_capacity = 128;  // groom LRU entries; 0 disables
+  std::int64_t default_deadline_ms = 0;  // applied when a request has none
+  bool metrics_on_exit = true;  // final {"event":"exit",...} metrics line
+};
+
+class GroomingService {
+ public:
+  explicit GroomingService(const ServiceConfig& config)
+      : config_(config), cache_(config.cache_capacity) {}
+
+  /// Serves one NDJSON session until EOF, a `shutdown` request, or
+  /// request_stop().  Always returns 0; protocol failures are responses,
+  /// not exit codes.
+  int run(std::istream& in, std::ostream& out);
+
+  /// True once a `shutdown` request ended a run() session (used by the
+  /// TCP accept loop to stop across sessions).
+  bool shutdown_requested() const { return shutdown_; }
+
+  /// Executes one parsed request synchronously and returns the response
+  /// line.  Also the worker-task body; exposed for tests.
+  std::string execute(ServiceRequest& request, GroomingWorkspace* workspace);
+
+  ServiceMetrics& metrics() { return metrics_; }
+  const ServiceConfig& config() const { return config_; }
+  std::size_t held_plan_count() const;
+
+  /// Cooperative stop for signal handlers: the read loop drains and exits
+  /// at the next line boundary (the `tgroom serve` command wires SIGTERM
+  /// here without SA_RESTART, so a blocked read fails and drains too).
+  static void request_stop() { stop_flag().store(true); }
+  static void clear_stop() { stop_flag().store(false); }
+  static bool stop_requested() { return stop_flag().load(); }
+
+ private:
+  static std::atomic<bool>& stop_flag();
+
+  std::string handle_groom(ServiceRequest& request,
+                           GroomingWorkspace* workspace);
+  std::string handle_provision(ServiceRequest& request);
+  std::string handle_stats(const ServiceRequest& request);
+  bool deadline_expired(const ServiceRequest& request) const;
+  std::string deadline_response(const ServiceRequest& request);
+
+  ServiceConfig config_;
+  PlanCache cache_;
+  ServiceMetrics metrics_;
+  mutable std::mutex plans_mutex_;  // guards plans_ and next_plan_id_;
+                                    // held across a held-plan provision so
+                                    // concurrent provisions serialize
+  std::unordered_map<std::int64_t, GroomingPlan> plans_;
+  std::int64_t next_plan_id_ = 1;
+  bool shutdown_ = false;
+};
+
+/// Accepts loopback TCP connections on 127.0.0.1:`port` and serves each,
+/// one at a time, as an NDJSON session over `service` (cache, held plans,
+/// and metrics persist across connections).  Returns when a session sends
+/// `shutdown` or request_stop() is set.  Linux/glibc builds only.
+int serve_tcp(GroomingService& service, int port, std::ostream& log);
+
+}  // namespace tgroom

@@ -12,9 +12,16 @@
 #include "grooming/incremental.hpp"
 #include "grooming/plan.hpp"
 #include "nphard/gadget.hpp"
+#include "service/protocol.hpp"
+#include "service/server.hpp"
 #include "sonet/protection.hpp"
 #include "sonet/simulator.hpp"
+#include "util/json.hpp"
 #include "util/table.hpp"
+
+#if defined(__unix__)
+#include <csignal>
+#endif
 
 namespace tgroom::tools {
 
@@ -42,6 +49,33 @@ GroomingOptions options_from_flags(const CliArgs& args) {
   options.refine = args.get_bool("refine", false);
   options.smart_branches = args.get_bool("smart-branches", false);
   return options;
+}
+
+/// Parses --format (default "text"); reports unknown values to err.
+std::optional<bool> json_format_flag(const CliArgs& args, std::ostream& err) {
+  std::string format = args.get("format", "text");
+  if (format == "text") return false;
+  if (format == "json") return true;
+  err << "--format expects text|json, got '" << format << "'\n";
+  return std::nullopt;
+}
+
+/// Parses an "a-b,c-d" pair list (shared by grow/provision so the CLI and
+/// service provisioning paths feed identical inputs).  Throws CheckError.
+std::vector<DemandPair> parse_pair_list(const std::string& spec_text) {
+  std::vector<DemandPair> pairs;
+  std::stringstream spec(spec_text);
+  std::string item;
+  while (std::getline(spec, item, ',')) {
+    auto dash = item.find('-');
+    TGROOM_CHECK_MSG(dash != std::string::npos,
+                     "--add expects a-b pairs, got '" + item + "'");
+    NodeId a = static_cast<NodeId>(std::atoi(item.substr(0, dash).c_str()));
+    NodeId b = static_cast<NodeId>(std::atoi(item.substr(dash + 1).c_str()));
+    pairs.push_back(DemandPair{std::min(a, b), std::max(a, b)});
+  }
+  TGROOM_CHECK_MSG(!pairs.empty(), "--add lists no pairs");
+  return pairs;
 }
 
 /// Parses a comma-separated integer list, e.g. "4,8,16".
@@ -81,18 +115,25 @@ std::string usage() {
       "             writes a demand file to stdout\n"
       "  groom      --k K [--algorithm NAME] [--refine] [--anneal]\n"
       "             [--anneal-iterations I] [--smart-branches]\n"
+      "             [--format text|json]\n"
       "             reads a demand file on stdin, writes a plan file\n"
       "  simulate   reads a plan file on stdin, prints the ring report\n"
       "  survive    reads a plan file on stdin, prints survivability\n"
       "  compare    --k K  reads a demand file, prints per-algorithm table\n"
       "  grow       --add a-b,c-d  reads a plan file, provisions the new\n"
       "             pairs incrementally (existing circuits untouched)\n"
+      "  provision  --add a-b,c-d [--format text|json]  same operation as\n"
+      "             the service's provision op, shared code path\n"
       "  gadget     reads an even-degree graph, writes the Lemma 6\n"
       "             Δ-regular EPT gadget\n"
       "  sweep      --pattern dense|regular|all-to-all --n N [--dense D]\n"
       "             [--r R] [--k K1,K2,...] [--seeds S] [--workers W]\n"
-      "             [--algorithms a,b,...] [--csv] runs the batch engine\n"
-      "             over a (seed x k) grid and prints aggregate SADMs\n"
+      "             [--algorithms a,b,...] [--csv | --format json] runs the\n"
+      "             batch engine over a (seed x k) grid, aggregate SADMs\n"
+      "  serve      [--workers W] [--queue Q] [--cache C] [--deadline-ms D]\n"
+      "             [--port P] long-running NDJSON request daemon on\n"
+      "             stdin/stdout (or loopback TCP); ops groom, provision,\n"
+      "             stats, shutdown — see DESIGN.md section 10\n"
       "\n"
       "algorithms: Algo1-Goldschmidt, Algo2-Brauner, Algo3-WangGu,\n"
       "            SpanT_Euler, Regular_Euler, CliquePack (aliases: algo1,\n"
@@ -131,6 +172,8 @@ int cmd_groom(const CliArgs& args, std::istream& in, std::ostream& out,
               std::ostream& err) {
   auto id = algorithm_flag(args, err);
   if (!id) return 2;
+  auto json = json_format_flag(args, err);
+  if (!json) return 2;
   const int k = static_cast<int>(args.get_int("k", 16));
   try {
     DemandSet demands = DemandSet::parse(slurp(in));
@@ -148,6 +191,20 @@ int cmd_groom(const CliArgs& args, std::istream& in, std::ostream& out,
     auto valid = validate_partition(traffic, partition);
     TGROOM_CHECK_MSG(valid.ok, valid.reason);
     GroomingPlan plan = plan_from_partition(demands, traffic, partition);
+    if (*json) {
+      JsonWriter w;
+      w.begin_object();
+      w.kv("algorithm", algorithm_name(*id));
+      w.kv("k", static_cast<long long>(k));
+      w.kv("sadms", plan_sadm_count(plan));
+      w.kv("wavelengths", static_cast<long long>(plan.wavelength_count()));
+      w.kv("lower_bound", partition_cost_lower_bound(traffic, k));
+      w.key("plan");
+      write_plan_json(w, plan);
+      w.end_object();
+      out << w.str() << "\n";
+      return 0;
+    }
     out << "# tgroom plan: algorithm=" << algorithm_name(*id) << " k=" << k
         << " sadms=" << plan_sadm_count(plan)
         << " wavelengths=" << plan.wavelength_count() << "\n";
@@ -235,20 +292,41 @@ int cmd_grow(const CliArgs& args, std::istream& in, std::ostream& out,
              std::ostream& err) {
   try {
     GroomingPlan plan = parse_plan(slurp(in));
-    std::vector<DemandPair> new_pairs;
-    std::stringstream spec(args.get("add", ""));
-    std::string item;
-    while (std::getline(spec, item, ',')) {
-      auto dash = item.find('-');
-      TGROOM_CHECK_MSG(dash != std::string::npos,
-                       "--add expects a-b pairs, got '" + item + "'");
-      NodeId a = static_cast<NodeId>(std::atoi(item.substr(0, dash).c_str()));
-      NodeId b = static_cast<NodeId>(std::atoi(item.substr(dash + 1).c_str()));
-      new_pairs.push_back(DemandPair{std::min(a, b), std::max(a, b)});
-    }
-    TGROOM_CHECK_MSG(!new_pairs.empty(), "--add lists no pairs");
+    std::vector<DemandPair> new_pairs = parse_pair_list(args.get("add", ""));
     IncrementalResult grown = add_demands_incremental(plan, new_pairs);
     out << "# tgroom grow: added=" << new_pairs.size()
+        << " new_sadms=" << grown.new_sadms
+        << " new_wavelengths=" << grown.new_wavelengths
+        << " reused_sites=" << grown.reused_sites << "\n";
+    out << serialize_plan(grown.plan);
+    return 0;
+  } catch (const CheckError& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
+int cmd_provision(const CliArgs& args, std::istream& in, std::ostream& out,
+                  std::ostream& err) {
+  auto json = json_format_flag(args, err);
+  if (!json) return 2;
+  try {
+    // Same pipeline as the service's `provision` op: parse a base plan,
+    // add the pairs with add_demands_incremental, report via the shared
+    // JSON serializer.  tests pin CLI/service output equality.
+    GroomingPlan plan = parse_plan(slurp(in));
+    std::vector<DemandPair> new_pairs = parse_pair_list(args.get("add", ""));
+    IncrementalResult grown = add_demands_incremental(plan, new_pairs);
+    if (*json) {
+      JsonWriter w;
+      w.begin_object();
+      w.kv("added", static_cast<long long>(new_pairs.size()));
+      write_incremental_json(w, grown, /*include_plan=*/true);
+      w.end_object();
+      out << w.str() << "\n";
+      return 0;
+    }
+    out << "# tgroom provision: added=" << new_pairs.size()
         << " new_sadms=" << grown.new_sadms
         << " new_wavelengths=" << grown.new_wavelengths
         << " reused_sites=" << grown.reused_sites << "\n";
@@ -317,8 +395,41 @@ int cmd_sweep(const CliArgs& args, std::ostream& out, std::ostream& err) {
   config.workers = static_cast<std::size_t>(args.get_int("workers", 0));
   config.options = options_from_flags(args);
 
+  auto json = json_format_flag(args, err);
+  if (!json) return 2;
+
   try {
     SweepResult result = run_sweep(workload, algorithms, config);
+    if (*json) {
+      JsonWriter w;
+      w.begin_object();
+      w.kv("workload", workload_label(workload));
+      w.kv("seeds", static_cast<long long>(config.seeds));
+      w.kv("mean_edges", result.mean_edges);
+      w.key("series").begin_array();
+      for (const auto& series : result.series) {
+        w.begin_object();
+        w.kv("algorithm", algorithm_name(series.algorithm));
+        w.key("cells").begin_array();
+        for (std::size_t ki = 0; ki < series.cells.size(); ++ki) {
+          const SweepCell& cell = series.cells[ki];
+          w.begin_object();
+          w.kv("k", static_cast<long long>(config.grooming_factors[ki]));
+          w.kv("mean_sadms", cell.mean_sadms);
+          w.kv("min_sadms", cell.min_sadms);
+          w.kv("max_sadms", cell.max_sadms);
+          w.kv("mean_wavelengths", cell.mean_wavelengths);
+          w.kv("mean_lower_bound", cell.mean_lower_bound);
+          w.end_object();
+        }
+        w.end_array();
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      out << w.str() << "\n";
+      return 0;
+    }
     if (args.get_bool("csv", false)) {
       out << "algorithm,k,mean_sadms,min_sadms,max_sadms,"
              "mean_wavelengths,mean_lower_bound\n";
@@ -360,6 +471,37 @@ int cmd_sweep(const CliArgs& args, std::ostream& out, std::ostream& err) {
   }
 }
 
+int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
+              std::ostream& err) {
+  ServiceConfig config;
+  config.workers = static_cast<std::size_t>(args.get_int("workers", 0));
+  config.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 256));
+  config.cache_capacity =
+      static_cast<std::size_t>(args.get_int("cache", 128));
+  config.default_deadline_ms = args.get_int("deadline-ms", 0);
+  config.metrics_on_exit = args.get_bool("exit-metrics", true);
+  if (config.queue_capacity == 0) {
+    err << "--queue must be >= 1\n";
+    return 2;
+  }
+#if defined(__unix__)
+  // SIGTERM requests a graceful drain.  No SA_RESTART: a read blocked in
+  // getline/accept fails with EINTR, so the loop reaches its drain path
+  // instead of blocking until the next request line.
+  struct sigaction action {};
+  action.sa_handler = [](int) { GroomingService::request_stop(); };
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+#endif
+  GroomingService::clear_stop();
+  GroomingService service(config);
+  const int port = static_cast<int>(args.get_int("port", 0));
+  if (port > 0) return serve_tcp(service, port, err);
+  return service.run(in, out);
+}
+
 int run_tool(int argc, const char* const* argv, std::istream& in,
              std::ostream& out, std::ostream& err) {
   if (argc < 2) {
@@ -374,8 +516,10 @@ int run_tool(int argc, const char* const* argv, std::istream& in,
   if (command == "survive") return cmd_survive(args, in, out, err);
   if (command == "compare") return cmd_compare(args, in, out, err);
   if (command == "grow") return cmd_grow(args, in, out, err);
+  if (command == "provision") return cmd_provision(args, in, out, err);
   if (command == "gadget") return cmd_gadget(args, in, out, err);
   if (command == "sweep") return cmd_sweep(args, out, err);
+  if (command == "serve") return cmd_serve(args, in, out, err);
   if (command == "help" || command == "--help") {
     out << usage();
     return 0;

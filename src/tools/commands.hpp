@@ -9,11 +9,16 @@
 //   survive    plan file -> span-failure survivability report
 //   compare    demand file -> per-algorithm SADM comparison table
 //   grow       plan file + --add pairs -> incrementally extended plan
+//   provision  same operation as the service's `provision` op (one shared
+//              code path), with --format text|json output
 //   gadget     EPT graph file -> Lemma 6 regular gadget graph file
 //   sweep      (seed x k) grid over generated workloads -> aggregate
 //              SADM table, fanned across workers by the batch engine
+//   serve      long-running NDJSON daemon (stdin/stdout or --port) with
+//              admission control, deadlines, plan cache, and metrics
 //
-// All file arguments default to stdin/stdout via "-".
+// `groom` and `sweep` take --format json for machine-readable output via
+// the service serializers.  All file arguments default to stdin/stdout.
 #pragma once
 
 #include <iosfwd>
@@ -40,9 +45,13 @@ int cmd_compare(const CliArgs& args, std::istream& in, std::ostream& out,
                 std::ostream& err);
 int cmd_grow(const CliArgs& args, std::istream& in, std::ostream& out,
              std::ostream& err);
+int cmd_provision(const CliArgs& args, std::istream& in, std::ostream& out,
+                  std::ostream& err);
 int cmd_gadget(const CliArgs& args, std::istream& in, std::ostream& out,
                std::ostream& err);
 int cmd_sweep(const CliArgs& args, std::ostream& out, std::ostream& err);
+int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
+              std::ostream& err);
 
 /// Usage text for the whole tool.
 std::string usage();

@@ -1,0 +1,100 @@
+// Minimal JSON support for the service protocol and machine-readable CLI
+// output.
+//
+// Two halves, both dependency-free:
+//  - JsonWriter: a streaming writer with automatic comma/nesting handling
+//    and full string escaping.  Key order is exactly the call order, so
+//    serialized output is byte-deterministic — the service's parity tests
+//    and the bench harness diff response lines directly.
+//  - JsonValue / parse_json: a recursive-descent parser for the subset the
+//    protocol needs (objects, arrays, strings, numbers, bools, null).
+//    Objects preserve member order in a flat vector; lookups are linear,
+//    which is the right trade for request-sized documents.
+//
+// Numbers are held as double: integers are exact up to 2^53, far beyond
+// any node count, seed, or counter the protocol carries.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace tgroom {
+
+/// Appends a JSON-escaped copy of `text` (no surrounding quotes) to `out`.
+void json_escape(std::string_view text, std::string& out);
+
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Writes an object key; must be followed by a value or container.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(bool b);
+  JsonWriter& value(int v) { return value(static_cast<long long>(v)); }
+  JsonWriter& value(long long v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(double v);
+  JsonWriter& null();
+
+  /// key() + value() in one call.
+  template <typename T>
+  JsonWriter& kv(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// The document built so far; valid once every container is closed.
+  const std::string& str() const { return out_; }
+  std::string take() { return std::move(out_); }
+
+ private:
+  void comma();
+
+  std::string out_;
+  std::vector<char> stack_;  // 'o' / 'a' per open container
+  std::vector<bool> first_;  // first element pending in each container
+  bool key_pending_ = false;
+};
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;  // member order kept
+
+  bool is_null() const { return type == Type::kNull; }
+  bool is_bool() const { return type == Type::kBool; }
+  bool is_number() const { return type == Type::kNumber; }
+  bool is_string() const { return type == Type::kString; }
+  bool is_array() const { return type == Type::kArray; }
+  bool is_object() const { return type == Type::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(std::string_view name) const;
+
+  /// The number as an integer; throws CheckError unless the value is a
+  /// number that is integral and representable.
+  std::int64_t as_int() const;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, nothing else).
+/// Throws CheckError with a position-annotated message on malformed input.
+JsonValue parse_json(std::string_view text);
+
+}  // namespace tgroom

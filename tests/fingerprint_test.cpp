@@ -1,0 +1,80 @@
+// graph_fingerprint is a *labeled* identity: equal exactly when the CSR
+// arrays are equal.  Relabeled-isomorphic graphs must therefore collide
+// only by (astronomically unlikely) accident — the cache must not treat
+// them as the same instance, because partitions are reported in edge ids.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "gen/random_graph.hpp"
+#include "graph/csr_graph.hpp"
+#include "graph/fingerprint.hpp"
+#include "graph/graph.hpp"
+
+namespace tgroom {
+namespace {
+
+TEST(Fingerprint, DeterministicAcrossRebuilds) {
+  Graph a = make_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+  Graph b = make_graph(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {0, 4}});
+  EXPECT_EQ(graph_fingerprint(a), graph_fingerprint(b));
+}
+
+TEST(Fingerprint, GraphAndCsrAgree) {
+  Rng rng(123);
+  Graph g = random_dense_ratio(40, 0.2, rng);
+  CsrGraph csr(g);
+  EXPECT_EQ(graph_fingerprint(g), graph_fingerprint(csr));
+}
+
+TEST(Fingerprint, RelabeledIsomorphReadsDifferent) {
+  // Swap labels 0 <-> 2 in a path: isomorphic, different labeled graph.
+  Graph a = make_graph(4, {{0, 1}, {1, 2}, {2, 3}});
+  Graph b = make_graph(4, {{2, 1}, {1, 0}, {0, 3}});
+  EXPECT_NE(graph_fingerprint(a), graph_fingerprint(b));
+}
+
+TEST(Fingerprint, EdgeInsertionOrderMatters) {
+  // Same edge set, different edge ids — distinct identities, because
+  // responses reference partitions by edge id.
+  Graph a = make_graph(3, {{0, 1}, {1, 2}});
+  Graph b = make_graph(3, {{1, 2}, {0, 1}});
+  EXPECT_NE(graph_fingerprint(a), graph_fingerprint(b));
+}
+
+TEST(Fingerprint, SensitiveToSmallChanges) {
+  Graph base = make_graph(6, {{0, 1}, {2, 3}, {4, 5}});
+  Graph more_nodes = make_graph(7, {{0, 1}, {2, 3}, {4, 5}});
+  Graph extra_edge = make_graph(6, {{0, 1}, {2, 3}, {4, 5}, {0, 2}});
+  EXPECT_NE(graph_fingerprint(base), graph_fingerprint(more_nodes));
+  EXPECT_NE(graph_fingerprint(base), graph_fingerprint(extra_edge));
+
+  Graph empty0 = make_graph(0, {});
+  Graph empty1 = make_graph(1, {});
+  EXPECT_NE(graph_fingerprint(empty0), graph_fingerprint(empty1));
+}
+
+TEST(Fingerprint, VirtualEdgeFlagMatters) {
+  Graph a = make_graph(3, {{0, 1}, {1, 2}});
+  Graph b = make_graph(3, {{0, 1}});
+  b.add_edge(1, 2, /*is_virtual=*/true);
+  EXPECT_NE(graph_fingerprint(a), graph_fingerprint(b));
+}
+
+TEST(Fingerprint, PairwiseDistinctOverRandomFamily) {
+  // 64 random graphs: all fingerprints distinct (collision would mean the
+  // sponge is discarding structure).
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+    Rng rng(seed);
+    Graph g = random_dense_ratio(16, 0.3, rng);
+    seen.push_back(graph_fingerprint(g));
+  }
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+}  // namespace
+}  // namespace tgroom

@@ -63,17 +63,20 @@ TEST(Regression, RegularWorkloadGoldenValues) {
 
 TEST(Regression, GeneratorsAreStable) {
   // The generators feed every golden value above; pin their output shape.
+  // Unsigned accumulator: the rolling hash wraps by design.
   Rng rng(2026);
   Graph g = random_dense_ratio(36, 0.5, rng);
-  long long edge_hash = 0;
+  unsigned long long edge_hash = 0;
   for (const Edge& e : g.edges()) {
-    edge_hash = edge_hash * 131 + e.u * 37 + e.v;
+    edge_hash = edge_hash * 131 + static_cast<unsigned long long>(e.u) * 37 +
+                static_cast<unsigned long long>(e.v);
   }
   Rng rng2(2026);
   Graph g2 = random_dense_ratio(36, 0.5, rng2);
-  long long edge_hash2 = 0;
+  unsigned long long edge_hash2 = 0;
   for (const Edge& e : g2.edges()) {
-    edge_hash2 = edge_hash2 * 131 + e.u * 37 + e.v;
+    edge_hash2 = edge_hash2 * 131 + static_cast<unsigned long long>(e.u) * 37 +
+                 static_cast<unsigned long long>(e.v);
   }
   EXPECT_EQ(edge_hash, edge_hash2);
 }

@@ -1,0 +1,617 @@
+// Tests of the grooming service: protocol parsing, queue/cache/metrics
+// units, and loopback NDJSON sessions pinned bit-for-bit against direct
+// library calls.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+#include "gen/traffic_patterns.hpp"
+#include "graph/fingerprint.hpp"
+#include "grooming/incremental.hpp"
+#include "grooming/plan.hpp"
+#include "service/cache.hpp"
+#include "service/metrics.hpp"
+#include "service/protocol.hpp"
+#include "service/queue.hpp"
+#include "service/server.hpp"
+#include "util/json.hpp"
+
+namespace tgroom {
+namespace {
+
+// ---------------------------------------------------------------- helpers
+
+std::string groom_request(long long id, const Graph& g, AlgorithmId algorithm,
+                          int k, std::uint64_t seed,
+                          bool include_partition = true, bool hold = false) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("op", "groom");
+  w.kv("id", id);
+  w.key("graph");
+  write_graph_json(w, g);
+  w.kv("algorithm", algorithm_name(algorithm));
+  w.kv("k", static_cast<long long>(k));
+  w.kv("seed", seed);
+  if (include_partition) w.kv("include_partition", true);
+  if (hold) w.kv("hold", true);
+  w.end_object();
+  return w.take();
+}
+
+std::string provision_request(long long id, const GroomingPlan& plan,
+                              const std::vector<DemandPair>& add,
+                              bool include_plan = true) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("op", "provision");
+  w.kv("id", id);
+  w.key("plan");
+  write_plan_json(w, plan);
+  w.key("add").begin_array();
+  for (const DemandPair& p : add) {
+    w.begin_array()
+        .value(static_cast<long long>(p.a))
+        .value(static_cast<long long>(p.b))
+        .end_array();
+  }
+  w.end_array();
+  if (include_plan) w.kv("include_plan", true);
+  w.end_object();
+  return w.take();
+}
+
+struct Session {
+  std::vector<JsonValue> responses;  // protocol responses, output order
+  std::vector<JsonValue> events;     // {"event":...} lines (exit metrics)
+  GroomingService* service = nullptr;
+
+  const JsonValue* by_id(long long id) const {
+    for (const JsonValue& r : responses) {
+      const JsonValue* rid = r.find("id");
+      if (rid && rid->is_number() && rid->as_int() == id) return &r;
+    }
+    return nullptr;
+  }
+};
+
+Session run_session(GroomingService& service,
+                    const std::vector<std::string>& lines) {
+  std::string input;
+  for (const std::string& line : lines) {
+    input += line;
+    input += '\n';
+  }
+  std::istringstream in(input);
+  std::ostringstream out;
+  EXPECT_EQ(service.run(in, out), 0);
+  Session session;
+  session.service = &service;
+  std::istringstream parse(out.str());
+  std::string line;
+  while (std::getline(parse, line)) {
+    EXPECT_FALSE(line.empty()) << "blank response line";
+    JsonValue v = parse_json(line);
+    if (v.find("event")) {
+      session.events.push_back(std::move(v));
+    } else {
+      session.responses.push_back(std::move(v));
+    }
+  }
+  return session;
+}
+
+Graph test_graph(NodeId n, double density, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_traffic(n, density, rng).traffic_graph();
+}
+
+std::vector<std::vector<EdgeId>> parts_from_json(const JsonValue& v) {
+  EXPECT_TRUE(v.is_array());
+  std::vector<std::vector<EdgeId>> parts;
+  for (const JsonValue& part : v.array) {
+    EXPECT_TRUE(part.is_array());
+    std::vector<EdgeId> edges;
+    for (const JsonValue& e : part.array) {
+      edges.push_back(static_cast<EdgeId>(e.as_int()));
+    }
+    parts.push_back(std::move(edges));
+  }
+  return parts;
+}
+
+// ------------------------------------------------------------ unit pieces
+
+TEST(BoundedQueue, RejectsWhenFullAndDrains) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.try_push(1));
+  EXPECT_TRUE(queue.try_push(2));
+  EXPECT_FALSE(queue.try_push(3));
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 1);
+  EXPECT_TRUE(queue.try_push(4));
+  std::vector<int> leftover = queue.close_and_drain();
+  ASSERT_EQ(leftover.size(), 2u);
+  EXPECT_EQ(leftover[0], 2);
+  EXPECT_EQ(leftover[1], 4);
+  EXPECT_FALSE(queue.try_push(5));
+  EXPECT_FALSE(queue.pop(out));
+}
+
+TEST(BoundedQueue, CloseLetsConsumersFinish) {
+  BoundedQueue<int> queue(8);
+  EXPECT_TRUE(queue.try_push(7));
+  EXPECT_TRUE(queue.try_push(8));
+  queue.close();
+  EXPECT_FALSE(queue.try_push(9));
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 7);
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 8);
+  EXPECT_FALSE(queue.pop(out));
+}
+
+TEST(PlanCache, LruEvictionAndRefresh) {
+  PlanCache cache(2);
+  GroomCacheKey a{1, 0, 4, 1, 0}, b{2, 0, 4, 1, 0}, c{3, 0, 4, 1, 0};
+  GroomCacheValue value;
+  value.sadms = 10;
+  cache.put(a, value);
+  value.sadms = 20;
+  cache.put(b, value);
+  EXPECT_TRUE(cache.get(a).has_value());  // refresh a; b becomes LRU
+  value.sadms = 30;
+  cache.put(c, value);  // evicts b
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_TRUE(cache.get(a).has_value());
+  EXPECT_FALSE(cache.get(b).has_value());
+  ASSERT_TRUE(cache.get(c).has_value());
+  EXPECT_EQ(cache.get(c)->sadms, 30);
+}
+
+TEST(PlanCache, ZeroCapacityDisables) {
+  PlanCache cache(0);
+  cache.put(GroomCacheKey{1, 0, 4, 1, 0}, GroomCacheValue{});
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_FALSE(cache.get(GroomCacheKey{1, 0, 4, 1, 0}).has_value());
+}
+
+TEST(ServiceMetrics, CountersAndHistogram) {
+  ServiceMetrics metrics;
+  metrics.increment(ServiceMetrics::Counter::kOk, 3);
+  metrics.increment(ServiceMetrics::Counter::kCacheHits);
+  metrics.observe_latency(std::chrono::microseconds(3));    // bucket [2,4)
+  metrics.observe_latency(std::chrono::microseconds(100));  // bucket [64,128)
+  EXPECT_EQ(metrics.count(ServiceMetrics::Counter::kOk), 3);
+  JsonValue v = parse_json(metrics.to_json());
+  const JsonValue* counters = v.find("counters");
+  ASSERT_NE(counters, nullptr);
+  EXPECT_EQ(counters->find("ok")->as_int(), 3);
+  EXPECT_EQ(counters->find("cache_hits")->as_int(), 1);
+  const JsonValue* latency = v.find("latency");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->find("count")->as_int(), 2);
+  EXPECT_EQ(latency->find("sum_us")->as_int(), 103);
+  EXPECT_EQ(latency->find("max_us")->as_int(), 100);
+  long long bucketed = 0;
+  for (const JsonValue& bucket : latency->find("buckets")->array) {
+    bucketed += bucket.array[1].as_int();
+  }
+  EXPECT_EQ(bucketed, 2);
+}
+
+TEST(Protocol, ParseErrorsAreStructured) {
+  EXPECT_FALSE(parse_request("not json").request.has_value());
+  EXPECT_FALSE(parse_request("[1,2]").request.has_value());
+  EXPECT_FALSE(parse_request(R"({"id":5})").request.has_value());
+  EXPECT_FALSE(parse_request(R"({"op":"warp","id":5})").request.has_value());
+  EXPECT_FALSE(
+      parse_request(R"({"op":"groom","k":4})").request.has_value());
+  // id is echoed even when the body is bad.
+  RequestParse bad = parse_request(R"({"op":"warp","id":5})");
+  EXPECT_TRUE(bad.has_id);
+  EXPECT_EQ(bad.id, 5);
+  // provision needs exactly one plan source.
+  EXPECT_FALSE(parse_request(
+                   R"({"op":"provision","plan_id":1,)"
+                   R"("plan":{"ring_size":4,"k":2,"pairs":[]},"add":[[0,1]]})")
+                   .request.has_value());
+  EXPECT_FALSE(
+      parse_request(R"({"op":"provision","plan_id":1,"add":[]})")
+          .request.has_value());
+  EXPECT_FALSE(
+      parse_request(R"({"op":"provision","plan_id":1,"add":[[2,2]]})")
+          .request.has_value());
+}
+
+TEST(Protocol, GraphAndPlanRoundTrip) {
+  Graph g = test_graph(10, 0.5, 7);
+  JsonWriter w;
+  write_graph_json(w, g);
+  Graph back = graph_from_json(parse_json(w.str()));
+  EXPECT_EQ(graph_fingerprint(g), graph_fingerprint(back));
+
+  EdgePartition partition = run_algorithm(AlgorithmId::kSpanTEuler, g, 4);
+  GroomingPlan plan =
+      plan_from_partition(DemandSet::from_traffic_graph(g), g, partition);
+  JsonWriter pw;
+  write_plan_json(pw, plan);
+  GroomingPlan plan_back = plan_from_json(parse_json(pw.str()));
+  EXPECT_EQ(serialize_plan(plan), serialize_plan(plan_back));
+}
+
+// ------------------------------------------------------- service sessions
+
+TEST(Service, GroomMatchesDirectRun) {
+  Graph g = test_graph(12, 0.5, 11);
+  ServiceConfig config;
+  config.metrics_on_exit = false;
+  GroomingService service(config);
+  Session session = run_session(
+      service, {groom_request(1, g, AlgorithmId::kSpanTEuler, 4, 99)});
+  ASSERT_EQ(session.responses.size(), 1u);
+  const JsonValue& r = session.responses[0];
+  EXPECT_TRUE(r.find("ok")->boolean);
+
+  GroomingOptions options;
+  options.seed = 99;
+  EdgePartition direct = run_algorithm(AlgorithmId::kSpanTEuler, g, 4, options);
+  EXPECT_EQ(r.find("sadms")->as_int(), sadm_cost(g, direct));
+  EXPECT_EQ(r.find("wavelengths")->as_int(), direct.wavelength_count());
+  EXPECT_EQ(r.find("lower_bound")->as_int(),
+            partition_cost_lower_bound(g, 4));
+  EXPECT_EQ(parts_from_json(*r.find("partition")), direct.parts);
+}
+
+TEST(Service, CacheHitReturnsIdenticalPayload) {
+  Graph g = test_graph(12, 0.5, 13);
+  ServiceConfig config;
+  config.metrics_on_exit = false;
+  GroomingService service(config);
+  Session session = run_session(
+      service, {groom_request(1, g, AlgorithmId::kSpanTEuler, 4, 5),
+                groom_request(2, g, AlgorithmId::kSpanTEuler, 4, 5),
+                groom_request(3, g, AlgorithmId::kSpanTEuler, 8, 5)});
+  ASSERT_EQ(session.responses.size(), 3u);
+  const JsonValue &a = session.responses[0], &b = session.responses[1];
+  EXPECT_FALSE(a.find("cached")->boolean);
+  EXPECT_TRUE(b.find("cached")->boolean);
+  EXPECT_FALSE(session.responses[2].find("cached")->boolean);  // k differs
+  EXPECT_EQ(a.find("sadms")->as_int(), b.find("sadms")->as_int());
+  EXPECT_EQ(parts_from_json(*a.find("partition")),
+            parts_from_json(*b.find("partition")));
+  EXPECT_EQ(service.metrics().count(ServiceMetrics::Counter::kCacheHits), 1);
+  EXPECT_EQ(service.metrics().count(ServiceMetrics::Counter::kCacheMisses),
+            2);
+}
+
+TEST(Service, HeldPlanProvisionMatchesDirectChain) {
+  Graph g = test_graph(10, 0.4, 17);
+  ServiceConfig config;
+  config.metrics_on_exit = false;
+  GroomingService service(config);
+  Session session = run_session(
+      service,
+      {groom_request(1, g, AlgorithmId::kSpanTEuler, 4, 1, false, true),
+       R"({"op":"provision","id":2,"plan_id":1,"add":[[0,3],[1,4]],)"
+       R"("include_plan":true})",
+       R"({"op":"provision","id":3,"plan_id":1,"add":[[2,5]],)"
+       R"("include_plan":true})"});
+  ASSERT_EQ(session.responses.size(), 3u);
+  EXPECT_EQ(session.responses[0].find("plan_id")->as_int(), 1);
+
+  EdgePartition direct = run_algorithm(AlgorithmId::kSpanTEuler, g, 4);
+  GroomingPlan plan =
+      plan_from_partition(DemandSet::from_traffic_graph(g), g, direct);
+  IncrementalResult step1 =
+      add_demands_incremental(plan, {DemandPair{0, 3}, DemandPair{1, 4}});
+  IncrementalResult step2 =
+      add_demands_incremental(step1.plan, {DemandPair{2, 5}});
+
+  const JsonValue& r2 = session.responses[1];
+  EXPECT_EQ(r2.find("new_sadms")->as_int(), step1.new_sadms);
+  EXPECT_EQ(serialize_plan(plan_from_json(*r2.find("plan"))),
+            serialize_plan(step1.plan));
+  const JsonValue& r3 = session.responses[2];
+  EXPECT_EQ(r3.find("new_sadms")->as_int(), step2.new_sadms);
+  EXPECT_EQ(serialize_plan(plan_from_json(*r3.find("plan"))),
+            serialize_plan(step2.plan));
+  EXPECT_EQ(service.held_plan_count(), 1u);
+}
+
+TEST(Service, UnknownPlanIdIsBadRequest) {
+  ServiceConfig config;
+  config.metrics_on_exit = false;
+  GroomingService service(config);
+  Session session = run_session(
+      service, {R"({"op":"provision","id":1,"plan_id":42,"add":[[0,1]]})"});
+  ASSERT_EQ(session.responses.size(), 1u);
+  EXPECT_FALSE(session.responses[0].find("ok")->boolean);
+  EXPECT_EQ(session.responses[0].find("error")->string, "bad_request");
+}
+
+TEST(Service, DeadlineExpiredBetweenStages) {
+  Graph g = test_graph(10, 0.4, 19);
+  ServiceConfig config;
+  config.metrics_on_exit = false;
+  GroomingService service(config);
+  RequestParse parsed = parse_request(
+      groom_request(1, g, AlgorithmId::kSpanTEuler, 4, 1));
+  ASSERT_TRUE(parsed.request.has_value());
+  ServiceRequest request = std::move(*parsed.request);
+  request.deadline_ms = 1;
+  request.admitted =
+      std::chrono::steady_clock::now() - std::chrono::milliseconds(50);
+  JsonValue response = parse_json(service.execute(request, nullptr));
+  EXPECT_FALSE(response.find("ok")->boolean);
+  EXPECT_EQ(response.find("error")->string, "deadline_exceeded");
+  EXPECT_EQ(
+      service.metrics().count(ServiceMetrics::Counter::kDeadlineExceeded), 1);
+}
+
+TEST(Service, BadAlgorithmInputIsBadRequest) {
+  // Regular_Euler on a non-regular graph must come back as a structured
+  // bad_request, not a dropped response.
+  Graph g = make_graph(4, {{0, 1}, {1, 2}, {2, 3}, {0, 2}});
+  ServiceConfig config;
+  config.metrics_on_exit = false;
+  GroomingService service(config);
+  Session session = run_session(
+      service, {groom_request(1, g, AlgorithmId::kRegularEuler, 4, 1)});
+  ASSERT_EQ(session.responses.size(), 1u);
+  EXPECT_FALSE(session.responses[0].find("ok")->boolean);
+  EXPECT_EQ(session.responses[0].find("error")->string, "bad_request");
+}
+
+TEST(Service, OverloadRejectionsAreStructured) {
+  // One expensive groom (~tens of ms: WangGu on a dense n=300 graph) pins
+  // the single worker; the reader floods one-line stats requests through a
+  // capacity-1 queue in well under a millisecond, so all but the queued
+  // one must trip `overloaded`.
+  Graph g = test_graph(300, 0.9, 23);
+  ServiceConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  config.cache_capacity = 0;  // the groom pays full compute
+  config.metrics_on_exit = false;
+  GroomingService service(config);
+  const int requests = 64;
+  std::vector<std::string> lines;
+  lines.push_back(
+      groom_request(0, g, AlgorithmId::kWangGuIcc06, 8, 1, false));
+  for (int i = 1; i < requests; ++i) {
+    lines.push_back(R"({"op":"stats","id":)" + std::to_string(i) + "}");
+  }
+  Session session = run_session(service, lines);
+  ASSERT_EQ(session.responses.size(), static_cast<std::size_t>(requests));
+  int ok = 0, overloaded = 0;
+  for (const JsonValue& r : session.responses) {
+    if (r.find("ok")->boolean) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r.find("error")->string, "overloaded");
+      ++overloaded;
+    }
+  }
+  EXPECT_EQ(ok + overloaded, requests);
+  EXPECT_GT(overloaded, 0);
+  EXPECT_GT(ok, 0);
+  EXPECT_EQ(service.metrics().count(ServiceMetrics::Counter::kOverloaded),
+            overloaded);
+}
+
+TEST(Service, ShutdownAnswersEveryAcceptedRequest) {
+  Graph g = test_graph(32, 0.5, 29);
+  ServiceConfig config;
+  config.workers = 2;
+  config.queue_capacity = 256;
+  config.cache_capacity = 0;
+  config.metrics_on_exit = false;
+  GroomingService service(config);
+  const int requests = 40;
+  std::vector<std::string> lines;
+  for (int i = 0; i < requests; ++i) {
+    lines.push_back(groom_request(i, g, AlgorithmId::kSpanTEuler, 8,
+                                  static_cast<std::uint64_t>(i), false));
+  }
+  lines.push_back(R"({"op":"shutdown","id":999})");
+  Session session = run_session(service, lines);
+  EXPECT_TRUE(service.shutdown_requested());
+  // Every request (including shutdown itself) is answered exactly once.
+  ASSERT_EQ(session.responses.size(),
+            static_cast<std::size_t>(requests) + 1);
+  int ok = 0, rejected = 0;
+  for (int i = 0; i < requests; ++i) {
+    const JsonValue* r = session.by_id(i);
+    ASSERT_NE(r, nullptr) << "request " << i << " unanswered";
+    if (r->find("ok")->boolean) {
+      ++ok;
+    } else {
+      EXPECT_EQ(r->find("error")->string, "shutting_down");
+      ++rejected;
+    }
+  }
+  EXPECT_EQ(ok + rejected, requests);
+  const JsonValue* bye = session.by_id(999);
+  ASSERT_NE(bye, nullptr);
+  EXPECT_TRUE(bye->find("ok")->boolean);
+  EXPECT_EQ(bye->find("op")->string, "shutdown");
+  EXPECT_EQ(bye->find("rejected_queued")->as_int(), rejected);
+}
+
+TEST(Service, EofDrainProcessesEverythingAccepted) {
+  Graph g = test_graph(24, 0.5, 31);
+  ServiceConfig config;
+  config.workers = 4;
+  config.queue_capacity = 512;
+  config.metrics_on_exit = false;
+  GroomingService service(config);
+  const int requests = 100;
+  std::vector<std::string> lines;
+  for (int i = 0; i < requests; ++i) {
+    lines.push_back(groom_request(i, g, AlgorithmId::kSpanTEuler, 8, 1,
+                                  false));
+  }
+  Session session = run_session(service, lines);
+  ASSERT_EQ(session.responses.size(), static_cast<std::size_t>(requests));
+  for (const JsonValue& r : session.responses) {
+    EXPECT_TRUE(r.find("ok")->boolean);
+  }
+}
+
+TEST(Service, StatsAndExitMetrics) {
+  Graph g = test_graph(10, 0.5, 37);
+  ServiceConfig config;
+  config.metrics_on_exit = true;
+  GroomingService service(config);
+  Session session = run_session(
+      service, {groom_request(1, g, AlgorithmId::kSpanTEuler, 4, 1, false),
+                R"({"op":"stats","id":2})"});
+  ASSERT_EQ(session.responses.size(), 2u);
+  const JsonValue& stats = session.responses[1];
+  EXPECT_TRUE(stats.find("ok")->boolean);
+  EXPECT_EQ(stats.find("op")->string, "stats");
+  EXPECT_EQ(stats.find("workers")->as_int(), 0);
+  EXPECT_EQ(stats.find("cache_size")->as_int(), 1);
+  const JsonValue* metrics = stats.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_GE(metrics->find("counters")->find("received")->as_int(), 2);
+  // The exit line carries the final metrics dump.
+  ASSERT_EQ(session.events.size(), 1u);
+  EXPECT_EQ(session.events[0].find("event")->string, "exit");
+  ASSERT_NE(session.events[0].find("metrics"), nullptr);
+}
+
+// ------------------------------------------------- the loopback smoke test
+
+// Acceptance: >= 1000 mixed groom/provision requests through the daemon
+// with workers in {0, 4}; every response must match a direct
+// run_algorithm / add_demands_incremental call bit-for-bit.
+TEST(ServiceSmoke, LoopbackParityAcrossWorkerCounts) {
+  const AlgorithmId algorithms[] = {
+      AlgorithmId::kSpanTEuler, AlgorithmId::kGoldschmidt,
+      AlgorithmId::kBrauner, AlgorithmId::kWangGuIcc06,
+      AlgorithmId::kCliquePack};
+  const int ks[] = {3, 4, 6, 8};
+
+  // A pool of distinct instances so the cache sees hits and misses.
+  std::vector<Graph> graphs;
+  for (int i = 0; i < 10; ++i) {
+    graphs.push_back(
+        test_graph(static_cast<NodeId>(8 + i), 0.5,
+                   static_cast<std::uint64_t>(41 + i)));
+  }
+  std::vector<GroomingPlan> base_plans;
+  for (const Graph& g : graphs) {
+    EdgePartition partition = run_algorithm(AlgorithmId::kSpanTEuler, g, 4);
+    base_plans.push_back(
+        plan_from_partition(DemandSet::from_traffic_graph(g), g, partition));
+  }
+
+  const int total = 1000;
+  std::vector<std::string> lines;
+  std::vector<std::string> expected(total);  // by request id
+  for (int i = 0; i < total; ++i) {
+    const std::size_t gi = static_cast<std::size_t>(i) % graphs.size();
+    if (i % 2 == 0) {
+      const Graph& g = graphs[gi];
+      AlgorithmId algorithm = algorithms[(i / 2) % 5];
+      int k = ks[(i / 10) % 4];
+      auto seed = static_cast<std::uint64_t>(1 + i % 7);
+      lines.push_back(groom_request(i, g, algorithm, k, seed, true));
+      GroomingOptions options;
+      options.seed = seed;
+      EdgePartition direct = run_algorithm(algorithm, g, k, options);
+      JsonWriter w;
+      w.begin_object();
+      w.kv("sadms", sadm_cost(g, direct));
+      w.kv("wavelengths",
+           static_cast<long long>(direct.wavelength_count()));
+      w.key("partition");
+      write_partition_json(w, direct);
+      w.end_object();
+      expected[static_cast<std::size_t>(i)] = w.take();
+    } else {
+      const GroomingPlan& plan = base_plans[gi];
+      const NodeId n = plan.ring_size;
+      std::vector<DemandPair> add;
+      NodeId a = static_cast<NodeId>(i % n);
+      NodeId b = static_cast<NodeId>((i + 2 + i % 3) % n);
+      if (a == b) b = static_cast<NodeId>((b + 1) % n);
+      add.push_back(DemandPair{std::min(a, b), std::max(a, b)});
+      add.push_back(DemandPair{0, static_cast<NodeId>(1 + i % (n - 1))});
+      lines.push_back(provision_request(i, plan, add, true));
+      IncrementalResult direct = add_demands_incremental(plan, add);
+      JsonWriter w;
+      w.begin_object();
+      w.kv("new_sadms", static_cast<long long>(direct.new_sadms));
+      w.kv("new_wavelengths",
+           static_cast<long long>(direct.new_wavelengths));
+      w.kv("reused_sites", static_cast<long long>(direct.reused_sites));
+      w.key("plan");
+      write_plan_json(w, direct.plan);
+      w.end_object();
+      expected[static_cast<std::size_t>(i)] = w.take();
+    }
+  }
+
+  for (std::size_t workers : {std::size_t{0}, std::size_t{4}}) {
+    ServiceConfig config;
+    config.workers = workers;
+    config.queue_capacity = 2048;  // nothing rejected in the parity pass
+    config.cache_capacity = 64;
+    config.metrics_on_exit = false;
+    GroomingService service(config);
+    Session session = run_session(service, lines);
+    ASSERT_EQ(session.responses.size(), static_cast<std::size_t>(total))
+        << "workers=" << workers;
+    std::vector<const JsonValue*> by_id(total, nullptr);
+    for (const JsonValue& r : session.responses) {
+      long long id = r.find("id")->as_int();
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, total);
+      ASSERT_EQ(by_id[static_cast<std::size_t>(id)], nullptr)
+          << "duplicate response for id " << id;
+      by_id[static_cast<std::size_t>(id)] = &r;
+    }
+    for (int i = 0; i < total; ++i) {
+      const JsonValue* r = by_id[static_cast<std::size_t>(i)];
+      ASSERT_NE(r, nullptr) << "workers=" << workers << " id=" << i;
+      ASSERT_TRUE(r->find("ok")->boolean)
+          << "workers=" << workers << " id=" << i;
+      JsonValue want = parse_json(expected[static_cast<std::size_t>(i)]);
+      if (i % 2 == 0) {
+        EXPECT_EQ(r->find("sadms")->as_int(), want.find("sadms")->as_int())
+            << "workers=" << workers << " id=" << i;
+        EXPECT_EQ(r->find("wavelengths")->as_int(),
+                  want.find("wavelengths")->as_int());
+        EXPECT_EQ(parts_from_json(*r->find("partition")),
+                  parts_from_json(*want.find("partition")))
+            << "workers=" << workers << " id=" << i;
+      } else {
+        EXPECT_EQ(r->find("new_sadms")->as_int(),
+                  want.find("new_sadms")->as_int());
+        EXPECT_EQ(r->find("new_wavelengths")->as_int(),
+                  want.find("new_wavelengths")->as_int());
+        EXPECT_EQ(r->find("reused_sites")->as_int(),
+                  want.find("reused_sites")->as_int());
+        EXPECT_EQ(serialize_plan(plan_from_json(*r->find("plan"))),
+                  serialize_plan(plan_from_json(*want.find("plan"))))
+            << "workers=" << workers << " id=" << i;
+      }
+    }
+    EXPECT_EQ(service.metrics().count(ServiceMetrics::Counter::kOk), total);
+    EXPECT_EQ(service.metrics().count(ServiceMetrics::Counter::kOverloaded),
+              0);
+  }
+}
+
+}  // namespace
+}  // namespace tgroom

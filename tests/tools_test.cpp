@@ -1,9 +1,14 @@
 // Stream-level tests of the tgroom CLI command layer.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <sstream>
 
+#include "grooming/incremental.hpp"
+#include "grooming/plan.hpp"
+#include "service/protocol.hpp"
 #include "tools/commands.hpp"
+#include "util/json.hpp"
 
 namespace tgroom::tools {
 namespace {
@@ -182,6 +187,98 @@ TEST(Tool, AlgorithmAliasesResolve) {
                     demands.out);
     EXPECT_EQ(r.exit_code, 0) << alias << ": " << r.err;
   }
+}
+
+TEST(Tool, GroomFormatJsonMatchesTextPath) {
+  ToolRun demands = run({"generate", "--n", "12", "--dense", "0.5"});
+  ToolRun text = run({"groom", "--k", "4"}, demands.out);
+  ToolRun json = run({"groom", "--k", "4", "--format", "json"}, demands.out);
+  ASSERT_EQ(json.exit_code, 0) << json.err;
+  JsonValue v = parse_json(json.out);
+  auto pos = text.out.find("sadms=");
+  ASSERT_NE(pos, std::string::npos);
+  EXPECT_EQ(v.find("sadms")->as_int(),
+            std::atoll(text.out.c_str() + pos + 6));
+  EXPECT_EQ(v.find("algorithm")->string, "SpanT_Euler");
+  // The embedded plan is the same plan the text path emits.
+  GroomingPlan from_json = plan_from_json(*v.find("plan"));
+  std::string text_plan = text.out.substr(text.out.find('\n') + 1);
+  EXPECT_EQ(serialize_plan(from_json), text_plan);
+  EXPECT_EQ(run({"groom", "--format", "yaml"}, demands.out).exit_code, 2);
+}
+
+TEST(Tool, ProvisionSharesServicePipeline) {
+  ToolRun demands = run({"generate", "--n", "12", "--dense", "0.4"});
+  ToolRun plan_run = run({"groom", "--k", "4"}, demands.out);
+  std::string plan_text = plan_run.out.substr(plan_run.out.find('\n') + 1);
+
+  ToolRun cli = run({"provision", "--add", "0-6,1-7", "--format", "json"},
+                    plan_text);
+  ASSERT_EQ(cli.exit_code, 0) << cli.err;
+  JsonValue v = parse_json(cli.out);
+  EXPECT_EQ(v.find("added")->as_int(), 2);
+
+  // Bit-for-bit against the direct library call the service op also makes.
+  GroomingPlan base = parse_plan(plan_text);
+  IncrementalResult direct = add_demands_incremental(
+      base, {DemandPair{0, 6}, DemandPair{1, 7}});
+  EXPECT_EQ(v.find("new_sadms")->as_int(), direct.new_sadms);
+  EXPECT_EQ(v.find("new_wavelengths")->as_int(), direct.new_wavelengths);
+  EXPECT_EQ(v.find("reused_sites")->as_int(), direct.reused_sites);
+  EXPECT_EQ(serialize_plan(plan_from_json(*v.find("plan"))),
+            serialize_plan(direct.plan));
+
+  // Text mode mirrors `grow`'s report and emits the same plan.
+  ToolRun text = run({"provision", "--add", "0-6,1-7"}, plan_text);
+  ASSERT_EQ(text.exit_code, 0) << text.err;
+  EXPECT_NE(text.out.find("added=2"), std::string::npos);
+  EXPECT_EQ(text.out.substr(text.out.find('\n') + 1),
+            serialize_plan(direct.plan));
+}
+
+TEST(Tool, SweepFormatJson) {
+  ToolRun r = run({"sweep", "--pattern", "dense", "--n", "10", "--k", "4,8",
+                   "--seeds", "2", "--algorithms", "spant,algo1", "--format",
+                   "json"});
+  ASSERT_EQ(r.exit_code, 0) << r.err;
+  JsonValue v = parse_json(r.out);
+  EXPECT_EQ(v.find("seeds")->as_int(), 2);
+  const JsonValue* series = v.find("series");
+  ASSERT_NE(series, nullptr);
+  ASSERT_EQ(series->array.size(), 2u);
+  for (const JsonValue& s : series->array) {
+    ASSERT_EQ(s.find("cells")->array.size(), 2u);
+    for (const JsonValue& cell : s.find("cells")->array) {
+      EXPECT_GT(cell.find("mean_sadms")->number, 0.0);
+      EXPECT_GE(cell.find("mean_sadms")->number,
+                cell.find("mean_lower_bound")->number);
+    }
+  }
+  EXPECT_EQ(run({"sweep", "--format", "xml"}).exit_code, 2);
+}
+
+TEST(Tool, ServeSmokeSession) {
+  // One groom + stats + shutdown through the stdin/stdout daemon path.
+  std::string session =
+      R"({"op":"groom","id":1,"graph":{"n":4,)"
+      R"("edges":[[0,1],[1,2],[2,3],[0,3]]},"k":2,"include_partition":true})"
+      "\n"
+      R"({"op":"stats","id":2})"
+      "\n"
+      R"({"op":"shutdown","id":3})"
+      "\n";
+  ToolRun r = run({"serve", "--exit-metrics", "false"}, session);
+  EXPECT_EQ(r.exit_code, 0) << r.err;
+  std::istringstream lines(r.out);
+  std::string line;
+  int responses = 0;
+  while (std::getline(lines, line)) {
+    JsonValue v = parse_json(line);
+    EXPECT_TRUE(v.find("ok")->boolean) << line;
+    ++responses;
+  }
+  EXPECT_EQ(responses, 3);
+  EXPECT_EQ(run({"serve", "--queue", "0"}).exit_code, 2);
 }
 
 }  // namespace

@@ -1,13 +1,18 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
+#include <future>
 #include <mutex>
 #include <set>
+#include <stdexcept>
+#include <string>
 #include <utility>
 
 #include "util/check.hpp"
 #include "util/cli.hpp"
 #include "util/csv.hpp"
+#include "util/json.hpp"
 #include "util/rng.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -206,6 +211,101 @@ TEST(ThreadPool, PropagatesExceptions) {
                      if (i == 5) throw std::runtime_error("boom");
                    }),
                std::runtime_error);
+}
+
+TEST(ThreadPool, DestructionRunsQueuedTasks) {
+  // Destroying a pool with work still queued must run every accepted task
+  // (futures returned by submit() would otherwise dangle as broken
+  // promises) and join cleanly.
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(1);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    // Block the single worker, then pile tasks behind it.
+    auto blocker = pool.submit([opened] { opened.wait(); });
+    for (int i = 0; i < 32; ++i) {
+      pool.submit([&ran] { ran.fetch_add(1); });
+    }
+    EXPECT_EQ(ran.load(), 0);  // worker still parked on the gate
+    gate.set_value();
+    blocker.get();
+    // Pool destroyed here with most of the 32 tasks still queued.
+  }
+  EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ChunkExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(3);
+  try {
+    pool.parallel_for_chunks(100, [](std::size_t begin, std::size_t) {
+      if (begin == 0) throw std::runtime_error("chunk zero failed");
+    });
+    FAIL() << "expected runtime_error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "chunk zero failed");
+  }
+  // The pool is still usable after a throwing batch.
+  std::atomic<std::size_t> sum{0};
+  pool.parallel_for_index(10, [&](std::size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 45u);
+}
+
+TEST(ThreadPool, InlineChunkExceptionPropagates) {
+  ThreadPool pool(0);
+  EXPECT_THROW(pool.parallel_for_chunks(
+                   5, [](std::size_t, std::size_t) {
+                     throw std::runtime_error("inline boom");
+                   }),
+               std::runtime_error);
+}
+
+TEST(Json, WriterEscapesAndNests) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("text", "a\"b\\c\n\t\x01z");
+  w.kv("flag", true);
+  w.kv("count", 42);
+  w.kv("big", std::uint64_t{18446744073709551615ULL});
+  w.kv("ratio", 2.5);
+  w.kv("whole", 3.0);
+  w.key("list").begin_array().value(1).null().end_array();
+  w.end_object();
+  EXPECT_EQ(w.str(),
+            R"({"text":"a\"b\\c\n\t\u0001z","flag":true,"count":42,)"
+            R"("big":18446744073709551615,"ratio":2.5,"whole":3,)"
+            R"("list":[1,null]})");
+}
+
+TEST(Json, ParseRoundTrip) {
+  const std::string doc =
+      R"({"a":[1,2.5,"xé😀"],"b":{"nested":null},"c":-7})";
+  JsonValue v = parse_json(doc);
+  ASSERT_TRUE(v.is_object());
+  const JsonValue* a = v.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->array.size(), 3u);
+  EXPECT_EQ(a->array[0].as_int(), 1);
+  EXPECT_DOUBLE_EQ(a->array[1].number, 2.5);
+  EXPECT_EQ(a->array[2].string, "x\xC3\xA9\xF0\x9F\x98\x80");
+  EXPECT_TRUE(v.find("b")->find("nested")->is_null());
+  EXPECT_EQ(v.find("c")->as_int(), -7);
+  EXPECT_EQ(v.find("missing"), nullptr);
+}
+
+TEST(Json, ParseRejectsMalformed) {
+  EXPECT_THROW(parse_json(""), CheckError);
+  EXPECT_THROW(parse_json("{"), CheckError);
+  EXPECT_THROW(parse_json("{}extra"), CheckError);
+  EXPECT_THROW(parse_json(R"({"a":01})"), CheckError);
+  EXPECT_THROW(parse_json(R"(["unterminated)"), CheckError);
+  EXPECT_THROW(parse_json("[1,]"), CheckError);
+}
+
+TEST(Json, AsIntRejectsNonIntegral) {
+  EXPECT_THROW(parse_json("2.5").as_int(), CheckError);
+  EXPECT_THROW(parse_json("true").as_int(), CheckError);
+  EXPECT_EQ(parse_json("9007199254740992").as_int(), 9007199254740992LL);
 }
 
 }  // namespace
