@@ -8,6 +8,7 @@
 // BENCH_service.json for CI artifact upload.  Plain main for the same
 // reason as bench_throughput: wall clock over a fixed stream is the
 // quantity of interest.
+#include <algorithm>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -80,6 +81,24 @@ std::string build_stream(int requests, int graphs, NodeId n, int k) {
   return stream;
 }
 
+// Repeats a timed pass until the accumulated measured time reaches
+// min_time (always at least one pass), so short streams still produce a
+// stable rate on noisy machines.
+struct TimedRun {
+  double seconds = 0;
+  int passes = 0;
+};
+
+template <typename F>
+TimedRun measure(double min_time, F&& pass) {
+  TimedRun r;
+  do {
+    r.seconds += pass();
+    ++r.passes;
+  } while (r.seconds < min_time);
+  return r;
+}
+
 double run_once(const std::string& stream, std::size_t workers,
                 std::size_t cache_capacity, int requests) {
   ServiceConfig config;
@@ -110,6 +129,8 @@ int main(int argc, char** argv) {
   const auto n = static_cast<NodeId>(args.get_int("n", 24));
   const int k = static_cast<int>(args.get_int("k", 8));
   const int graphs = static_cast<int>(args.get_int("graphs", 32));
+  const int warmup = static_cast<int>(args.get_int("warmup", 1));
+  const double min_time = args.get_double("min-time", 0.0);
   const std::string json_path = args.get("json", "BENCH_service.json");
 
   const std::string stream = build_stream(requests, graphs, n, k);
@@ -122,10 +143,17 @@ int main(int argc, char** argv) {
                               std::size_t{4}, std::size_t{8}}) {
     Measurement m;
     m.workers = workers;
-    // Cold: cache disabled, every groom pays full compute.
-    m.cold_seconds = run_once(stream, workers, 0, requests);
-    m.cold_rps = static_cast<double>(requests) / m.cold_seconds;
-    // Warm: cache big enough that each distinct groom computes once.
+    // Cold: cache disabled, every groom pays full compute.  A fresh
+    // service per pass keeps every pass genuinely cold.
+    for (int i = 0; i < warmup; ++i) run_once(stream, workers, 0, requests);
+    TimedRun cold = measure(min_time, [&] {
+      return run_once(stream, workers, 0, requests);
+    });
+    m.cold_seconds = cold.seconds;
+    m.cold_rps =
+        static_cast<double>(requests) * cold.passes / cold.seconds;
+    // Warm: one long-lived service, cache big enough that each distinct
+    // groom computes once; priming passes also serve as warm-up.
     {
       ServiceConfig config;
       config.workers = workers;
@@ -133,16 +161,22 @@ int main(int argc, char** argv) {
       config.cache_capacity = static_cast<std::size_t>(graphs) * 2;
       config.metrics_on_exit = false;
       GroomingService service(config);
-      std::istringstream prime(stream);
-      std::ostringstream sink;
-      service.run(prime, sink);  // populate the cache
-      std::istringstream in(stream);
-      std::ostringstream out;
-      Stopwatch timer;
-      service.run(in, out);
-      m.warm_seconds = timer.elapsed_seconds();
+      for (int i = 0; i < std::max(1, warmup); ++i) {
+        std::istringstream prime(stream);
+        std::ostringstream sink;
+        service.run(prime, sink);  // populate the cache
+      }
+      TimedRun warm = measure(min_time, [&] {
+        std::istringstream in(stream);
+        std::ostringstream out;
+        Stopwatch timer;
+        service.run(in, out);
+        return timer.elapsed_seconds();
+      });
+      m.warm_seconds = warm.seconds;
+      m.warm_rps =
+          static_cast<double>(requests) * warm.passes / warm.seconds;
     }
-    m.warm_rps = static_cast<double>(requests) / m.warm_seconds;
     measurements.push_back(m);
   }
 

@@ -67,6 +67,8 @@ int main(int argc, char** argv) {
   const auto base_seed = static_cast<std::uint64_t>(
       args.get_int("base-seed", 20060101));
   std::vector<int> worker_counts = args.get_int_list("workers", {1, 2, 4});
+  const int warmup = static_cast<int>(args.get_int("warmup", 1));
+  const double min_time = args.get_double("min-time", 0.0);
   const std::string out_path = args.get("out", "BENCH_throughput.json");
 
   std::vector<Graph> graphs;
@@ -93,16 +95,22 @@ int main(int argc, char** argv) {
     BatchGroomer groomer(BatchConfig{static_cast<std::size_t>(workers),
                                      /*validate=*/false,
                                      /*keep_partitions=*/false});
-    // Warm-up pass so thread start-up and first-touch page faults are not
-    // billed to the measured run.
-    groomer.run(cells);
-    Stopwatch watch;
-    std::vector<BatchCellResult> results = groomer.run(cells);
+    // Warm-up passes so thread start-up and first-touch page faults are
+    // not billed to the measured run; then repeat timed passes until the
+    // accumulated measured time reaches --min-time (at least one pass).
+    for (int i = 0; i < warmup; ++i) groomer.run(cells);
     Measurement m;
     m.workers = static_cast<std::size_t>(workers);
-    m.seconds = watch.elapsed_seconds();
-    m.instances_per_sec = static_cast<double>(instances) / m.seconds;
-    m.sadm_checksum = checksum(results);
+    int passes = 0;
+    do {
+      Stopwatch watch;
+      std::vector<BatchCellResult> results = groomer.run(cells);
+      m.seconds += watch.elapsed_seconds();
+      ++passes;
+      m.sadm_checksum = checksum(results);
+    } while (m.seconds < min_time);
+    m.instances_per_sec =
+        static_cast<double>(instances) * passes / m.seconds;
     measurements.push_back(m);
   }
 

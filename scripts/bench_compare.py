@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare a benchmark JSON against a checked-in baseline.
+
+Works on the repo's plain-main benchmark artifacts (BENCH_service.json,
+BENCH_throughput.json): a top-level "runs" array whose entries are keyed
+by "workers" and carry rate metrics.  Every metric whose name ends in
+"_rps" or "_per_sec" is treated as higher-is-better; a drop of more than
+--threshold (default 15%) on any of them fails the comparison with exit
+code 1, which is how CI turns a perf regression into a red build.
+
+Usage:
+    bench_compare.py BASELINE CURRENT [--threshold 0.15]
+
+CI runners are noisy, so the default threshold is deliberately loose; it
+catches "someone re-introduced a deep copy on the hot path", not 2%
+jitter.
+"""
+
+import argparse
+import json
+import sys
+
+RATE_SUFFIXES = ("_rps", "_per_sec")
+
+
+def rate_metrics(run):
+    return {
+        key: value
+        for key, value in run.items()
+        if isinstance(value, (int, float))
+        and key.endswith(RATE_SUFFIXES)
+    }
+
+
+def load_runs(path):
+    with open(path) as f:
+        doc = json.load(f)
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        sys.exit(f"{path}: no 'runs' array")
+    return doc.get("benchmark", "?"), {run.get("workers"): run for run in runs}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.15,
+        help="maximum tolerated fractional drop on any rate metric",
+    )
+    args = parser.parse_args()
+
+    base_name, base_runs = load_runs(args.baseline)
+    cur_name, cur_runs = load_runs(args.current)
+    if base_name != cur_name:
+        sys.exit(
+            f"benchmark mismatch: baseline is '{base_name}', "
+            f"current is '{cur_name}'"
+        )
+
+    regressions = []
+    print(f"benchmark: {base_name} (threshold {args.threshold:.0%})")
+    print(f"{'workers':>8} {'metric':<18} {'baseline':>12} "
+          f"{'current':>12} {'delta':>8}")
+    for workers, base_run in sorted(
+        base_runs.items(), key=lambda kv: (kv[0] is None, kv[0])
+    ):
+        cur_run = cur_runs.get(workers)
+        if cur_run is None:
+            print(f"{workers!s:>8} (missing from current — skipped)")
+            continue
+        for metric, base_value in sorted(rate_metrics(base_run).items()):
+            cur_value = cur_run.get(metric)
+            if not isinstance(cur_value, (int, float)) or base_value <= 0:
+                continue
+            delta = cur_value / base_value - 1.0
+            flag = ""
+            if delta < -args.threshold:
+                flag = "  << REGRESSION"
+                regressions.append((workers, metric, base_value, cur_value))
+            print(f"{workers!s:>8} {metric:<18} {base_value:>12.1f} "
+                  f"{cur_value:>12.1f} {delta:>+7.1%}{flag}")
+
+    if regressions:
+        print(f"\nFAIL: {len(regressions)} metric(s) regressed more than "
+              f"{args.threshold:.0%}:")
+        for workers, metric, base_value, cur_value in regressions:
+            print(f"  workers={workers} {metric}: "
+                  f"{base_value:.1f} -> {cur_value:.1f}")
+        return 1
+    print("\nOK: no rate metric regressed beyond the threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

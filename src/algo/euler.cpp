@@ -1,8 +1,8 @@
 #include "algo/euler.hpp"
 
 #include <algorithm>
+#include <string>
 
-#include "algo/components.hpp"
 #include "graph/properties.hpp"
 
 namespace tgroom {
@@ -11,12 +11,19 @@ namespace {
 
 // Shared scratch for one decomposition: cursors and the used-edge mask
 // survive across components (disjoint, so no interference), and the
-// stack/out vectors keep their capacity between walks.
+// stack/out vectors keep their capacity between walks.  All four draw
+// from the arena (heap fallback when null).
 struct HierholzerScratch {
-  std::vector<std::size_t> cursor;               // per node
-  std::vector<char> used;                        // per edge
-  std::vector<std::pair<NodeId, EdgeId>> stack;  // (node, arriving edge)
-  std::vector<std::pair<NodeId, EdgeId>> out;
+  ArenaVector<std::size_t> cursor;               // per node
+  ArenaVector<char> used;                        // per edge
+  ArenaVector<std::pair<NodeId, EdgeId>> stack;  // (node, arriving edge)
+  ArenaVector<std::pair<NodeId, EdgeId>> out;
+
+  explicit HierholzerScratch(MonotonicArena* arena)
+      : cursor(ArenaAllocator<std::size_t>(arena)),
+        used(ArenaAllocator<char>(arena)),
+        stack(ArenaAllocator<std::pair<NodeId, EdgeId>>(arena)),
+        out(ArenaAllocator<std::pair<NodeId, EdgeId>>(arena)) {}
 
   template <typename G>
   void reset(const G& g) {
@@ -26,10 +33,11 @@ struct HierholzerScratch {
 };
 
 // Hierholzer with an explicit stack; consumes the masked, not-yet-used
-// edges reachable from `start` and appends nothing outside them.
-template <typename G>
-Walk euler_walk_impl(const G& g, const std::vector<char>& edge_mask,
-                     NodeId start, HierholzerScratch& scratch) {
+// edges reachable from `start` and appends nothing outside them.  WalkT is
+// Walk or ArenaWalk — anything with nodes/edges vectors.
+template <typename G, typename WalkT>
+void euler_walk_into(const G& g, const std::vector<char>& edge_mask,
+                     NodeId start, HierholzerScratch& scratch, WalkT& walk) {
   scratch.stack.clear();
   scratch.out.clear();
   scratch.stack.push_back({start, kInvalidEdge});
@@ -53,14 +61,14 @@ Walk euler_walk_impl(const G& g, const std::vector<char>& edge_mask,
   }
   std::reverse(scratch.out.begin(), scratch.out.end());
 
-  Walk walk;
+  walk.nodes.clear();
+  walk.edges.clear();
   walk.nodes.reserve(scratch.out.size());
   walk.edges.reserve(scratch.out.size() - 1);
   for (std::size_t i = 0; i < scratch.out.size(); ++i) {
     walk.nodes.push_back(scratch.out[i].first);
     if (i > 0) walk.edges.push_back(scratch.out[i].second);
   }
-  return walk;
 }
 
 template <typename G>
@@ -68,28 +76,64 @@ Walk euler_walk_from_impl(const G& g, const std::vector<char>& edge_mask,
                           NodeId start) {
   TGROOM_CHECK(g.valid_node(start));
   TGROOM_CHECK(edge_mask.size() == static_cast<std::size_t>(g.edge_count()));
-  HierholzerScratch scratch;
+  HierholzerScratch scratch(nullptr);
   scratch.reset(g);
-  Walk walk = euler_walk_impl(g, edge_mask, start, scratch);
+  Walk walk;
+  euler_walk_into(g, edge_mask, start, scratch, walk);
   TGROOM_CHECK_MSG(is_valid_walk(g, walk),
                    "component is not Eulerian from the given start node");
   return walk;
 }
 
-template <typename G>
-std::vector<Walk> euler_decomposition_impl(const G& g,
-                                           const std::vector<char>& edge_mask) {
+// The decomposition body, generic over the output walk container.
+// `make_walk` constructs an empty WalkT bound to the right allocator.
+// Component labels are assigned by BFS from the lowest unlabelled node
+// (identical to algo/components.cpp), so walk order matches the heap
+// overloads walk-for-walk.
+template <typename G, typename WalkVec, typename MakeWalk>
+void euler_decomposition_into(const G& g, const std::vector<char>& edge_mask,
+                              MonotonicArena* arena, WalkVec& walks,
+                              MakeWalk make_walk) {
   TGROOM_CHECK(edge_mask.size() == static_cast<std::size_t>(g.edge_count()));
-  std::vector<NodeId> deg = masked_degrees(g, edge_mask);
-  Components comp = connected_components_masked(g, edge_mask);
+  const auto n = static_cast<std::size_t>(g.node_count());
+
+  ArenaVector<NodeId> deg(n, 0, ArenaAllocator<NodeId>(arena));
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    if (!edge_mask[static_cast<std::size_t>(e)]) continue;
+    const Edge& edge = g.edge(e);
+    ++deg[static_cast<std::size_t>(edge.u)];
+    ++deg[static_cast<std::size_t>(edge.v)];
+  }
+
+  ArenaVector<int> label(n, -1, ArenaAllocator<int>(arena));
+  ArenaVector<NodeId> frontier{ArenaAllocator<NodeId>(arena)};
+  frontier.reserve(n);
+  int component_count = 0;
+  for (NodeId s = 0; s < g.node_count(); ++s) {
+    if (label[static_cast<std::size_t>(s)] != -1) continue;
+    int id = component_count++;
+    label[static_cast<std::size_t>(s)] = id;
+    std::size_t head = frontier.size();
+    frontier.push_back(s);
+    while (head < frontier.size()) {
+      NodeId v = frontier[head++];
+      for (const Incidence& inc : g.incident(v)) {
+        if (!edge_mask[static_cast<std::size_t>(inc.edge)]) continue;
+        if (label[static_cast<std::size_t>(inc.neighbor)] != -1) continue;
+        label[static_cast<std::size_t>(inc.neighbor)] = id;
+        frontier.push_back(inc.neighbor);
+      }
+    }
+  }
 
   // Per component: an odd-degree start node if one exists, else any node
   // with positive degree.
-  std::vector<NodeId> start(static_cast<std::size_t>(comp.count),
-                            kInvalidNode);
-  std::vector<int> odd_count(static_cast<std::size_t>(comp.count), 0);
+  ArenaVector<NodeId> start(static_cast<std::size_t>(component_count),
+                            kInvalidNode, ArenaAllocator<NodeId>(arena));
+  ArenaVector<int> odd_count(static_cast<std::size_t>(component_count), 0,
+                             ArenaAllocator<int>(arena));
   for (NodeId v = 0; v < g.node_count(); ++v) {
-    auto c = static_cast<std::size_t>(comp.label[static_cast<std::size_t>(v)]);
+    auto c = static_cast<std::size_t>(label[static_cast<std::size_t>(v)]);
     NodeId d = deg[static_cast<std::size_t>(v)];
     if (d == 0) continue;
     if (d % 2 == 1) {
@@ -100,19 +144,20 @@ std::vector<Walk> euler_decomposition_impl(const G& g,
     }
   }
 
-  HierholzerScratch scratch;
+  HierholzerScratch scratch(arena);
   scratch.reset(g);
   std::size_t consumed = 0;
   std::size_t masked = 0;
   for (char bit : edge_mask) masked += bit ? 1 : 0;
 
-  std::vector<Walk> walks;
-  for (std::size_t c = 0; c < static_cast<std::size_t>(comp.count); ++c) {
+  for (std::size_t c = 0; c < static_cast<std::size_t>(component_count);
+       ++c) {
     if (start[c] == kInvalidNode) continue;  // edgeless component
     TGROOM_CHECK_MSG(odd_count[c] == 0 || odd_count[c] == 2,
                      "component has " + std::to_string(odd_count[c]) +
                          " odd-degree nodes; not Eulerian");
-    Walk walk = euler_walk_impl(g, edge_mask, start[c], scratch);
+    auto walk = make_walk();
+    euler_walk_into(g, edge_mask, start[c], scratch, walk);
     consumed += walk.edges.size();
     walks.push_back(std::move(walk));
   }
@@ -121,7 +166,6 @@ std::vector<Walk> euler_decomposition_impl(const G& g,
   // walk edge-by-edge.
   TGROOM_CHECK_MSG(consumed == masked,
                    "Euler decomposition left masked edges unconsumed");
-  return walks;
 }
 
 template <typename G>
@@ -157,12 +201,27 @@ Walk euler_walk_from(const CsrGraph& g, const std::vector<char>& edge_mask,
 
 std::vector<Walk> euler_decomposition(const Graph& g,
                                       const std::vector<char>& edge_mask) {
-  return euler_decomposition_impl(g, edge_mask);
+  std::vector<Walk> walks;
+  euler_decomposition_into(g, edge_mask, nullptr, walks,
+                           [] { return Walk{}; });
+  return walks;
 }
 
 std::vector<Walk> euler_decomposition(const CsrGraph& g,
                                       const std::vector<char>& edge_mask) {
-  return euler_decomposition_impl(g, edge_mask);
+  std::vector<Walk> walks;
+  euler_decomposition_into(g, edge_mask, nullptr, walks,
+                           [] { return Walk{}; });
+  return walks;
+}
+
+ArenaWalkList euler_decomposition(const CsrGraph& g,
+                                  const std::vector<char>& edge_mask,
+                                  MonotonicArena& arena) {
+  ArenaWalkList walks{ArenaAllocator<ArenaWalk>(&arena)};
+  euler_decomposition_into(g, edge_mask, &arena, walks,
+                           [&arena] { return ArenaWalk(&arena); });
+  return walks;
 }
 
 std::vector<Walk> split_walk_on_virtual(const Graph& g, const Walk& walk) {

@@ -10,6 +10,7 @@
 
 #include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
+#include "util/arena.hpp"
 
 namespace tgroom {
 
@@ -41,6 +42,29 @@ std::vector<Walk> euler_decomposition(const Graph& g,
                                       const std::vector<char>& edge_mask);
 std::vector<Walk> euler_decomposition(const CsrGraph& g,
                                       const std::vector<char>& edge_mask);
+
+/// A Walk whose storage lives on a MonotonicArena (zero heap allocation
+/// once the arena is warm).  Same invariants as Walk; must not outlive the
+/// arena's next reset().
+struct ArenaWalk {
+  ArenaVector<NodeId> nodes;
+  ArenaVector<EdgeId> edges;
+
+  explicit ArenaWalk(MonotonicArena* arena)
+      : nodes(ArenaAllocator<NodeId>(arena)),
+        edges(ArenaAllocator<EdgeId>(arena)) {}
+
+  bool empty() const { return edges.empty(); }
+  std::size_t length() const { return edges.size(); }
+};
+
+using ArenaWalkList = ArenaVector<ArenaWalk>;
+
+/// Decomposition identical walk-for-walk to the heap overloads, with every
+/// temporary and every walk drawn from `arena` — the grooming hot path.
+ArenaWalkList euler_decomposition(const CsrGraph& g,
+                                  const std::vector<char>& edge_mask,
+                                  MonotonicArena& arena);
 
 /// Checks walk consistency: edge endpoints match consecutive nodes and no
 /// edge repeats.

@@ -8,35 +8,37 @@ namespace {
 // as a flat counting-sorted array (offset table + incidence array) rather
 // than a vector-of-vectors; per-node order matches the order nodes appear
 // in `tree_edges`, preserving the DFS visit order of the old nested form.
+// All throwaway scratch draws from `arena` (heap fallback when null).
 template <typename G>
-RootedForest root_forest_impl(const G& g,
-                              const std::vector<EdgeId>& tree_edges) {
+void root_forest_into(const G& g, const std::vector<EdgeId>& tree_edges,
+                      RootedForest& forest, MonotonicArena* arena) {
   const auto n = static_cast<std::size_t>(g.node_count());
 
-  std::vector<std::size_t> offset(n + 1, 0);
+  ArenaVector<std::size_t> offset(n + 1, 0, ArenaAllocator<std::size_t>(arena));
   for (EdgeId e : tree_edges) {
     const Edge& edge = g.edge(e);
     ++offset[static_cast<std::size_t>(edge.u) + 1];
     ++offset[static_cast<std::size_t>(edge.v) + 1];
   }
   for (std::size_t v = 0; v < n; ++v) offset[v + 1] += offset[v];
-  std::vector<Incidence> inc(2 * tree_edges.size());
-  std::vector<std::size_t> cursor(offset.begin(), offset.end() - 1);
+  ArenaVector<Incidence> inc(2 * tree_edges.size(), Incidence{},
+                             ArenaAllocator<Incidence>(arena));
+  ArenaVector<std::size_t> cursor(offset.begin(), offset.end() - 1,
+                                  ArenaAllocator<std::size_t>(arena));
   for (EdgeId e : tree_edges) {
     const Edge& edge = g.edge(e);
     inc[cursor[static_cast<std::size_t>(edge.u)]++] = Incidence{edge.v, e};
     inc[cursor[static_cast<std::size_t>(edge.v)]++] = Incidence{edge.u, e};
   }
 
-  RootedForest forest;
   forest.parent.assign(n, kInvalidNode);
   forest.parent_edge.assign(n, kInvalidEdge);
   forest.root_of.assign(n, kInvalidNode);
   forest.preorder.clear();
   forest.preorder.reserve(n);
 
-  std::vector<char> visited(n, 0);
-  std::vector<NodeId> stack;
+  ArenaVector<char> visited(n, 0, ArenaAllocator<char>(arena));
+  ArenaVector<NodeId> stack{ArenaAllocator<NodeId>(arena)};
   for (NodeId root = 0; root < g.node_count(); ++root) {
     if (visited[static_cast<std::size_t>(root)]) continue;
     visited[static_cast<std::size_t>(root)] = 1;
@@ -60,19 +62,27 @@ RootedForest root_forest_impl(const G& g,
       }
     }
   }
-  return forest;
 }
 
 }  // namespace
 
 RootedForest root_forest(const Graph& g,
                          const std::vector<EdgeId>& tree_edges) {
-  return root_forest_impl(g, tree_edges);
+  RootedForest forest;
+  root_forest_into(g, tree_edges, forest, nullptr);
+  return forest;
 }
 
 RootedForest root_forest(const CsrGraph& g,
                          const std::vector<EdgeId>& tree_edges) {
-  return root_forest_impl(g, tree_edges);
+  RootedForest forest;
+  root_forest_into(g, tree_edges, forest, nullptr);
+  return forest;
+}
+
+void root_forest(const CsrGraph& g, const std::vector<EdgeId>& tree_edges,
+                 RootedForest& out, MonotonicArena* arena) {
+  root_forest_into(g, tree_edges, out, arena);
 }
 
 std::vector<long long> subtree_sums(const RootedForest& forest,
@@ -94,16 +104,27 @@ std::vector<long long> subtree_sums(const RootedForest& forest,
 
 namespace {
 
-std::vector<EdgeId> odd_subtree_edges_impl(
-    const RootedForest& forest, const std::vector<long long>& weight) {
-  std::vector<long long> total = subtree_sums(forest, weight);
-  std::vector<EdgeId> odd_edges;
+void odd_subtree_edges_into(const RootedForest& forest,
+                            const std::vector<long long>& weight,
+                            std::vector<EdgeId>& odd_edges,
+                            MonotonicArena* arena) {
+  TGROOM_CHECK(weight.size() == forest.parent.size());
+  ArenaVector<long long> total(weight.begin(), weight.end(),
+                               ArenaAllocator<long long>(arena));
+  for (auto it = forest.preorder.rbegin(); it != forest.preorder.rend();
+       ++it) {
+    NodeId v = *it;
+    NodeId p = forest.parent[static_cast<std::size_t>(v)];
+    if (p != kInvalidNode) {
+      total[static_cast<std::size_t>(p)] += total[static_cast<std::size_t>(v)];
+    }
+  }
+  odd_edges.clear();
   for (NodeId v = 0; v < static_cast<NodeId>(forest.parent.size()); ++v) {
     EdgeId pe = forest.parent_edge[static_cast<std::size_t>(v)];
     if (pe == kInvalidEdge) continue;
     if (total[static_cast<std::size_t>(v)] % 2 != 0) odd_edges.push_back(pe);
   }
-  return odd_edges;
 }
 
 }  // namespace
@@ -112,14 +133,25 @@ std::vector<EdgeId> odd_subtree_edges(const Graph& g,
                                       const RootedForest& forest,
                                       const std::vector<long long>& weight) {
   (void)g;
-  return odd_subtree_edges_impl(forest, weight);
+  std::vector<EdgeId> odd_edges;
+  odd_subtree_edges_into(forest, weight, odd_edges, nullptr);
+  return odd_edges;
 }
 
 std::vector<EdgeId> odd_subtree_edges(const CsrGraph& g,
                                       const RootedForest& forest,
                                       const std::vector<long long>& weight) {
   (void)g;
-  return odd_subtree_edges_impl(forest, weight);
+  std::vector<EdgeId> odd_edges;
+  odd_subtree_edges_into(forest, weight, odd_edges, nullptr);
+  return odd_edges;
+}
+
+void odd_subtree_edges(const CsrGraph& g, const RootedForest& forest,
+                       const std::vector<long long>& weight,
+                       std::vector<EdgeId>& out, MonotonicArena* arena) {
+  (void)g;
+  odd_subtree_edges_into(forest, weight, out, arena);
 }
 
 }  // namespace tgroom

@@ -10,6 +10,7 @@
 
 #include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
+#include "util/arena.hpp"
 
 namespace tgroom {
 
@@ -26,6 +27,12 @@ RootedForest root_forest(const Graph& g, const std::vector<EdgeId>& tree_edges);
 RootedForest root_forest(const CsrGraph& g,
                          const std::vector<EdgeId>& tree_edges);
 
+/// Same rooting written into `out` (buffers resized in place, capacity
+/// retained) with the throwaway tree adjacency drawn from `arena` when
+/// given — the zero-allocation form the grooming hot path uses.
+void root_forest(const CsrGraph& g, const std::vector<EdgeId>& tree_edges,
+                 RootedForest& out, MonotonicArena* arena);
+
 /// For each node, sums `weight` over its subtree (weight has one entry per
 /// node); returns per-node subtree totals.  Linear via reverse preorder.
 std::vector<long long> subtree_sums(const RootedForest& forest,
@@ -39,5 +46,11 @@ std::vector<EdgeId> odd_subtree_edges(const Graph& g,
 std::vector<EdgeId> odd_subtree_edges(const CsrGraph& g,
                                       const RootedForest& forest,
                                       const std::vector<long long>& weight);
+
+/// Same edge set appended to a cleared `out`, subtree totals drawn from
+/// `arena` when given.
+void odd_subtree_edges(const CsrGraph& g, const RootedForest& forest,
+                       const std::vector<long long>& weight,
+                       std::vector<EdgeId>& out, MonotonicArena* arena);
 
 }  // namespace tgroom

@@ -1,8 +1,7 @@
 #include "algo/spanning_tree.hpp"
 
 #include <numeric>
-#include <queue>
-#include <stack>
+#include <utility>
 
 #include "algo/components.hpp"
 #include "algo/min_degree_tree.hpp"
@@ -25,60 +24,67 @@ const char* tree_policy_name(TreePolicy policy) {
 
 namespace {
 
+// Every traversal below draws its scratch from `arena` (heap when null via
+// the allocator's fallback) and appends tree edges to `tree`; visit order
+// is identical to the classic queue/stack forms, so outputs are unchanged.
+
 template <typename G>
-std::vector<EdgeId> bfs_forest(const G& g) {
-  std::vector<EdgeId> tree;
-  std::vector<char> visited(static_cast<std::size_t>(g.node_count()), 0);
-  std::queue<NodeId> q;
+void bfs_forest_into(const G& g, std::vector<EdgeId>& tree,
+                     MonotonicArena* arena) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  ArenaVector<char> visited(n, 0, ArenaAllocator<char>(arena));
+  ArenaVector<NodeId> frontier{ArenaAllocator<NodeId>(arena)};
+  frontier.reserve(n);
   for (NodeId start = 0; start < g.node_count(); ++start) {
     if (visited[static_cast<std::size_t>(start)]) continue;
     visited[static_cast<std::size_t>(start)] = 1;
-    q.push(start);
-    while (!q.empty()) {
-      NodeId v = q.front();
-      q.pop();
+    std::size_t head = frontier.size();
+    frontier.push_back(start);
+    while (head < frontier.size()) {
+      NodeId v = frontier[head++];
       for (const Incidence& inc : g.incident(v)) {
         if (visited[static_cast<std::size_t>(inc.neighbor)]) continue;
         visited[static_cast<std::size_t>(inc.neighbor)] = 1;
         tree.push_back(inc.edge);
-        q.push(inc.neighbor);
+        frontier.push_back(inc.neighbor);
       }
     }
   }
-  return tree;
 }
 
 template <typename G>
-std::vector<EdgeId> dfs_forest(const G& g) {
-  std::vector<EdgeId> tree;
-  std::vector<char> visited(static_cast<std::size_t>(g.node_count()), 0);
+void dfs_forest_into(const G& g, std::vector<EdgeId>& tree,
+                     MonotonicArena* arena) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  ArenaVector<char> visited(n, 0, ArenaAllocator<char>(arena));
   // Explicit stack of (node, incidence cursor) to avoid deep recursion.
-  std::stack<std::pair<NodeId, std::size_t>> stack;
+  using Frame = std::pair<NodeId, std::size_t>;
+  ArenaVector<Frame> stack{ArenaAllocator<Frame>(arena)};
   for (NodeId start = 0; start < g.node_count(); ++start) {
     if (visited[static_cast<std::size_t>(start)]) continue;
     visited[static_cast<std::size_t>(start)] = 1;
-    stack.push({start, 0});
+    stack.push_back({start, 0});
     while (!stack.empty()) {
-      auto& [v, cursor] = stack.top();
+      auto& [v, cursor] = stack.back();
       auto inc = g.incident(v);
       if (cursor >= inc.size()) {
-        stack.pop();
+        stack.pop_back();
         continue;
       }
       const Incidence& step = inc[cursor++];
       if (visited[static_cast<std::size_t>(step.neighbor)]) continue;
       visited[static_cast<std::size_t>(step.neighbor)] = 1;
       tree.push_back(step.edge);
-      stack.push({step.neighbor, 0});
+      stack.push_back({step.neighbor, 0});
     }
   }
-  return tree;
 }
 
 // Union-find for Kruskal.
 class Dsu {
  public:
-  explicit Dsu(std::size_t n) : parent_(n) {
+  explicit Dsu(std::size_t n, MonotonicArena* arena = nullptr)
+      : parent_(n, NodeId{0}, ArenaAllocator<NodeId>(arena)) {
     std::iota(parent_.begin(), parent_.end(), NodeId{0});
   }
   NodeId find(NodeId x) {
@@ -99,52 +105,64 @@ class Dsu {
   }
 
  private:
-  std::vector<NodeId> parent_;
+  ArenaVector<NodeId> parent_;
 };
 
 template <typename G>
-std::vector<EdgeId> random_kruskal_forest(const G& g, Rng& rng) {
-  std::vector<EdgeId> order(static_cast<std::size_t>(g.edge_count()));
+void random_kruskal_forest_into(const G& g, Rng& rng,
+                                std::vector<EdgeId>& tree,
+                                MonotonicArena* arena) {
+  ArenaVector<EdgeId> order(static_cast<std::size_t>(g.edge_count()),
+                            EdgeId{0}, ArenaAllocator<EdgeId>(arena));
   std::iota(order.begin(), order.end(), EdgeId{0});
   rng.shuffle(order);
-  Dsu dsu(static_cast<std::size_t>(g.node_count()));
-  std::vector<EdgeId> tree;
+  Dsu dsu(static_cast<std::size_t>(g.node_count()), arena);
   for (EdgeId e : order) {
     const Edge& edge = g.edge(e);
     if (dsu.unite(edge.u, edge.v)) tree.push_back(e);
   }
-  return tree;
 }
 
 template <typename G>
-std::vector<EdgeId> spanning_forest_impl(const G& g, TreePolicy policy,
-                                         Rng* rng) {
+void spanning_forest_into(const G& g, TreePolicy policy, Rng* rng,
+                          std::vector<EdgeId>& out, MonotonicArena* arena) {
+  out.clear();
   switch (policy) {
     case TreePolicy::kBfs:
-      return bfs_forest(g);
+      return bfs_forest_into(g, out, arena);
     case TreePolicy::kDfs:
-      return dfs_forest(g);
+      return dfs_forest_into(g, out, arena);
     case TreePolicy::kRandom: {
       TGROOM_CHECK_MSG(rng != nullptr, "random tree policy needs an Rng");
-      return random_kruskal_forest(g, *rng);
+      return random_kruskal_forest_into(g, *rng, out, arena);
     }
-    case TreePolicy::kMinMaxDegree:
-      return min_max_degree_forest(g);
+    case TreePolicy::kMinMaxDegree: {
+      out = min_max_degree_forest(g);
+      return;
+    }
   }
   TGROOM_CHECK_MSG(false, "unknown tree policy");
-  return {};
 }
 
 }  // namespace
 
 std::vector<EdgeId> spanning_forest(const Graph& g, TreePolicy policy,
                                     Rng* rng) {
-  return spanning_forest_impl(g, policy, rng);
+  std::vector<EdgeId> tree;
+  spanning_forest_into(g, policy, rng, tree, nullptr);
+  return tree;
 }
 
 std::vector<EdgeId> spanning_forest(const CsrGraph& g, TreePolicy policy,
                                     Rng* rng) {
-  return spanning_forest_impl(g, policy, rng);
+  std::vector<EdgeId> tree;
+  spanning_forest_into(g, policy, rng, tree, nullptr);
+  return tree;
+}
+
+void spanning_forest(const CsrGraph& g, TreePolicy policy, Rng* rng,
+                     std::vector<EdgeId>& out, MonotonicArena* arena) {
+  spanning_forest_into(g, policy, rng, out, arena);
 }
 
 bool is_spanning_forest(const Graph& g,

@@ -10,6 +10,7 @@
 
 #include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
+#include "util/arena.hpp"
 #include "util/rng.hpp"
 
 namespace tgroom {
@@ -30,6 +31,13 @@ std::vector<EdgeId> spanning_forest(const Graph& g, TreePolicy policy,
                                     Rng* rng = nullptr);
 std::vector<EdgeId> spanning_forest(const CsrGraph& g, TreePolicy policy,
                                     Rng* rng = nullptr);
+
+/// Same forest, written into `out` (cleared first, capacity retained) with
+/// traversal scratch drawn from `arena` when given — the zero-allocation
+/// form the grooming hot path uses.  kMinMaxDegree still allocates
+/// internally (its local search is not on the hot path).
+void spanning_forest(const CsrGraph& g, TreePolicy policy, Rng* rng,
+                     std::vector<EdgeId>& out, MonotonicArena* arena);
 
 /// True when `tree_edges` forms a spanning forest (acyclic, spans every
 /// component).

@@ -1,6 +1,7 @@
 #include "algorithms/spant_euler.hpp"
 
 #include <algorithm>
+#include <utility>
 
 #include "algo/components.hpp"
 #include "algo/euler.hpp"
@@ -22,10 +23,11 @@ EdgePartition spant_euler(const Graph& g, int k,
   GroomingWorkspace& ws = workspace ? *workspace : local;
   ws.prepare(g);
   const CsrGraph& csr = ws.csr;
+  MonotonicArena& arena = ws.arena;
 
   Rng rng(options.seed);
-  std::vector<EdgeId> tree = spanning_forest(csr, options.tree_policy, &rng);
-  for (EdgeId e : tree) ws.in_tree[static_cast<std::size_t>(e)] = 1;
+  spanning_forest(csr, options.tree_policy, &rng, ws.tree, &arena);
+  for (EdgeId e : ws.tree) ws.in_tree[static_cast<std::size_t>(e)] = 1;
 
   // G\T mask and the parity of each node's degree in it (the odd/even
   // status is all Lemma 4 needs, so the full degree array never
@@ -42,20 +44,20 @@ EdgePartition spant_euler(const Graph& g, int k,
   }
 
   // E_odd: tree edges with odd V_odd count below (Lemma 4, pairing-free).
-  RootedForest forest = root_forest(csr, tree);
-  std::vector<EdgeId> e_odd = odd_subtree_edges(csr, forest, ws.odd_weight);
+  root_forest(csr, ws.tree, ws.forest, &arena);
+  odd_subtree_edges(csr, ws.forest, ws.odd_weight, ws.e_odd, &arena);
 
   // G'' = E_odd ∪ (E \ T): all degrees even by the Lemma 4 parity argument.
   std::copy(ws.cotree.begin(), ws.cotree.end(), ws.g2_mask.begin());
-  for (EdgeId e : e_odd) ws.g2_mask[static_cast<std::size_t>(e)] = 1;
+  for (EdgeId e : ws.e_odd) ws.g2_mask[static_cast<std::size_t>(e)] = 1;
 
-  std::vector<Walk> walks = euler_decomposition(csr, ws.g2_mask);
+  ArenaWalkList walks = euler_decomposition(csr, ws.g2_mask, arena);
 
   // Backbones: one skeleton per Euler tour; record the first backbone
   // position of every node for branch attachment.
-  SkeletonCover cover;
+  ArenaSkeletonCover cover{ArenaAllocator<ArenaSkeleton>(&arena)};
   using Site = GroomingWorkspace::Site;
-  for (Walk& walk : walks) {
+  for (ArenaWalk& walk : walks) {
     std::size_t idx = cover.size();
     for (std::size_t pos = 0; pos < walk.nodes.size(); ++pos) {
       auto v = static_cast<std::size_t>(walk.nodes[pos]);
@@ -64,7 +66,7 @@ EdgePartition spant_euler(const Graph& g, int k,
         ws.site[v] = Site{idx, pos};
       }
     }
-    cover.push_back(Skeleton::from_walk(std::move(walk)));
+    cover.push_back(ArenaSkeleton::from_walk(std::move(walk), &arena));
   }
 
   // Branches: E(T) \ E_odd.  Attach to an existing backbone when possible;
@@ -106,20 +108,22 @@ EdgePartition spant_euler(const Graph& g, int k,
                    : edge.u;
       ws.on_backbone[static_cast<std::size_t>(anchor)] = 1;
       ws.site[static_cast<std::size_t>(anchor)] = Site{cover.size(), 0};
-      cover.push_back(Skeleton::single_node(anchor));
+      cover.push_back(ArenaSkeleton::single_node(anchor, &arena));
     }
     const Site& s = ws.site[static_cast<std::size_t>(anchor)];
     cover[s.skeleton].add_branch(s.position, e);
   }
 
   if (trace) {
-    trace->tree = std::move(tree);
-    trace->e_odd = std::move(e_odd);
+    trace->tree = ws.tree;
+    trace->e_odd = ws.e_odd;
     trace->g2_component_count =
         connected_components_masked(csr, ws.cotree).count;
-    trace->cover = cover;
+    trace->cover.clear();
+    trace->cover.reserve(cover.size());
+    for (const ArenaSkeleton& s : cover) trace->cover.push_back(s.to_skeleton());
   }
-  return partition_from_cover(g, cover, k);
+  return partition_from_cover(g, cover, k, arena);
 }
 
 long long spant_euler_cost_bound(long long real_edges, int k,

@@ -3,6 +3,7 @@
 namespace tgroom {
 
 void GroomingWorkspace::prepare(const Graph& g) {
+  reset();
   csr.rebuild(g);
   const auto n = static_cast<std::size_t>(csr.node_count());
   const auto m = static_cast<std::size_t>(csr.edge_count());
@@ -13,6 +14,16 @@ void GroomingWorkspace::prepare(const Graph& g) {
   branch_degree.assign(n, 0);
   on_backbone.assign(n, 0);
   site.assign(n, Site{});
+}
+
+void GroomingWorkspace::reset() {
+  tree.clear();
+  e_odd.clear();
+  forest.parent.clear();
+  forest.parent_edge.clear();
+  forest.preorder.clear();
+  forest.root_of.clear();
+  arena.reset();
 }
 
 }  // namespace tgroom

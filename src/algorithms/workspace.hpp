@@ -7,8 +7,19 @@
 // snapshot; prepare() resizes-and-clears them, so repeat runs on same-sized
 // (or smaller) instances perform no allocation at all.
 //
+// The workspace also owns a MonotonicArena for the *irregular* per-run
+// structures (Euler walks, skeleton covers, branch lists) whose nested
+// shapes vary run to run and so cannot amortize through plain capacity
+// retention.  prepare() rewinds the arena; its blocks are retained, so a
+// warm workspace serves an entire groom without any heap allocation
+// (DESIGN.md §11 — the invariant tests/arena_test.cpp pins with the
+// allocation tracker).  Arena-backed containers never outlive the run
+// that built them: everything allocated from the arena is dead before the
+// next prepare()/reset() rewind.
+//
 // Thread-safety: a workspace belongs to one thread at a time.  The batch
-// engine (grooming/batch.hpp) keeps one per worker chunk.
+// engine (grooming/batch.hpp) keeps one per worker chunk, the service one
+// per worker thread.
 //
 // Determinism: using a workspace never changes an algorithm's output —
 // every buffer is fully (re)initialized by prepare(); csr_test.cpp pins
@@ -18,7 +29,9 @@
 #include <cstddef>
 #include <vector>
 
+#include "algo/rooted_tree.hpp"
 #include "graph/csr_graph.hpp"
+#include "util/arena.hpp"
 
 namespace tgroom {
 
@@ -42,8 +55,24 @@ struct GroomingWorkspace {
   std::vector<char> on_backbone;
   std::vector<Site> site;
 
-  /// Re-snapshots `g` into `csr` and sizes-and-clears every buffer.
+  // Size-stable per-run results, retained across runs (cleared, capacity
+  // kept, by prepare()).
+  std::vector<EdgeId> tree;   // spanning forest edges
+  std::vector<EdgeId> e_odd;  // Lemma 4 odd-subtree edges
+  RootedForest forest;
+
+  // Bump allocator for the irregular structures (walks, covers, branch
+  // lists).  Rewound by prepare()/reset(); blocks retained.
+  MonotonicArena arena;
+
+  /// Re-snapshots `g` into `csr`, sizes-and-clears every buffer, and
+  /// rewinds the arena.
   void prepare(const Graph& g);
+
+  /// Rewinds the arena and clears per-run result buffers without touching
+  /// the CSR snapshot (the service calls this between requests; the next
+  /// prepare() does it again, harmlessly).
+  void reset();
 };
 
 }  // namespace tgroom

@@ -25,6 +25,33 @@ EdgePartition partition_from_cover(const Graph& g, const SkeletonCover& cover,
   return partition;
 }
 
+EdgePartition partition_from_cover(const Graph& g,
+                                   const ArenaSkeletonCover& cover, int k,
+                                   MonotonicArena& arena) {
+  TGROOM_CHECK(k >= 1);
+  EdgePartition partition;
+  partition.k = k;
+
+  ArenaVector<EdgeId> order{ArenaAllocator<EdgeId>(&arena)};
+  for (const ArenaSkeleton& skeleton : cover) {
+    skeleton.append_canonical_order(order);
+  }
+  for (EdgeId e : order) {
+    TGROOM_CHECK_MSG(!g.edge(e).is_virtual,
+                     "cover skeletons must not contain virtual edges");
+  }
+
+  partition.parts.reserve(
+      (order.size() + static_cast<std::size_t>(k) - 1) /
+      static_cast<std::size_t>(k));
+  for (std::size_t i = 0; i < order.size(); i += static_cast<std::size_t>(k)) {
+    std::size_t end = std::min(order.size(), i + static_cast<std::size_t>(k));
+    partition.parts.emplace_back(order.begin() + static_cast<long>(i),
+                                 order.begin() + static_cast<long>(end));
+  }
+  return partition;
+}
+
 long long prop2_cost_bound(long long real_edges, int k,
                            std::size_t cover_size) {
   TGROOM_CHECK(k >= 1);

@@ -24,6 +24,14 @@ namespace tgroom {
 EdgePartition partition_from_cover(const Graph& g, const SkeletonCover& cover,
                                    int k);
 
+/// Same transform over an arena-backed cover: the concatenated canonical
+/// order lives on `arena`; only the escaping partition parts touch the
+/// heap.  Produces a partition identical to the heap overload's for the
+/// equivalent cover.
+EdgePartition partition_from_cover(const Graph& g,
+                                   const ArenaSkeletonCover& cover, int k,
+                                   MonotonicArena& arena);
+
 /// The Proposition 2 cost bound for `real_edges` edges, grooming factor k,
 /// and a cover of size `cover_size`.
 long long prop2_cost_bound(long long real_edges, int k,

@@ -65,6 +65,58 @@ bool Skeleton::validate(const Graph& g) const {
   return true;
 }
 
+ArenaSkeleton::ArenaSkeleton(MonotonicArena* arena)
+    : walk_nodes_(ArenaAllocator<NodeId>(arena)),
+      walk_edges_(ArenaAllocator<EdgeId>(arena)),
+      branches_at_(ArenaAllocator<ArenaVector<EdgeId>>(arena)) {}
+
+ArenaSkeleton ArenaSkeleton::single_node(NodeId v, MonotonicArena* arena) {
+  ArenaSkeleton s(arena);
+  s.walk_nodes_.push_back(v);
+  s.branches_at_.resize(1, ArenaVector<EdgeId>(ArenaAllocator<EdgeId>(arena)));
+  return s;
+}
+
+ArenaSkeleton ArenaSkeleton::from_walk(ArenaWalk&& walk,
+                                       MonotonicArena* arena) {
+  TGROOM_CHECK_MSG(!walk.nodes.empty(), "walk must have at least one node");
+  ArenaSkeleton s(arena);
+  s.walk_nodes_ = std::move(walk.nodes);
+  s.walk_edges_ = std::move(walk.edges);
+  s.branches_at_.resize(s.walk_nodes_.size(),
+                        ArenaVector<EdgeId>(ArenaAllocator<EdgeId>(arena)));
+  return s;
+}
+
+void ArenaSkeleton::add_branch(std::size_t pos, EdgeId e) {
+  TGROOM_CHECK(pos < branches_at_.size());
+  branches_at_[pos].push_back(e);
+}
+
+std::size_t ArenaSkeleton::size() const {
+  std::size_t total = walk_edges_.size();
+  for (const auto& bucket : branches_at_) total += bucket.size();
+  return total;
+}
+
+void ArenaSkeleton::append_canonical_order(ArenaVector<EdgeId>& out) const {
+  for (std::size_t pos = 0; pos < walk_nodes_.size(); ++pos) {
+    for (EdgeId b : branches_at_[pos]) out.push_back(b);
+    if (pos < walk_edges_.size()) out.push_back(walk_edges_[pos]);
+  }
+}
+
+Skeleton ArenaSkeleton::to_skeleton() const {
+  Walk w;
+  w.nodes.assign(walk_nodes_.begin(), walk_nodes_.end());
+  w.edges.assign(walk_edges_.begin(), walk_edges_.end());
+  Skeleton s = Skeleton::from_walk(std::move(w));
+  for (std::size_t pos = 0; pos < branches_at_.size(); ++pos) {
+    for (EdgeId e : branches_at_[pos]) s.add_branch(pos, e);
+  }
+  return s;
+}
+
 std::pair<Skeleton, Skeleton> split_skeleton(const Graph& g,
                                              const Skeleton& skeleton,
                                              std::size_t t) {

@@ -18,6 +18,7 @@
 
 #include "algo/euler.hpp"
 #include "graph/graph.hpp"
+#include "util/arena.hpp"
 
 namespace tgroom {
 
@@ -61,6 +62,46 @@ class Skeleton {
 };
 
 using SkeletonCover = std::vector<Skeleton>;
+
+/// Arena-backed skeleton for the zero-allocation grooming hot path: same
+/// structure and canonical order as Skeleton, every vector (including the
+/// per-position branch buckets) bump-allocated from a MonotonicArena.
+/// Must not outlive the arena's next reset(); SpanT_Euler builds one cover
+/// per run and consumes it before the workspace rewinds.
+class ArenaSkeleton {
+ public:
+  /// Single-node skeleton (the paper's degenerate Euler path of one node).
+  static ArenaSkeleton single_node(NodeId v, MonotonicArena* arena);
+
+  /// Skeleton whose backbone is the given walk (no branches yet).  The
+  /// walk's storage is adopted, not copied.
+  static ArenaSkeleton from_walk(ArenaWalk&& walk, MonotonicArena* arena);
+
+  const ArenaVector<NodeId>& walk_nodes() const { return walk_nodes_; }
+  const ArenaVector<EdgeId>& walk_edges() const { return walk_edges_; }
+
+  /// Attach a branch edge at backbone position `pos`.
+  void add_branch(std::size_t pos, EdgeId e);
+
+  /// Number of edges (backbone + branches) — the paper's skeleton size s(S).
+  std::size_t size() const;
+
+  /// Appends the canonical edge order (branches at position 0, backbone
+  /// edge 0, branches at position 1, …) to `out`.
+  void append_canonical_order(ArenaVector<EdgeId>& out) const;
+
+  /// Heap copy with the same structure, for traces and debugging.
+  Skeleton to_skeleton() const;
+
+ private:
+  explicit ArenaSkeleton(MonotonicArena* arena);
+
+  ArenaVector<NodeId> walk_nodes_;                 // p >= 1
+  ArenaVector<EdgeId> walk_edges_;                 // p - 1
+  ArenaVector<ArenaVector<EdgeId>> branches_at_;   // size p
+};
+
+using ArenaSkeletonCover = ArenaVector<ArenaSkeleton>;
 
 /// Proposition 1: split a skeleton into two skeletons of sizes t and
 /// size()-t along the canonical order.  0 <= t <= size().

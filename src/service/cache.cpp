@@ -4,6 +4,22 @@
 
 namespace tgroom {
 
+namespace {
+
+std::size_t pick_shard_count(std::size_t capacity, std::size_t requested) {
+  if (capacity == 0) return 1;
+  std::size_t shards = requested;
+  if (shards == 0) shards = 16;  // plenty of stripes for any worker count
+  // Keep at least ~4 entries per shard so striping does not starve the
+  // LRU, and round down to a power of two for mask selection.
+  while (shards > 1 && capacity / shards < 4) shards /= 2;
+  std::size_t pow2 = 1;
+  while (pow2 * 2 <= shards) pow2 *= 2;
+  return pow2;
+}
+
+}  // namespace
+
 std::size_t GroomCacheKeyHash::operator()(const GroomCacheKey& key) const {
   std::uint64_t state = key.fingerprint;
   state ^= splitmix64(state) + static_cast<std::uint64_t>(key.algorithm);
@@ -13,34 +29,78 @@ std::size_t GroomCacheKeyHash::operator()(const GroomCacheKey& key) const {
   return static_cast<std::size_t>(splitmix64(state));
 }
 
-std::optional<GroomCacheValue> PlanCache::get(const GroomCacheKey& key) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = index_.find(key);
-  if (it == index_.end()) return std::nullopt;
-  lru_.splice(lru_.begin(), lru_, it->second);
+PlanCache::PlanCache(std::size_t capacity, std::size_t shards)
+    : capacity_(capacity),
+      shards_(pick_shard_count(capacity, shards)) {
+  shard_mask_ = shards_.size() - 1;
+  shard_capacity_ =
+      capacity == 0 ? 0 : (capacity + shards_.size() - 1) / shards_.size();
+}
+
+PlanCache::Shard& PlanCache::shard_for(const GroomCacheKey& key) {
+  // The low hash bits pick the bucket inside a shard's unordered_map, so
+  // use the high bits — fully mixed by the final splitmix64 — for stripes.
+  std::size_t h = GroomCacheKeyHash{}(key);
+  return shards_[(h >> 48) & shard_mask_];
+}
+
+std::shared_ptr<const GroomCacheValue> PlanCache::get(
+    const GroomCacheKey& key) {
+  Shard& shard = shard_for(key);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  hits_.fetch_add(1, std::memory_order_relaxed);
   return it->second->second;
 }
 
-void PlanCache::put(const GroomCacheKey& key, GroomCacheValue value) {
-  if (capacity_ == 0) return;
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = index_.find(key);
-  if (it != index_.end()) {
-    it->second->second = std::move(value);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    return;
+std::size_t PlanCache::put(const GroomCacheKey& key,
+                           std::shared_ptr<const GroomCacheValue> value) {
+  if (capacity_ == 0) return 0;
+  Shard& shard = shard_for(key);
+  std::size_t evicted = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    auto it = shard.index.find(key);
+    if (it != shard.index.end()) {
+      it->second->second = std::move(value);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+      return 0;
+    }
+    shard.lru.emplace_front(key, std::move(value));
+    shard.index.emplace(key, shard.lru.begin());
+    while (shard.lru.size() > shard_capacity_) {
+      shard.index.erase(shard.lru.back().first);
+      shard.lru.pop_back();
+      ++evicted;
+    }
   }
-  lru_.emplace_front(key, std::move(value));
-  index_.emplace(key, lru_.begin());
-  while (lru_.size() > capacity_) {
-    index_.erase(lru_.back().first);
-    lru_.pop_back();
+  if (evicted > 0) {
+    evictions_.fetch_add(static_cast<long long>(evicted),
+                         std::memory_order_relaxed);
   }
+  return evicted;
 }
 
 std::size_t PlanCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return lru_.size();
+  std::size_t total = 0;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    total += shard.lru.size();
+  }
+  return total;
+}
+
+PlanCacheStats PlanCache::stats() const {
+  PlanCacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace tgroom

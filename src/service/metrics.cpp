@@ -13,6 +13,7 @@ constexpr const char* kCounterNames[ServiceMetrics::kCounterCount] = {
     "error",           "overloaded",
     "shutting_down",   "deadline_exceeded",
     "cache_hits",      "cache_misses",
+    "cache_evictions",
 };
 
 }  // namespace
@@ -44,6 +45,16 @@ void ServiceMetrics::observe_latency(std::chrono::nanoseconds elapsed) {
   }
 }
 
+void ServiceMetrics::observe_allocations(long long count) {
+  if (count < 0) count = 0;
+  alloc_requests_.fetch_add(1, std::memory_order_relaxed);
+  alloc_total_.fetch_add(count, std::memory_order_relaxed);
+  long long seen = alloc_max_.load(std::memory_order_relaxed);
+  while (count > seen && !alloc_max_.compare_exchange_weak(
+                             seen, count, std::memory_order_relaxed)) {
+  }
+}
+
 void ServiceMetrics::write_json(JsonWriter& w) const {
   w.begin_object();
   w.key("counters").begin_object();
@@ -67,6 +78,11 @@ void ServiceMetrics::write_json(JsonWriter& w) const {
     w.begin_array().value(upper).value(n).end_array();
   }
   w.end_array();
+  w.end_object();
+  w.key("allocations").begin_object();
+  w.kv("requests", alloc_requests_.load(std::memory_order_relaxed));
+  w.kv("total", alloc_total_.load(std::memory_order_relaxed));
+  w.kv("max", alloc_max_.load(std::memory_order_relaxed));
   w.end_object();
   w.end_object();
 }

@@ -32,6 +32,7 @@ class ServiceMetrics {
     kDeadlineExceeded,  // subset of kError: per-request deadline expired
     kCacheHits,
     kCacheMisses,
+    kCacheEvictions,
     kCount_,
   };
   static constexpr std::size_t kCounterCount =
@@ -43,7 +44,14 @@ class ServiceMetrics {
 
   void observe_latency(std::chrono::nanoseconds elapsed);
 
-  /// Emits {"counters":{...},"latency":{count,sum_us,max_us,buckets:[...]}}.
+  /// Records how many heap allocations one request performed (measured by
+  /// the worker via util/alloc_tracker.hpp).  Makes the zero-allocation
+  /// request path (DESIGN.md §11) observable in production: a healthy
+  /// cache-warm service shows max == 0 over the cached traffic.
+  void observe_allocations(long long count);
+
+  /// Emits {"counters":{...},"latency":{...},"allocations":
+  /// {requests,total,max}}.
   void write_json(JsonWriter& w) const;
   std::string to_json() const;
 
@@ -53,6 +61,9 @@ class ServiceMetrics {
   std::atomic<long long> latency_count_{0};
   std::atomic<long long> latency_sum_us_{0};
   std::atomic<long long> latency_max_us_{0};
+  std::atomic<long long> alloc_requests_{0};
+  std::atomic<long long> alloc_total_{0};
+  std::atomic<long long> alloc_max_{0};
 };
 
 }  // namespace tgroom

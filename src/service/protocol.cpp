@@ -1,6 +1,10 @@
 #include "service/protocol.hpp"
 
 #include <algorithm>
+#include <cstdint>
+#include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/json.hpp"
 
@@ -68,13 +72,18 @@ std::string make_error_response(std::int64_t id, bool has_id,
                                 ServiceError code,
                                 const std::string& message) {
   JsonWriter w;
+  write_error_response(w, id, has_id, code, message);
+  return w.take();
+}
+
+void write_error_response(JsonWriter& w, std::int64_t id, bool has_id,
+                          ServiceError code, const std::string& message) {
   w.begin_object();
   write_id(w, id, has_id);
   w.kv("ok", false);
   w.kv("error", service_error_name(code));
   w.kv("message", message);
   w.end_object();
-  return w.take();
 }
 
 void write_graph_json(JsonWriter& w, const Graph& g) {
@@ -172,8 +181,13 @@ GroomingPlan plan_from_json(const JsonValue& v) {
 }
 
 void write_partition_json(JsonWriter& w, const EdgePartition& partition) {
+  write_partition_json(w, partition.parts);
+}
+
+void write_partition_json(JsonWriter& w,
+                          const std::vector<std::vector<EdgeId>>& parts) {
   w.begin_array();
-  for (const auto& part : partition.parts) {
+  for (const auto& part : parts) {
     w.begin_array();
     for (EdgeId e : part) w.value(static_cast<long long>(e));
     w.end_array();
@@ -211,7 +225,364 @@ std::vector<DemandPair> demand_pairs_from_json(const JsonValue& v) {
   return pairs;
 }
 
+namespace {
+
+// ---- Fast request path -------------------------------------------------
+//
+// A strict in-place scanner for the request grammar that skips the
+// JsonValue tree entirely (the tree costs hundreds of small allocations
+// per request and dominates the cache-warm service profile).  The
+// contract: fast_parse_request() returns true ONLY for a completely valid
+// request, in which case its result is identical to the generic parser's.
+// On ANY surprise — structural (escapes, floats, unknown keys, duplicate
+// keys) or semantic (range violations, duplicate edges) — it returns
+// false and the caller re-parses generically, which reproduces the
+// canonical error messages.  The fast path never rejects a request, so
+// error behaviour is byte-for-byte unchanged.
+class FastScanner {
+ public:
+  explicit FastScanner(const std::string& line)
+      : p_(line.data()), end_(line.data() + line.size()) {}
+
+  bool eat(char c) {
+    ws();
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+
+  bool peek(char c) {
+    ws();
+    return p_ < end_ && *p_ == c;
+  }
+
+  bool at_end() {
+    ws();
+    return p_ == end_;
+  }
+
+  bool string(std::string_view& out) {
+    ws();
+    if (p_ >= end_ || *p_ != '"') return false;
+    const char* start = ++p_;
+    while (p_ < end_ && *p_ != '"') {
+      if (*p_ == '\\') return false;  // escapes → generic parser
+      ++p_;
+    }
+    if (p_ >= end_) return false;
+    out = std::string_view(start, static_cast<std::size_t>(p_ - start));
+    ++p_;
+    return true;
+  }
+
+  bool integer(std::int64_t& out) {
+    ws();
+    bool neg = false;
+    if (p_ < end_ && *p_ == '-') {
+      neg = true;
+      ++p_;
+    }
+    const char* digits = p_;
+    std::int64_t value = 0;
+    while (p_ < end_ && *p_ >= '0' && *p_ <= '9') {
+      value = value * 10 + (*p_ - '0');
+      ++p_;
+    }
+    if (p_ == digits || p_ - digits > 18) return false;
+    if (p_ < end_ && (*p_ == '.' || *p_ == 'e' || *p_ == 'E')) return false;
+    out = neg ? -value : value;
+    return true;
+  }
+
+  bool boolean(bool& out) {
+    ws();
+    if (match("true")) {
+      out = true;
+      return true;
+    }
+    if (match("false")) {
+      out = false;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  void ws() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t' || *p_ == '\n' ||
+                         *p_ == '\r')) {
+      ++p_;
+    }
+  }
+
+  bool match(std::string_view word) {
+    if (static_cast<std::size_t>(end_ - p_) < word.size()) return false;
+    if (std::string_view(p_, word.size()) != word) return false;
+    p_ += word.size();
+    return true;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+// Reader-thread scratch, retained across requests so a warm reader parses
+// without heap allocation beyond what escapes into the ServiceRequest.
+thread_local std::vector<std::pair<std::int64_t, std::int64_t>>
+    t_edge_scratch;
+thread_local std::vector<NodeId> t_degree_scratch;
+
+bool fast_parse_graph(FastScanner& s, Graph& out) {
+  if (!s.eat('{')) return false;
+  std::int64_t n = -1;
+  bool have_n = false;
+  bool have_edges = false;
+  auto& edges = t_edge_scratch;
+  edges.clear();
+  if (!s.peek('}')) {
+    do {
+      std::string_view key;
+      if (!s.string(key) || !s.eat(':')) return false;
+      if (key == "n") {
+        if (have_n || !s.integer(n)) return false;
+        have_n = true;
+      } else if (key == "edges") {
+        if (have_edges || !s.eat('[')) return false;
+        have_edges = true;
+        if (!s.peek(']')) {
+          do {
+            std::int64_t u = 0, v = 0;
+            if (!s.eat('[') || !s.integer(u) || !s.eat(',') ||
+                !s.integer(v) || !s.eat(']')) {
+              return false;
+            }
+            edges.push_back({u, v});
+          } while (s.eat(','));
+        }
+        if (!s.eat(']')) return false;
+      } else {
+        return false;  // unknown graph key → generic parser decides
+      }
+    } while (s.eat(','));
+  }
+  if (!s.eat('}')) return false;
+  if (!have_n || !have_edges) return false;
+  if (n < 0 || n > 50'000'000) return false;
+  for (const auto& [u, v] : edges) {
+    if (u < 0 || u >= n || v < 0 || v >= n || u == v) return false;
+  }
+
+  Graph g(static_cast<NodeId>(n));
+  g.reserve_edges(static_cast<EdgeId>(edges.size()));
+  auto& degree = t_degree_scratch;
+  degree.assign(static_cast<std::size_t>(n), 0);
+  for (const auto& [u, v] : edges) {
+    ++degree[static_cast<std::size_t>(u)];
+    ++degree[static_cast<std::size_t>(v)];
+  }
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    g.reserve_degree(v, degree[static_cast<std::size_t>(v)]);
+  }
+  for (const auto& [u, v] : edges) {
+    if (g.find_edge(static_cast<NodeId>(u), static_cast<NodeId>(v)) !=
+        kInvalidEdge) {
+      return false;  // duplicate edge → canonical error via generic path
+    }
+    g.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  out = std::move(g);
+  return true;
+}
+
+bool fast_parse_plan(FastScanner& s, GroomingPlan& plan) {
+  if (!s.eat('{')) return false;
+  std::int64_t ring = -1;
+  std::int64_t k = -1;
+  bool have_ring = false, have_k = false, have_pairs = false;
+  plan.pairs.clear();
+  if (!s.peek('}')) {
+    do {
+      std::string_view key;
+      if (!s.string(key) || !s.eat(':')) return false;
+      if (key == "ring_size") {
+        if (have_ring || !s.integer(ring)) return false;
+        have_ring = true;
+      } else if (key == "k") {
+        if (have_k || !s.integer(k)) return false;
+        have_k = true;
+      } else if (key == "pairs") {
+        if (have_pairs || !s.eat('[')) return false;
+        have_pairs = true;
+        if (!s.peek(']')) {
+          do {
+            std::int64_t a = 0, b = 0, wavelength = 0, timeslot = 0;
+            if (!s.eat('[') || !s.integer(a) || !s.eat(',') ||
+                !s.integer(b) || !s.eat(',') || !s.integer(wavelength) ||
+                !s.eat(',') || !s.integer(timeslot) || !s.eat(']')) {
+              return false;
+            }
+            GroomedPair gp;
+            gp.pair = DemandPair{static_cast<NodeId>(std::min(a, b)),
+                                 static_cast<NodeId>(std::max(a, b))};
+            gp.wavelength = static_cast<int>(wavelength);
+            gp.timeslot = static_cast<int>(timeslot);
+            plan.pairs.push_back(gp);
+          } while (s.eat(','));
+        }
+        if (!s.eat(']')) return false;
+      } else {
+        return false;
+      }
+    } while (s.eat(','));
+  }
+  if (!s.eat('}')) return false;
+  if (!have_ring || !have_pairs || ring < 0 || k < 1) return false;
+  for (const GroomedPair& gp : plan.pairs) {
+    if (gp.pair.a < 0 || gp.pair.b >= static_cast<NodeId>(ring) ||
+        gp.pair.a == gp.pair.b || gp.wavelength < 0 || gp.timeslot < 0 ||
+        gp.timeslot >= k) {
+      return false;
+    }
+  }
+  plan.ring_size = static_cast<NodeId>(ring);
+  plan.grooming_factor = static_cast<int>(k);
+  return true;
+}
+
+bool fast_parse_request(const std::string& line, RequestParse& out) {
+  FastScanner s(line);
+  if (!s.eat('{')) return false;
+
+  ServiceRequest request;
+  std::string_view op;
+  std::int64_t k = 16, seed = 1;
+  bool have_op = false, have_id = false, have_graph = false;
+  bool have_algorithm = false, have_k = false, have_seed = false;
+  bool have_refine = false, have_smart = false, have_hold = false;
+  bool have_include_partition = false, have_deadline = false;
+  bool have_plan = false, have_plan_id = false, have_add = false;
+  bool have_include_plan = false;
+
+  if (!s.peek('}')) {
+    do {
+      std::string_view key;
+      if (!s.string(key) || !s.eat(':')) return false;
+      if (key == "op") {
+        if (have_op || !s.string(op)) return false;
+        have_op = true;
+      } else if (key == "id") {
+        if (have_id || !s.integer(request.id)) return false;
+        have_id = true;
+      } else if (key == "graph") {
+        if (have_graph || !fast_parse_graph(s, request.graph)) return false;
+        have_graph = true;
+      } else if (key == "algorithm") {
+        std::string_view name;
+        if (have_algorithm || !s.string(name)) return false;
+        auto algorithm = parse_algorithm_name(std::string(name));
+        if (!algorithm.has_value()) return false;
+        request.algorithm = *algorithm;
+        have_algorithm = true;
+      } else if (key == "k") {
+        if (have_k || !s.integer(k)) return false;
+        have_k = true;
+      } else if (key == "seed") {
+        if (have_seed || !s.integer(seed)) return false;
+        have_seed = true;
+      } else if (key == "refine") {
+        if (have_refine || !s.boolean(request.refine)) return false;
+        have_refine = true;
+      } else if (key == "smart_branches") {
+        if (have_smart || !s.boolean(request.smart_branches)) return false;
+        have_smart = true;
+      } else if (key == "hold") {
+        if (have_hold || !s.boolean(request.hold)) return false;
+        have_hold = true;
+      } else if (key == "include_partition") {
+        if (have_include_partition ||
+            !s.boolean(request.include_partition)) {
+          return false;
+        }
+        have_include_partition = true;
+      } else if (key == "deadline_ms") {
+        if (have_deadline || !s.integer(request.deadline_ms)) return false;
+        have_deadline = true;
+      } else if (key == "plan") {
+        request.plan.emplace();
+        if (have_plan || !fast_parse_plan(s, *request.plan)) return false;
+        have_plan = true;
+      } else if (key == "plan_id") {
+        if (have_plan_id || !s.integer(request.plan_id)) return false;
+        have_plan_id = true;
+      } else if (key == "add") {
+        if (have_add || !s.eat('[')) return false;
+        have_add = true;
+        if (!s.peek(']')) {
+          do {
+            std::int64_t a = 0, b = 0;
+            if (!s.eat('[') || !s.integer(a) || !s.eat(',') ||
+                !s.integer(b) || !s.eat(']')) {
+              return false;
+            }
+            if (a < 0 || b < 0 || a == b) return false;
+            request.add.push_back(
+                DemandPair{static_cast<NodeId>(std::min(a, b)),
+                           static_cast<NodeId>(std::max(a, b))});
+          } while (s.eat(','));
+        }
+        if (!s.eat(']')) return false;
+      } else if (key == "include_plan") {
+        if (have_include_plan || !s.boolean(request.include_plan)) {
+          return false;
+        }
+        have_include_plan = true;
+      } else {
+        return false;  // unknown key → let the generic parser decide
+      }
+    } while (s.eat(','));
+  }
+  if (!s.eat('}') || !s.at_end()) return false;
+
+  if (!have_op) return false;
+  if (request.deadline_ms < 0) return false;
+  if (op == "groom") {
+    request.op = ServiceOp::kGroom;
+    if (!have_graph) return false;
+    if (have_plan || have_plan_id || have_add || have_include_plan) {
+      return false;
+    }
+    if (k < 1 || k > 1'000'000) return false;
+    request.k = static_cast<int>(k);
+    request.seed = static_cast<std::uint64_t>(seed);
+  } else if (op == "provision") {
+    request.op = ServiceOp::kProvision;
+    if (have_plan == have_plan_id) return false;
+    if (have_plan_id && request.plan_id < 0) return false;
+    if (!have_add || request.add.empty()) return false;
+    if (have_graph || have_algorithm || have_k || have_seed) return false;
+  } else if (op == "stats" || op == "shutdown") {
+    request.op = op == "stats" ? ServiceOp::kStats : ServiceOp::kShutdown;
+    if (have_graph || have_plan || have_add) return false;
+  } else {
+    return false;
+  }
+
+  out.id = request.id;
+  out.has_id = have_id;
+  request.has_id = have_id;
+  out.request = std::move(request);
+  return true;
+}
+
+}  // namespace
+
 RequestParse parse_request(const std::string& line) {
+  {
+    RequestParse fast;
+    if (fast_parse_request(line, fast)) return fast;
+  }
   RequestParse out;
   JsonValue doc;
   try {

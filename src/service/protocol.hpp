@@ -99,6 +99,11 @@ std::string make_error_response(std::int64_t id, bool has_id,
                                 ServiceError code,
                                 const std::string& message);
 
+/// Same, but into a reusable writer (the zero-allocation response path —
+/// the caller owns and recycles the writer's buffer).
+void write_error_response(JsonWriter& w, std::int64_t id, bool has_id,
+                          ServiceError code, const std::string& message);
+
 /// Opens a response object and writes the shared "id"/"ok"/"op" head; the
 /// caller appends payload keys and closes the object.
 void begin_ok_response(JsonWriter& w, std::int64_t id, bool has_id,
@@ -117,6 +122,8 @@ GroomingPlan plan_from_json(const JsonValue& v);
 
 /// The parts array only: [[edge ids...],...].
 void write_partition_json(JsonWriter& w, const EdgePartition& partition);
+void write_partition_json(JsonWriter& w,
+                          const std::vector<std::vector<EdgeId>>& parts);
 
 /// Emits the incremental-provisioning payload keys into an open object:
 /// new_sadms/new_wavelengths/reused_sites/sadms/wavelengths[, plan].

@@ -3,10 +3,20 @@
 // The daemon must never buffer unboundedly: when producers outrun the
 // workers, try_push() fails fast and the server answers `overloaded`
 // instead of letting the queue (and response latency) grow without limit.
+// push() is the blocking variant for producers that want to wait for a
+// slot instead (batch pipelines feeding a fixed workload).
 // close_and_drain() supports graceful shutdown: it atomically stops
 // admission, hands back everything still queued (so each gets a
 // `shutting_down` response), and wakes blocked consumers, whose pop()
 // then returns false once the queue is empty.
+//
+// Wake-up discipline: producers and consumers wait on *separate*
+// condition variables.  A push never wakes a blocked producer and a pop
+// never wakes a blocked consumer, so at high worker counts a burst of
+// pushes causes exactly one consumer wake-up each instead of a
+// thundering herd on a shared CV.  Each side only notifies when the
+// other side can actually be waiting (consumers: queue was empty;
+// producers: queue was full and a producer is registered as waiting).
 #pragma once
 
 #include <condition_variable>
@@ -26,25 +36,53 @@ class BoundedQueue {
   std::size_t capacity() const { return capacity_; }
 
   /// Enqueues `item` unless the queue is full or closed; `item` is moved
-  /// from only on success.
+  /// from only on success.  Never blocks.
   bool try_push(T&& item) {
+    bool was_empty = false;
     {
       std::lock_guard<std::mutex> lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
+      was_empty = items_.empty();
       items_.push_back(std::move(item));
     }
-    cv_.notify_one();
+    if (was_empty) not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until a slot frees up or the queue closes; returns false only
+  /// when closed (item untouched).
+  bool push(T&& item) {
+    bool was_empty = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ++waiting_producers_;
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+      --waiting_producers_;
+      if (closed_) return false;
+      was_empty = items_.empty();
+      items_.push_back(std::move(item));
+    }
+    if (was_empty) not_empty_.notify_one();
     return true;
   }
 
   /// Blocks until an item arrives or the queue is closed; returns false
   /// only when closed and drained.
   bool pop(T& out) {
-    std::unique_lock<std::mutex> lock(mutex_);
-    cv_.wait(lock, [this] { return closed_ || !items_.empty(); });
-    if (items_.empty()) return false;
-    out = std::move(items_.front());
-    items_.pop_front();
+    bool wake_producer = false;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+      if (items_.empty()) return false;
+      out = std::move(items_.front());
+      items_.pop_front();
+      // Another item may still be waiting for a consumer: hand the wake
+      // on so a notify_one burst is never lost to a single consumer.
+      if (!items_.empty()) not_empty_.notify_one();
+      wake_producer = waiting_producers_ > 0;
+    }
+    if (wake_producer) not_full_.notify_one();
     return true;
   }
 
@@ -56,7 +94,8 @@ class BoundedQueue {
       std::lock_guard<std::mutex> lock(mutex_);
       closed_ = true;
     }
-    cv_.notify_all();
+    not_empty_.notify_all();
+    not_full_.notify_all();
   }
 
   /// Stops admission and returns every still-queued item.  Consumers
@@ -74,7 +113,8 @@ class BoundedQueue {
         items_.pop_front();
       }
     }
-    cv_.notify_all();
+    not_empty_.notify_all();
+    not_full_.notify_all();
     return leftover;
   }
 
@@ -91,8 +131,10 @@ class BoundedQueue {
  private:
   const std::size_t capacity_;
   mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  std::condition_variable not_empty_;  // consumers wait here
+  std::condition_variable not_full_;   // blocking producers wait here
   std::deque<T> items_;
+  std::size_t waiting_producers_ = 0;
   bool closed_ = false;
 };
 

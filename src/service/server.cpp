@@ -3,6 +3,7 @@
 #include <exception>
 #include <future>
 #include <istream>
+#include <memory>
 #include <ostream>
 #include <utility>
 #include <vector>
@@ -11,7 +12,7 @@
 #include "graph/fingerprint.hpp"
 #include "grooming/demand.hpp"
 #include "service/queue.hpp"
-#include "util/json.hpp"
+#include "util/alloc_tracker.hpp"
 #include "util/thread_pool.hpp"
 
 #if defined(__unix__)
@@ -45,53 +46,67 @@ bool GroomingService::deadline_expired(const ServiceRequest& request) const {
          std::chrono::milliseconds(request.deadline_ms);
 }
 
-std::string GroomingService::deadline_response(const ServiceRequest& request) {
+void GroomingService::deadline_response(const ServiceRequest& request,
+                                        JsonWriter& w) {
   metrics_.increment(ServiceMetrics::Counter::kError);
   metrics_.increment(ServiceMetrics::Counter::kDeadlineExceeded);
-  return make_error_response(
-      request.id, request.has_id, ServiceError::kDeadlineExceeded,
+  write_error_response(
+      w, request.id, request.has_id, ServiceError::kDeadlineExceeded,
       "deadline of " + std::to_string(request.deadline_ms) + " ms expired");
 }
 
-std::string GroomingService::execute(ServiceRequest& request,
-                                     GroomingWorkspace* workspace) {
+void GroomingService::execute_into(ServiceRequest& request,
+                                   GroomingWorkspace& workspace,
+                                   JsonWriter& w) {
   if (request.admitted == std::chrono::steady_clock::time_point{}) {
     request.admitted = std::chrono::steady_clock::now();
   }
-  std::string response;
+  w.clear();
+  const AllocCounter allocs_before = thread_alloc_counter();
   try {
     switch (request.op) {
       case ServiceOp::kGroom:
-        response = handle_groom(request, workspace);
+        handle_groom(request, workspace, w);
         break;
       case ServiceOp::kProvision:
-        response = handle_provision(request);
+        handle_provision(request, w);
         break;
       case ServiceOp::kStats:
-        response = handle_stats(request);
+        handle_stats(request, w);
         break;
       case ServiceOp::kShutdown:
         // run() intercepts shutdown before dispatch; a direct execute()
         // (tests) gets a structured refusal instead of silence.
         metrics_.increment(ServiceMetrics::Counter::kError);
-        response = make_error_response(request.id, request.has_id,
-                                       ServiceError::kBadRequest,
-                                       "shutdown is handled by the server");
+        write_error_response(w, request.id, request.has_id,
+                             ServiceError::kBadRequest,
+                             "shutdown is handled by the server");
         break;
     }
   } catch (const std::exception& e) {
+    w.clear();
     metrics_.increment(ServiceMetrics::Counter::kError);
-    response = make_error_response(request.id, request.has_id,
-                                   ServiceError::kInternal, e.what());
+    write_error_response(w, request.id, request.has_id,
+                         ServiceError::kInternal, e.what());
   }
+  metrics_.observe_allocations(thread_alloc_counter().count -
+                               allocs_before.count);
   metrics_.observe_latency(std::chrono::steady_clock::now() -
                            request.admitted);
-  return response;
 }
 
-std::string GroomingService::handle_groom(ServiceRequest& request,
-                                          GroomingWorkspace* workspace) {
-  if (deadline_expired(request)) return deadline_response(request);
+std::string GroomingService::execute(ServiceRequest& request,
+                                     GroomingWorkspace* workspace) {
+  GroomingWorkspace local;
+  JsonWriter w;
+  execute_into(request, workspace ? *workspace : local, w);
+  return w.take();
+}
+
+void GroomingService::handle_groom(ServiceRequest& request,
+                                   GroomingWorkspace& workspace,
+                                   JsonWriter& w) {
+  if (deadline_expired(request)) return deadline_response(request, w);
 
   GroomCacheKey key;
   key.fingerprint = graph_fingerprint(request.graph);
@@ -100,14 +115,14 @@ std::string GroomingService::handle_groom(ServiceRequest& request,
   key.seed = request.seed;
   key.flags = (request.refine ? 1u : 0u) | (request.smart_branches ? 2u : 0u);
 
-  std::optional<GroomCacheValue> cached = cache_.get(key);
-  const bool hit = cached.has_value();
+  std::shared_ptr<const GroomCacheValue> value = cache_.get(key);
+  const bool hit = value != nullptr;
   metrics_.increment(hit ? ServiceMetrics::Counter::kCacheHits
                          : ServiceMetrics::Counter::kCacheMisses);
-  GroomCacheValue value;
-  if (hit) {
-    value = std::move(*cached);
-  } else {
+  if (!hit) {
+    // Rewind the workspace arena: this request's scratch starts from the
+    // retained high-water blocks, so a warm worker computes heap-free.
+    workspace.reset();
     GroomingOptions options;
     options.seed = request.seed;
     options.refine = request.refine;
@@ -115,27 +130,35 @@ std::string GroomingService::handle_groom(ServiceRequest& request,
     EdgePartition partition;
     try {
       partition = run_algorithm(request.algorithm, request.graph, request.k,
-                                options, workspace);
+                                options, &workspace);
     } catch (const CheckError& e) {
       metrics_.increment(ServiceMetrics::Counter::kError);
-      return make_error_response(request.id, request.has_id,
-                                 ServiceError::kBadRequest, e.what());
+      return write_error_response(w, request.id, request.has_id,
+                                  ServiceError::kBadRequest, e.what());
     }
-    value.sadms = sadm_cost(request.graph, partition);
-    value.wavelengths = partition.wavelength_count();
-    value.lower_bound = partition_cost_lower_bound(request.graph, request.k);
-    value.parts = std::move(partition.parts);
-    cache_.put(key, value);
+    auto fresh = std::make_shared<GroomCacheValue>();
+    fresh->sadms = sadm_cost(request.graph, partition);
+    fresh->wavelengths = partition.wavelength_count();
+    fresh->lower_bound = partition_cost_lower_bound(request.graph, request.k);
+    fresh->parts = std::move(partition.parts);
+    value = std::move(fresh);
+    // The value is shared with the cache, never deep-copied: the response
+    // below serializes from the same immutable payload a later hit reuses.
+    std::size_t evicted = cache_.put(key, value);
+    if (evicted > 0) {
+      metrics_.increment(ServiceMetrics::Counter::kCacheEvictions,
+                         static_cast<long long>(evicted));
+    }
   }
 
   // The work is already cached, so an expired deadline still pays forward.
-  if (deadline_expired(request)) return deadline_response(request);
+  if (deadline_expired(request)) return deadline_response(request, w);
 
   std::int64_t held_id = -1;
   if (request.hold) {
     EdgePartition partition;
     partition.k = request.k;
-    partition.parts = value.parts;
+    partition.parts = value->parts;
     GroomingPlan plan = plan_from_partition(
         DemandSet::from_traffic_graph(request.graph), request.graph,
         partition);
@@ -144,29 +167,25 @@ std::string GroomingService::handle_groom(ServiceRequest& request,
     plans_.emplace(held_id, std::move(plan));
   }
 
-  JsonWriter w;
   begin_ok_response(w, request.id, request.has_id, ServiceOp::kGroom);
   w.kv("algorithm", algorithm_name(request.algorithm));
   w.kv("k", static_cast<long long>(request.k));
-  w.kv("sadms", value.sadms);
-  w.kv("wavelengths", static_cast<long long>(value.wavelengths));
-  w.kv("lower_bound", value.lower_bound);
+  w.kv("sadms", value->sadms);
+  w.kv("wavelengths", static_cast<long long>(value->wavelengths));
+  w.kv("lower_bound", value->lower_bound);
   w.kv("cached", hit);
   if (held_id >= 0) w.kv("plan_id", static_cast<long long>(held_id));
   if (request.include_partition) {
-    EdgePartition partition;
-    partition.k = request.k;
-    partition.parts = std::move(value.parts);
     w.key("partition");
-    write_partition_json(w, partition);
+    write_partition_json(w, value->parts);
   }
   w.end_object();
   metrics_.increment(ServiceMetrics::Counter::kOk);
-  return w.take();
 }
 
-std::string GroomingService::handle_provision(ServiceRequest& request) {
-  if (deadline_expired(request)) return deadline_response(request);
+void GroomingService::handle_provision(ServiceRequest& request,
+                                       JsonWriter& w) {
+  if (deadline_expired(request)) return deadline_response(request, w);
 
   IncrementalResult result;
   try {
@@ -177,8 +196,8 @@ std::string GroomingService::handle_provision(ServiceRequest& request) {
       auto it = plans_.find(request.plan_id);
       if (it == plans_.end()) {
         metrics_.increment(ServiceMetrics::Counter::kError);
-        return make_error_response(
-            request.id, request.has_id, ServiceError::kBadRequest,
+        return write_error_response(
+            w, request.id, request.has_id, ServiceError::kBadRequest,
             "unknown plan_id " + std::to_string(request.plan_id));
       }
       result = add_demands_incremental(it->second, request.add);
@@ -186,11 +205,10 @@ std::string GroomingService::handle_provision(ServiceRequest& request) {
     }
   } catch (const CheckError& e) {
     metrics_.increment(ServiceMetrics::Counter::kError);
-    return make_error_response(request.id, request.has_id,
-                               ServiceError::kBadRequest, e.what());
+    return write_error_response(w, request.id, request.has_id,
+                                ServiceError::kBadRequest, e.what());
   }
 
-  JsonWriter w;
   begin_ok_response(w, request.id, request.has_id, ServiceOp::kProvision);
   if (request.plan_id >= 0) {
     w.kv("plan_id", static_cast<long long>(request.plan_id));
@@ -199,22 +217,39 @@ std::string GroomingService::handle_provision(ServiceRequest& request) {
   write_incremental_json(w, result, request.include_plan);
   w.end_object();
   metrics_.increment(ServiceMetrics::Counter::kOk);
-  return w.take();
 }
 
-std::string GroomingService::handle_stats(const ServiceRequest& request) {
-  JsonWriter w;
+void GroomingService::write_cache_stats(JsonWriter& w) const {
+  const PlanCacheStats stats = cache_.stats();
+  const long long lookups = stats.hits + stats.misses;
+  w.begin_object();
+  w.kv("capacity", static_cast<long long>(cache_.capacity()));
+  w.kv("shards", static_cast<long long>(cache_.shard_count()));
+  w.kv("size", static_cast<long long>(cache_.size()));
+  w.kv("hits", stats.hits);
+  w.kv("misses", stats.misses);
+  w.kv("evictions", stats.evictions);
+  w.kv("hit_ratio",
+       lookups == 0 ? 0.0
+                    : static_cast<double>(stats.hits) /
+                          static_cast<double>(lookups));
+  w.end_object();
+}
+
+void GroomingService::handle_stats(const ServiceRequest& request,
+                                   JsonWriter& w) {
   begin_ok_response(w, request.id, request.has_id, ServiceOp::kStats);
   w.kv("workers", static_cast<long long>(config_.workers));
   w.kv("queue_capacity", static_cast<long long>(config_.queue_capacity));
   w.kv("cache_capacity", static_cast<long long>(config_.cache_capacity));
   w.kv("cache_size", static_cast<long long>(cache_.size()));
   w.kv("held_plans", static_cast<long long>(held_plan_count()));
+  w.key("cache");
+  write_cache_stats(w);
   w.key("metrics");
   metrics_.write_json(w);
   w.end_object();
   metrics_.increment(ServiceMetrics::Counter::kOk);
-  return w.take();
 }
 
 int GroomingService::run(std::istream& in, std::ostream& out) {
@@ -233,13 +268,20 @@ int GroomingService::run(std::istream& in, std::ostream& out) {
   worker_done.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i) {
     worker_done.push_back(pool.submit([this, &queue, &emit] {
+      // Long-lived per-worker state: scratch, arena, and response buffer
+      // all amortize across every request this worker serves.
       GroomingWorkspace workspace;
+      JsonWriter writer;
       ServiceRequest request;
-      while (queue.pop(request)) emit(execute(request, &workspace));
+      while (queue.pop(request)) {
+        execute_into(request, workspace, writer);
+        emit(writer.str());
+      }
     }));
   }
 
   GroomingWorkspace inline_workspace;
+  JsonWriter inline_writer;
   std::int64_t shutdown_id = 0;
   bool shutdown_has_id = false;
   std::string line;
@@ -265,7 +307,8 @@ int GroomingService::run(std::istream& in, std::ostream& out) {
       break;
     }
     if (config_.workers == 0) {
-      emit(execute(request, &inline_workspace));
+      execute_into(request, inline_workspace, inline_writer);
+      emit(inline_writer.str());
       continue;
     }
     const std::int64_t id = request.id;
@@ -312,6 +355,8 @@ int GroomingService::run(std::istream& in, std::ostream& out) {
     w.kv("event", "exit");
     w.kv("held_plans", static_cast<long long>(held_plan_count()));
     w.kv("cache_size", static_cast<long long>(cache_.size()));
+    w.key("cache");
+    write_cache_stats(w);
     w.key("metrics");
     metrics_.write_json(w);
     w.end_object();

@@ -34,6 +34,7 @@
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
 #include "service/protocol.hpp"
+#include "util/json.hpp"
 
 namespace tgroom {
 
@@ -43,6 +44,7 @@ struct ServiceConfig {
   std::size_t workers = 0;        // 0 = inline, in-order execution
   std::size_t queue_capacity = 256;  // admission bound (workers > 0)
   std::size_t cache_capacity = 128;  // groom LRU entries; 0 disables
+  std::size_t cache_shards = 0;   // lock stripes; 0 = auto (power of two)
   std::int64_t default_deadline_ms = 0;  // applied when a request has none
   bool metrics_on_exit = true;  // final {"event":"exit",...} metrics line
 };
@@ -50,7 +52,8 @@ struct ServiceConfig {
 class GroomingService {
  public:
   explicit GroomingService(const ServiceConfig& config)
-      : config_(config), cache_(config.cache_capacity) {}
+      : config_(config),
+        cache_(config.cache_capacity, config.cache_shards) {}
 
   /// Serves one NDJSON session until EOF, a `shutdown` request, or
   /// request_stop().  Always returns 0; protocol failures are responses,
@@ -61,8 +64,16 @@ class GroomingService {
   /// TCP accept loop to stop across sessions).
   bool shutdown_requested() const { return shutdown_; }
 
-  /// Executes one parsed request synchronously and returns the response
-  /// line.  Also the worker-task body; exposed for tests.
+  /// Executes one parsed request, writing the response line into `w`
+  /// (cleared first).  This is the worker-task body: with a warm
+  /// workspace and writer, a cache-hit groom performs zero heap
+  /// allocations end to end (DESIGN.md §11), and the per-request
+  /// allocation count is recorded into the metrics registry.
+  void execute_into(ServiceRequest& request, GroomingWorkspace& workspace,
+                    JsonWriter& w);
+
+  /// Convenience wrapper returning a fresh response string (tests, one-off
+  /// calls).  `workspace` may be null.
   std::string execute(ServiceRequest& request, GroomingWorkspace* workspace);
 
   ServiceMetrics& metrics() { return metrics_; }
@@ -79,12 +90,13 @@ class GroomingService {
  private:
   static std::atomic<bool>& stop_flag();
 
-  std::string handle_groom(ServiceRequest& request,
-                           GroomingWorkspace* workspace);
-  std::string handle_provision(ServiceRequest& request);
-  std::string handle_stats(const ServiceRequest& request);
+  void handle_groom(ServiceRequest& request, GroomingWorkspace& workspace,
+                    JsonWriter& w);
+  void handle_provision(ServiceRequest& request, JsonWriter& w);
+  void handle_stats(const ServiceRequest& request, JsonWriter& w);
+  void write_cache_stats(JsonWriter& w) const;
   bool deadline_expired(const ServiceRequest& request) const;
-  std::string deadline_response(const ServiceRequest& request);
+  void deadline_response(const ServiceRequest& request, JsonWriter& w);
 
   ServiceConfig config_;
   PlanCache cache_;

@@ -130,8 +130,8 @@ std::string usage() {
       "             [--r R] [--k K1,K2,...] [--seeds S] [--workers W]\n"
       "             [--algorithms a,b,...] [--csv | --format json] runs the\n"
       "             batch engine over a (seed x k) grid, aggregate SADMs\n"
-      "  serve      [--workers W] [--queue Q] [--cache C] [--deadline-ms D]\n"
-      "             [--port P] long-running NDJSON request daemon on\n"
+      "  serve      [--workers W] [--queue Q] [--cache C] [--cache-shards S]\n"
+      "             [--deadline-ms D] [--port P] NDJSON request daemon on\n"
       "             stdin/stdout (or loopback TCP); ops groom, provision,\n"
       "             stats, shutdown — see DESIGN.md section 10\n"
       "\n"
@@ -479,6 +479,8 @@ int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
       static_cast<std::size_t>(args.get_int("queue", 256));
   config.cache_capacity =
       static_cast<std::size_t>(args.get_int("cache", 128));
+  config.cache_shards =
+      static_cast<std::size_t>(args.get_int("cache-shards", 0));
   config.default_deadline_ms = args.get_int("deadline-ms", 0);
   config.metrics_on_exit = args.get_bool("exit-metrics", true);
   if (config.queue_capacity == 0) {

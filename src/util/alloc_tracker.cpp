@@ -1,0 +1,121 @@
+#include "util/alloc_tracker.hpp"
+
+#include <cstdlib>
+#include <new>
+
+// Global operator new/delete replacement that counts allocations into a
+// thread-local counter and forwards to malloc/free.  Replacing these is
+// sanctioned by [replacement.functions]; ASan/TSan/UBSan intercept the
+// underlying malloc/free, so the sanitizer jobs keep full coverage.
+//
+// The replacement lives in the same translation unit as
+// thread_alloc_counter() on purpose: any binary that reads the counter
+// pulls this object out of the static library, which makes the linker
+// prefer these definitions over libstdc++'s.
+
+namespace tgroom {
+namespace {
+
+thread_local AllocCounter t_counter;
+
+inline void* counted_alloc(std::size_t size) noexcept {
+  ++t_counter.count;
+  t_counter.bytes += static_cast<long long>(size);
+  return std::malloc(size == 0 ? 1 : size);
+}
+
+inline void* counted_aligned_alloc(std::size_t size,
+                                   std::size_t align) noexcept {
+  ++t_counter.count;
+  t_counter.bytes += static_cast<long long>(size);
+  void* p = nullptr;
+  if (align < sizeof(void*)) align = sizeof(void*);
+  if (posix_memalign(&p, align, size == 0 ? align : size) != 0) return nullptr;
+  return p;
+}
+
+}  // namespace
+
+AllocCounter thread_alloc_counter() { return t_counter; }
+
+bool alloc_tracking_enabled() {
+#if defined(TGROOM_ALLOC_TRACKER)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace tgroom
+
+#if defined(TGROOM_ALLOC_TRACKER)
+
+void* operator new(std::size_t size) {
+  void* p = tgroom::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = tgroom::counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return tgroom::counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return tgroom::counted_alloc(size);
+}
+
+void* operator new(std::size_t size, std::align_val_t align) {
+  void* p = tgroom::counted_aligned_alloc(size,
+                                          static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+  void* p = tgroom::counted_aligned_alloc(size,
+                                          static_cast<std::size_t>(align));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return tgroom::counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return tgroom::counted_aligned_alloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, std::align_val_t, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::align_val_t,
+                       const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // TGROOM_ALLOC_TRACKER

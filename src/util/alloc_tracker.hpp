@@ -1,0 +1,32 @@
+// Thread-local heap-allocation counting.
+//
+// The zero-allocation request path (DESIGN.md §11) is a measurable
+// invariant, not a code-review claim: the library replaces the global
+// operator new/delete with forwarding versions that bump a thread-local
+// counter (alloc_tracker.cpp, compiled in when TGROOM_ALLOC_TRACKER is
+// on, the default).  The counter costs one thread-local increment per
+// allocation — noise against malloc itself — and lets both tests and the
+// service observe exactly how many heap allocations a request performed:
+//
+//   AllocCounter before = thread_alloc_counter();
+//   ... work ...
+//   long long allocs = thread_alloc_counter().count - before.count;
+//
+// When the tracker is compiled out the counter reads 0 forever, so all
+// consumers degrade to reporting zeros rather than breaking.
+#pragma once
+
+namespace tgroom {
+
+struct AllocCounter {
+  long long count = 0;  // operator new calls on this thread
+  long long bytes = 0;  // bytes requested by those calls
+};
+
+/// This thread's cumulative allocation counter since thread start.
+AllocCounter thread_alloc_counter();
+
+/// True when the counting operator new/delete replacement is linked in.
+bool alloc_tracking_enabled();
+
+}  // namespace tgroom

@@ -1,0 +1,152 @@
+// Monotonic arena allocation for the grooming hot path.
+//
+// A MonotonicArena hands out bump-pointer allocations from large blocks
+// and frees nothing until reset().  reset() rewinds the cursor but KEEPS
+// the blocks, so a warm arena serves any number of allocate()/reset()
+// cycles without touching the heap — the allocation cost of a request
+// becomes a pointer increment, and the arena's footprint is bounded by
+// the high-water mark of a single request.
+//
+// ArenaAllocator<T> adapts an arena to the std allocator interface so
+// standard containers (ArenaVector<T>) can live on it.  deallocate() is a
+// no-op — memory is reclaimed wholesale by reset().  Contract: containers
+// backed by an arena must be emptied (or destroyed) before the arena is
+// reset; GroomingWorkspace::reset() sequences this correctly.
+//
+// Thread-safety: an arena belongs to one thread at a time, exactly like
+// the workspace that owns it.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace tgroom {
+
+class MonotonicArena {
+ public:
+  /// `first_block` is the size of the first block allocated on demand;
+  /// later blocks double (geometric growth caps the block count).
+  explicit MonotonicArena(std::size_t first_block = 1u << 12)
+      : next_block_size_(first_block < 64 ? 64 : first_block) {}
+
+  MonotonicArena(const MonotonicArena&) = delete;
+  MonotonicArena& operator=(const MonotonicArena&) = delete;
+
+  /// Bump-allocates `bytes` aligned to `align` (a power of two).  Falls
+  /// back to a new block — the only heap touch — when the current block
+  /// is exhausted.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    std::uintptr_t cursor = (cursor_ + (align - 1)) & ~(align - 1);
+    if (cursor + bytes > limit_) {
+      add_block(bytes + align);
+      cursor = (cursor_ + (align - 1)) & ~(align - 1);
+    }
+    cursor_ = cursor + bytes;
+    used_ += bytes;
+    return reinterpret_cast<void*>(cursor);
+  }
+
+  /// Rewinds to empty but keeps every block for reuse.  All memory handed
+  /// out so far becomes invalid.
+  void reset() {
+    block_index_ = 0;
+    used_ = 0;
+    if (blocks_.empty()) {
+      cursor_ = limit_ = 0;
+    } else {
+      set_current(0);
+    }
+  }
+
+  /// Bytes held across all blocks (the reusable footprint).
+  std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const Block& b : blocks_) total += b.size;
+    return total;
+  }
+
+  /// Bytes handed out since the last reset (excludes alignment padding).
+  std::size_t bytes_used() const { return used_; }
+
+  std::size_t block_count() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t size = 0;
+  };
+
+  void set_current(std::size_t index) {
+    block_index_ = index;
+    cursor_ = reinterpret_cast<std::uintptr_t>(blocks_[index].data.get());
+    limit_ = cursor_ + blocks_[index].size;
+  }
+
+  void add_block(std::size_t at_least) {
+    // Advance through retained blocks first; allocate only past the end.
+    while (!blocks_.empty() && block_index_ + 1 < blocks_.size()) {
+      set_current(block_index_ + 1);
+      if (limit_ - cursor_ >= at_least) return;
+    }
+    std::size_t size = next_block_size_;
+    while (size < at_least) size *= 2;
+    next_block_size_ = size * 2;
+    blocks_.push_back(Block{std::make_unique<std::byte[]>(size), size});
+    set_current(blocks_.size() - 1);
+  }
+
+  std::vector<Block> blocks_;
+  std::size_t block_index_ = 0;
+  std::uintptr_t cursor_ = 0;
+  std::uintptr_t limit_ = 0;
+  std::size_t used_ = 0;
+  std::size_t next_block_size_;
+};
+
+/// std-compatible allocator over a MonotonicArena.  A default-constructed
+/// ArenaAllocator (arena == nullptr) falls back to the heap so containers
+/// remain movable/default-constructible in contexts with no arena.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  ArenaAllocator() = default;
+  explicit ArenaAllocator(MonotonicArena* arena) : arena_(arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(std::size_t count) {
+    if (arena_ == nullptr) {
+      return static_cast<T*>(::operator new(count * sizeof(T)));
+    }
+    return static_cast<T*>(arena_->allocate(count * sizeof(T), alignof(T)));
+  }
+
+  void deallocate(T* p, std::size_t) {
+    if (arena_ == nullptr) ::operator delete(p);
+    // Arena memory is reclaimed wholesale by MonotonicArena::reset().
+  }
+
+  MonotonicArena* arena() const { return arena_; }
+
+  template <typename U>
+  friend bool operator==(const ArenaAllocator& a, const ArenaAllocator<U>& b) {
+    return a.arena() == b.arena();
+  }
+
+ private:
+  MonotonicArena* arena_ = nullptr;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace tgroom

@@ -106,13 +106,21 @@ JsonWriter& JsonWriter::value(bool b) {
 
 JsonWriter& JsonWriter::value(long long v) {
   comma();
-  out_ += std::to_string(v);
+  // snprintf into a stack buffer: no std::string temporary, so number-heavy
+  // documents (partition arrays) serialize allocation-free once the output
+  // buffer is warm.
+  char buf[24];
+  int len = std::snprintf(buf, sizeof buf, "%lld", v);
+  out_.append(buf, static_cast<std::size_t>(len));
   return *this;
 }
 
 JsonWriter& JsonWriter::value(std::uint64_t v) {
   comma();
-  out_ += std::to_string(v);
+  char buf[24];
+  int len = std::snprintf(buf, sizeof buf, "%llu",
+                          static_cast<unsigned long long>(v));
+  out_.append(buf, static_cast<std::size_t>(len));
   return *this;
 }
 

@@ -15,6 +15,7 @@
 // any node count, seed, or counter the protocol carries.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -31,6 +32,20 @@ void json_escape(std::string_view text, std::string& out);
 
 class JsonWriter {
  public:
+  /// Rewinds to an empty document but keeps every buffer's capacity, so a
+  /// reused writer serializes without heap allocation once warm.  The
+  /// service workers keep one writer per thread and clear() it between
+  /// responses.
+  void clear() {
+    out_.clear();
+    stack_.clear();
+    first_.clear();
+    key_pending_ = false;
+  }
+
+  /// Pre-grows the output buffer (capacity survives clear()).
+  void reserve(std::size_t bytes) { out_.reserve(bytes); }
+
   JsonWriter& begin_object();
   JsonWriter& end_object();
   JsonWriter& begin_array();

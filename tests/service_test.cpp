@@ -4,8 +4,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -159,28 +161,128 @@ TEST(BoundedQueue, CloseLetsConsumersFinish) {
 }
 
 TEST(PlanCache, LruEvictionAndRefresh) {
-  PlanCache cache(2);
+  PlanCache cache(2, /*shards=*/1);  // one shard: exact global LRU order
   GroomCacheKey a{1, 0, 4, 1, 0}, b{2, 0, 4, 1, 0}, c{3, 0, 4, 1, 0};
   GroomCacheValue value;
   value.sadms = 10;
   cache.put(a, value);
   value.sadms = 20;
   cache.put(b, value);
-  EXPECT_TRUE(cache.get(a).has_value());  // refresh a; b becomes LRU
+  EXPECT_NE(cache.get(a), nullptr);  // refresh a; b becomes LRU
   value.sadms = 30;
   cache.put(c, value);  // evicts b
   EXPECT_EQ(cache.size(), 2u);
-  EXPECT_TRUE(cache.get(a).has_value());
-  EXPECT_FALSE(cache.get(b).has_value());
-  ASSERT_TRUE(cache.get(c).has_value());
+  EXPECT_NE(cache.get(a), nullptr);
+  EXPECT_EQ(cache.get(b), nullptr);
+  ASSERT_NE(cache.get(c), nullptr);
   EXPECT_EQ(cache.get(c)->sadms, 30);
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits, 4);
+  EXPECT_EQ(stats.misses, 1);
+  EXPECT_EQ(stats.evictions, 1);
+}
+
+TEST(PlanCache, HitSharesThePayloadInsteadOfCopying) {
+  PlanCache cache(4, /*shards=*/1);
+  GroomCacheKey key{42, 0, 8, 1, 0};
+  GroomCacheValue value;
+  value.parts = {{0, 1, 2}, {3, 4}};
+  cache.put(key, std::move(value));
+
+  auto first = cache.get(key);
+  auto second = cache.get(key);
+  ASSERT_NE(first, nullptr);
+  // Both hits hand back the same immutable object — a refcount bump, not
+  // a deep copy of the partition payload.
+  EXPECT_EQ(first.get(), second.get());
+  EXPECT_EQ(first->parts.data(), second->parts.data());
+  EXPECT_EQ(first->parts[0].data(), second->parts[0].data());
+
+  // The pointee outlives eviction: overflow the cache, then read through
+  // the handle obtained before the eviction.
+  for (std::uint64_t i = 0; i < 16; ++i) {
+    cache.put(GroomCacheKey{100 + i, 0, 8, 1, 0}, GroomCacheValue{});
+  }
+  EXPECT_EQ(cache.get(key), nullptr);
+  EXPECT_EQ(first->parts[1][1], 4);
+}
+
+TEST(PlanCache, ConcurrentOverlappingKeysKeepInvariants) {
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  constexpr std::uint64_t kKeySpace = 24;  // overlapping across threads
+  constexpr std::size_t kCapacity = 16;    // smaller than the key space
+  PlanCache cache(kCapacity, /*shards=*/4);
+
+  std::atomic<long long> observed_hits{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const std::uint64_t fp = static_cast<std::uint64_t>(
+            (i + t * 7) % static_cast<int>(kKeySpace));
+        GroomCacheKey key{fp, 0, 4, 1, 0};
+        if (auto hit = cache.get(key)) {
+          // Values are immutable; a concurrent eviction must not free
+          // them under us.
+          EXPECT_EQ(hit->sadms, static_cast<long long>(fp));
+          observed_hits.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          GroomCacheValue value;
+          value.sadms = static_cast<long long>(fp);
+          cache.put(key, std::move(value));
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  // Size never exceeds the sharded bound, and the counters reconcile:
+  // every get was a hit or a miss, and entries still resident plus
+  // entries evicted cannot exceed the number of puts (refreshes allowed).
+  EXPECT_LE(cache.size(),
+            cache.shard_count() *
+                ((kCapacity + cache.shard_count() - 1) / cache.shard_count()));
+  PlanCacheStats stats = cache.stats();
+  EXPECT_EQ(stats.hits + stats.misses,
+            static_cast<long long>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(stats.hits, observed_hits.load());
+  EXPECT_GT(stats.evictions, 0);
+  EXPECT_LE(static_cast<long long>(cache.size()) + stats.evictions,
+            stats.misses);  // puts happen only after a miss
+}
+
+TEST(BoundedQueue, BlockingPushWaitsForASlot) {
+  BoundedQueue<int> queue(1);
+  EXPECT_TRUE(queue.try_push(1));
+  std::atomic<bool> pushed{false};
+  std::thread producer([&] {
+    EXPECT_TRUE(queue.push(2));  // blocks until the consumer pops
+    pushed.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(pushed.load());  // still parked: queue is full
+  int out = 0;
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 1);
+  producer.join();
+  EXPECT_TRUE(pushed.load());
+  EXPECT_TRUE(queue.pop(out));
+  EXPECT_EQ(out, 2);
+
+  // close() releases producers blocked on a full queue.
+  EXPECT_TRUE(queue.try_push(3));
+  std::thread blocked([&] { EXPECT_FALSE(queue.push(4)); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  queue.close();
+  blocked.join();
 }
 
 TEST(PlanCache, ZeroCapacityDisables) {
   PlanCache cache(0);
   cache.put(GroomCacheKey{1, 0, 4, 1, 0}, GroomCacheValue{});
   EXPECT_EQ(cache.size(), 0u);
-  EXPECT_FALSE(cache.get(GroomCacheKey{1, 0, 4, 1, 0}).has_value());
+  EXPECT_EQ(cache.get(GroomCacheKey{1, 0, 4, 1, 0}), nullptr);
 }
 
 TEST(ServiceMetrics, CountersAndHistogram) {
