@@ -2,11 +2,16 @@
 """Compare a benchmark JSON against a checked-in baseline.
 
 Works on the repo's plain-main benchmark artifacts (BENCH_service.json,
-BENCH_throughput.json): a top-level "runs" array whose entries are keyed
-by "workers" and carry rate metrics.  Every metric whose name ends in
+BENCH_throughput.json, BENCH_wal.json): a top-level "runs" array whose
+entries are identified by whichever of "workers" / "mode" / "threads"
+they carry, and rate metrics alongside.  Every metric whose name ends in
 "_rps" or "_per_sec" is treated as higher-is-better; a drop of more than
 --threshold (default 15%) on any of them fails the comparison with exit
 code 1, which is how CI turns a perf regression into a red build.
+
+A missing baseline file is not an error: new benchmarks land before
+their baseline is recorded, so the script prints how to create one and
+exits 0 rather than failing every CI run in between.
 
 Usage:
     bench_compare.py BASELINE CURRENT [--threshold 0.15]
@@ -18,9 +23,34 @@ jitter.
 
 import argparse
 import json
+import os
 import sys
 
 RATE_SUFFIXES = ("_rps", "_per_sec")
+
+# Fields that identify a run within a benchmark's "runs" array.  A run
+# carries any subset of these; absent fields read as None so artifacts
+# with different shapes (workers-keyed vs mode-keyed) both work.
+KEY_FIELDS = ("workers", "mode", "threads")
+
+
+def run_key(run):
+    return tuple(run.get(field) for field in KEY_FIELDS)
+
+
+def key_label(key):
+    parts = [
+        f"{field}={value}"
+        for field, value in zip(KEY_FIELDS, key)
+        if value is not None
+    ]
+    return ",".join(parts) if parts else "-"
+
+
+def sortable(key):
+    # None-safe ordering: absent fields sort first, mixed types compare
+    # as strings.
+    return tuple((value is None, str(value)) for value in key)
 
 
 def rate_metrics(run):
@@ -38,7 +68,7 @@ def load_runs(path):
     runs = doc.get("runs")
     if not isinstance(runs, list) or not runs:
         sys.exit(f"{path}: no 'runs' array")
-    return doc.get("benchmark", "?"), {run.get("workers"): run for run in runs}
+    return doc.get("benchmark", "?"), {run_key(run): run for run in runs}
 
 
 def main():
@@ -53,6 +83,11 @@ def main():
     )
     args = parser.parse_args()
 
+    if not os.path.exists(args.baseline):
+        print(f"no baseline at {args.baseline}: nothing to compare against.")
+        print(f"record one with:  cp {args.current} {args.baseline}")
+        return 0
+
     base_name, base_runs = load_runs(args.baseline)
     cur_name, cur_runs = load_runs(args.current)
     if base_name != cur_name:
@@ -63,14 +98,15 @@ def main():
 
     regressions = []
     print(f"benchmark: {base_name} (threshold {args.threshold:.0%})")
-    print(f"{'workers':>8} {'metric':<18} {'baseline':>12} "
+    print(f"{'run':>18} {'metric':<18} {'baseline':>12} "
           f"{'current':>12} {'delta':>8}")
-    for workers, base_run in sorted(
-        base_runs.items(), key=lambda kv: (kv[0] is None, kv[0])
+    for key, base_run in sorted(
+        base_runs.items(), key=lambda kv: sortable(kv[0])
     ):
-        cur_run = cur_runs.get(workers)
+        label = key_label(key)
+        cur_run = cur_runs.get(key)
         if cur_run is None:
-            print(f"{workers!s:>8} (missing from current — skipped)")
+            print(f"{label:>18} (missing from current — skipped)")
             continue
         for metric, base_value in sorted(rate_metrics(base_run).items()):
             cur_value = cur_run.get(metric)
@@ -80,15 +116,15 @@ def main():
             flag = ""
             if delta < -args.threshold:
                 flag = "  << REGRESSION"
-                regressions.append((workers, metric, base_value, cur_value))
-            print(f"{workers!s:>8} {metric:<18} {base_value:>12.1f} "
+                regressions.append((label, metric, base_value, cur_value))
+            print(f"{label:>18} {metric:<18} {base_value:>12.1f} "
                   f"{cur_value:>12.1f} {delta:>+7.1%}{flag}")
 
     if regressions:
         print(f"\nFAIL: {len(regressions)} metric(s) regressed more than "
               f"{args.threshold:.0%}:")
-        for workers, metric, base_value, cur_value in regressions:
-            print(f"  workers={workers} {metric}: "
+        for label, metric, base_value, cur_value in regressions:
+            print(f"  {label} {metric}: "
                   f"{base_value:.1f} -> {cur_value:.1f}")
         return 1
     print("\nOK: no rate metric regressed beyond the threshold")

@@ -1,0 +1,226 @@
+#!/usr/bin/env python3
+"""Crash-recovery harness: SIGKILL a live `tgroom serve --data-dir` daemon
+mid-workload and assert recovery is exact.
+
+Each trial:
+  1. Starts the daemon on a fresh data dir with --fsync always --workers 0
+     (inline execution: request order == WAL order, one record per
+     mutating request).
+  2. Feeds it a deterministic NDJSON workload (4 groom-holds on distinct
+     graphs, then provisions round-robin across the held plans) and
+     SIGKILLs it at a random point — either between requests (tracking
+     how many were acked) or racing the stream (the kill can land
+     mid-write, producing genuinely torn WAL tails).
+  3. Recovers the directory read-only via `tgroom store-dump`, parses the
+     surviving sequence number S, and checks the durability promise:
+     every acked request survived (S >= acked).
+  4. Replays the first S requests into a *fresh* daemon on a clean dir,
+     lets it exit cleanly, and store-dumps that too.  The two dumps must
+     be byte-identical: recovery reproduced exactly the table an
+     uncrashed process would hold after the same S operations.
+
+stdlib-only; exits non-zero on the first violated invariant.
+
+Usage:
+    crash_recovery_harness.py --binary build/examples/tgroom \\
+        [--trials 50] [--ops 1000] [--seed 1]
+"""
+
+import argparse
+import json
+import os
+import random
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+RING = 8
+HELD_PLANS = 4
+
+# Distinct small demand graphs for the four held plans (node count RING).
+HOLD_GRAPHS = [
+    [[0, 1], [1, 2], [2, 3], [3, 4], [0, 4]],
+    [[0, 2], [2, 4], [4, 6], [0, 6], [1, 3]],
+    [[0, 5], [1, 6], [2, 7], [3, 5], [1, 4]],
+    [[0, 3], [3, 6], [1, 5], [2, 6], [4, 7], [0, 7]],
+]
+
+
+def workload(ops):
+    """The scripted request list: HELD_PLANS holds, then provisions."""
+    lines = []
+    for i in range(ops):
+        if i < HELD_PLANS:
+            request = {
+                "op": "groom",
+                "id": i,
+                "graph": {"n": RING, "edges": HOLD_GRAPHS[i]},
+                "k": 4,
+                "hold": True,
+            }
+        else:
+            a = (i * 7 + 1) % RING
+            b = (i * 5 + 3) % RING
+            if a == b:
+                b = (b + 1) % RING
+            request = {
+                "op": "provision",
+                "id": i,
+                "plan_id": (i % HELD_PLANS) + 1,
+                "add": [[min(a, b), max(a, b)]],
+            }
+        lines.append(json.dumps(request, separators=(",", ":")))
+    return lines
+
+
+def serve_cmd(binary, data_dir):
+    return [
+        binary, "serve",
+        "--data-dir", data_dir,
+        "--fsync", "always",
+        "--workers", "0",
+        "--exit-metrics", "false",
+    ]
+
+
+def store_dump(binary, data_dir):
+    """Read-only dump; returns (last_seq, stdout_text)."""
+    result = subprocess.run(
+        [binary, "store-dump", "--data-dir", data_dir],
+        capture_output=True, text=True,
+    )
+    if result.returncode != 0:
+        sys.exit(f"store-dump failed on {data_dir}:\n{result.stderr}")
+    header = result.stdout.splitlines()[0] if result.stdout else ""
+    if not header.startswith("# tgroom store:"):
+        sys.exit(f"store-dump produced no header on {data_dir}:\n"
+                 f"{result.stdout[:200]}")
+    fields = dict(part.split("=", 1)
+                  for part in header.split()
+                  if "=" in part)
+    return int(fields["last_seq"]), result.stdout
+
+
+def crash_synchronized(binary, data_dir, lines, kill_at):
+    """Feed requests one at a time, reading each ack; SIGKILL after
+    `kill_at` acked requests.  Returns the acked count."""
+    proc = subprocess.Popen(
+        serve_cmd(binary, data_dir),
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, text=True,
+    )
+    acked = 0
+    try:
+        for line in lines[:kill_at]:
+            proc.stdin.write(line + "\n")
+            proc.stdin.flush()
+            response = proc.stdout.readline()
+            reply = json.loads(response)
+            if not reply.get("ok"):
+                sys.exit(f"request rejected before crash: {response!r}")
+            acked += 1
+    finally:
+        proc.kill()
+        proc.wait()
+    return acked
+
+
+def crash_racing(binary, data_dir, lines, rng):
+    """Blast the whole stream at the daemon and SIGKILL it after a random
+    delay — the kill can land mid-append, leaving a torn WAL tail.
+    Returns 0: nothing is known to be acked."""
+    proc = subprocess.Popen(
+        serve_cmd(binary, data_dir),
+        stdin=subprocess.PIPE, stdout=subprocess.DEVNULL, text=True,
+    )
+    try:
+        try:
+            proc.stdin.write("\n".join(lines) + "\n")
+            proc.stdin.flush()
+        except BrokenPipeError:
+            pass  # killed from under the write; that's the point
+        time.sleep(rng.uniform(0.0, 0.05))
+    finally:
+        proc.kill()
+        proc.wait()
+    return 0
+
+
+def reference_dump(binary, data_dir, lines):
+    """Clean run of `lines` through a fresh daemon (EOF exit), dumped."""
+    proc = subprocess.run(
+        serve_cmd(binary, data_dir),
+        input="".join(line + "\n" for line in lines),
+        capture_output=True, text=True,
+    )
+    if proc.returncode != 0:
+        sys.exit(f"reference daemon failed:\n{proc.stderr}")
+    return store_dump(binary, data_dir)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True,
+                        help="path to the tgroom tool binary")
+    parser.add_argument("--trials", type=int, default=50)
+    parser.add_argument("--ops", type=int, default=1000)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    lines = workload(args.ops)
+    rng = random.Random(args.seed)
+    torn_recoveries = 0
+
+    root = tempfile.mkdtemp(prefix="tgroom_crash_harness_")
+    try:
+        for trial in range(args.trials):
+            crash_dir = os.path.join(root, f"crash{trial}")
+            ref_dir = os.path.join(root, f"ref{trial}")
+            os.makedirs(crash_dir)
+            os.makedirs(ref_dir)
+
+            racing = trial % 2 == 1
+            if racing:
+                acked = crash_racing(args.binary, crash_dir, lines, rng)
+            else:
+                kill_at = rng.randint(1, args.ops)
+                acked = crash_synchronized(
+                    args.binary, crash_dir, lines, kill_at)
+
+            survived, crash_text = store_dump(args.binary, crash_dir)
+            if survived < acked:
+                sys.exit(
+                    f"trial {trial}: DURABILITY VIOLATION — acked "
+                    f"{acked} requests but only {survived} recovered")
+            if survived > len(lines):
+                sys.exit(f"trial {trial}: recovered {survived} ops from a "
+                         f"{len(lines)}-op workload")
+
+            _, ref_text = reference_dump(
+                args.binary, ref_dir, lines[:survived])
+            if crash_text != ref_text:
+                sys.stderr.write(f"--- crashed recovery ---\n{crash_text}\n"
+                                 f"--- uncrashed reference ---\n{ref_text}\n")
+                sys.exit(f"trial {trial}: recovered state diverges from "
+                         f"the uncrashed reference after {survived} ops")
+
+            if racing:
+                torn_recoveries += 1
+            mode = "racing" if racing else f"acked={acked}"
+            print(f"trial {trial:3d}: {mode:>12}  survived={survived:4d}  "
+                  f"recovery exact")
+            shutil.rmtree(crash_dir)
+            shutil.rmtree(ref_dir)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    print(f"\nOK: {args.trials} crash trials "
+          f"({torn_recoveries} racing the stream), every recovery "
+          f"bit-identical to its uncrashed reference")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -39,7 +39,9 @@ std::uint64_t fingerprint_impl(const G& g) {
            static_cast<std::uint32_t>(e.v));
     absorb(e.is_virtual ? 1 : 0);
   }
-  return h;
+  // Top byte = format version, low 56 bits = hash material.
+  return (h >> 8) |
+         (static_cast<std::uint64_t>(kFingerprintFormatVersion) << 56);
 }
 
 }  // namespace

@@ -12,8 +12,18 @@
 // graph changes the fingerprint (with overwhelming probability), which is
 // the desired cache semantics — a request names nodes, not an isomorphism
 // class.  Collisions between distinct graphs are possible in principle
-// (64-bit pigeonhole) but the sponge mixes every word, so accidental
-// collisions are a ~2^-64 event per pair.
+// (pigeonhole over the 56 hash bits) but the sponge mixes every word, so
+// accidental collisions are a ~2^-56 event per pair.
+//
+// The top byte of the returned value is NOT hash material: it carries the
+// fingerprint *format version*.  Fingerprints are persisted (the durable
+// store's WAL and snapshots key cache-prewarm entries by them), and any
+// change to the absorbed word sequence would silently re-key everything a
+// store holds — so the absorption scheme is versioned, the version rides
+// in the value itself, and store files written under a different version
+// are rejected with a structured `store_incompatible` error instead of
+// being replayed into garbage.  Bump kFingerprintFormatVersion whenever
+// the absorbed sequence changes.
 #pragma once
 
 #include <cstdint>
@@ -22,6 +32,15 @@
 #include "graph/graph.hpp"
 
 namespace tgroom {
+
+/// Version of the fingerprint absorption scheme, carried in the top byte
+/// of every fingerprint.
+inline constexpr std::uint8_t kFingerprintFormatVersion = 1;
+
+/// The format-version byte embedded in a fingerprint value.
+inline constexpr std::uint8_t fingerprint_version(std::uint64_t fingerprint) {
+  return static_cast<std::uint8_t>(fingerprint >> 56);
+}
 
 std::uint64_t graph_fingerprint(const Graph& g);
 std::uint64_t graph_fingerprint(const CsrGraph& g);

@@ -5,20 +5,19 @@
 
 namespace tgroom {
 
-IncrementalResult add_demands_incremental(
-    const GroomingPlan& plan, const std::vector<DemandPair>& new_pairs) {
-  IncrementalResult result;
-  result.plan = plan;
+IncrementalStats extend_plan_incremental(
+    GroomingPlan& plan, const std::vector<DemandPair>& new_pairs) {
+  IncrementalStats result;
   const int k = plan.grooming_factor;
   TGROOM_CHECK(k >= 1);
 
   // Per-wavelength occupancy and SADM sites of the current plan.
-  int wavelengths = result.plan.wavelength_count();
+  int wavelengths = plan.wavelength_count();
   std::vector<std::set<int>> used_slots(
       static_cast<std::size_t>(wavelengths));
   std::vector<std::set<NodeId>> sites(
       static_cast<std::size_t>(wavelengths));
-  for (const GroomedPair& gp : result.plan.pairs) {
+  for (const GroomedPair& gp : plan.pairs) {
     used_slots[static_cast<std::size_t>(gp.wavelength)].insert(gp.timeslot);
     sites[static_cast<std::size_t>(gp.wavelength)].insert(gp.pair.a);
     sites[static_cast<std::size_t>(gp.wavelength)].insert(gp.pair.b);
@@ -33,7 +32,7 @@ IncrementalResult add_demands_incremental(
 
   for (DemandPair pair : new_pairs) {
     if (pair.a > pair.b) std::swap(pair.a, pair.b);
-    TGROOM_CHECK_MSG(pair.a >= 0 && pair.b < result.plan.ring_size &&
+    TGROOM_CHECK_MSG(pair.a >= 0 && pair.b < plan.ring_size &&
                          pair.a != pair.b,
                      "new demand outside the ring");
     // Cheapest feasible wavelength: fewest new SADMs, then lowest id.
@@ -64,8 +63,20 @@ IncrementalResult add_demands_incremental(
     used_slots[static_cast<std::size_t>(best)].insert(slot);
     sites[static_cast<std::size_t>(best)].insert(pair.a);
     sites[static_cast<std::size_t>(best)].insert(pair.b);
-    result.plan.pairs.push_back(GroomedPair{pair, best, slot});
+    plan.pairs.push_back(GroomedPair{pair, best, slot});
   }
+  return result;
+}
+
+IncrementalResult add_demands_incremental(
+    const GroomingPlan& plan, const std::vector<DemandPair>& new_pairs) {
+  IncrementalResult result;
+  result.plan = plan;
+  const IncrementalStats stats =
+      extend_plan_incremental(result.plan, new_pairs);
+  result.new_wavelengths = stats.new_wavelengths;
+  result.new_sadms = stats.new_sadms;
+  result.reused_sites = stats.reused_sites;
   return result;
 }
 

@@ -17,18 +17,34 @@
 
 namespace tgroom {
 
-struct IncrementalResult {
-  GroomingPlan plan;          // the extended plan
+struct IncrementalStats {
   int new_wavelengths = 0;    // wavelengths opened for the new demands
   int new_sadms = 0;          // SADM installs triggered
   int reused_sites = 0;       // endpoints that already had an SADM on the
                               // chosen wavelength
 };
 
-/// Adds `new_pairs` to `plan`.  Existing assignments are never modified.
-/// Each new pair goes to the feasible wavelength (free timeslot) that
-/// needs the fewest new SADMs, ties broken toward lower wavelength ids;
-/// a fresh wavelength is opened when nothing has slack.
+struct IncrementalResult {
+  GroomingPlan plan;          // the extended plan
+  int new_wavelengths = 0;
+  int new_sadms = 0;
+  int reused_sites = 0;
+};
+
+/// Adds `new_pairs` to `plan` in place.  Existing assignments are never
+/// modified.  Each new pair goes to the feasible wavelength (free
+/// timeslot) that needs the fewest new SADMs, ties broken toward lower
+/// wavelength ids; a fresh wavelength is opened when nothing has slack.
+///
+/// Deterministic and sequentially composable: extending by A then by B
+/// yields exactly the plan of extending by A+B in one call, which is
+/// what lets the durable store's WAL replay mutations one record at a
+/// time and land on the live table byte-for-byte.
+IncrementalStats extend_plan_incremental(GroomingPlan& plan,
+                                         const std::vector<DemandPair>& new_pairs);
+
+/// Copying wrapper around extend_plan_incremental: leaves `plan`
+/// untouched and returns the extended copy plus stats.
 IncrementalResult add_demands_incremental(
     const GroomingPlan& plan, const std::vector<DemandPair>& new_pairs);
 

@@ -13,7 +13,8 @@ constexpr const char* kCounterNames[ServiceMetrics::kCounterCount] = {
     "error",           "overloaded",
     "shutting_down",   "deadline_exceeded",
     "cache_hits",      "cache_misses",
-    "cache_evictions",
+    "cache_evictions", "store_appends",
+    "store_snapshots",
 };
 
 }  // namespace

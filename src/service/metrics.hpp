@@ -33,6 +33,8 @@ class ServiceMetrics {
     kCacheHits,
     kCacheMisses,
     kCacheEvictions,
+    kStoreAppends,      // WAL records appended by the durable store
+    kStoreSnapshots,    // snapshots written by the durable store
     kCount_,
   };
   static constexpr std::size_t kCounterCount =

@@ -26,6 +26,7 @@ const char* service_error_name(ServiceError code) {
     case ServiceError::kOverloaded: return "overloaded";
     case ServiceError::kShuttingDown: return "shutting_down";
     case ServiceError::kDeadlineExceeded: return "deadline_exceeded";
+    case ServiceError::kStoreIncompatible: return "store_incompatible";
     case ServiceError::kInternal: return "internal";
   }
   return "?";

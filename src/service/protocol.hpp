@@ -23,7 +23,7 @@
 //               | {"id":int|null, "ok":false, "error":code,
 //                  "message":string}
 //   code       := "bad_request" | "overloaded" | "shutting_down"
-//               | "deadline_exceeded" | "internal"
+//               | "deadline_exceeded" | "store_incompatible" | "internal"
 //
 // The serializers here are shared with the CLI's `--format json` output,
 // so scripted pipelines and service clients parse one format.
@@ -53,6 +53,7 @@ enum class ServiceError {
   kOverloaded,
   kShuttingDown,
   kDeadlineExceeded,
+  kStoreIncompatible,  // durable store written by a different format version
   kInternal,
 };
 const char* service_error_name(ServiceError code);

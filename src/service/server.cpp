@@ -1,5 +1,6 @@
 #include "service/server.hpp"
 
+#include <algorithm>
 #include <exception>
 #include <future>
 #include <istream>
@@ -38,6 +39,47 @@ std::atomic<bool>& GroomingService::stop_flag() {
 std::size_t GroomingService::held_plan_count() const {
   std::lock_guard<std::mutex> lock(plans_mutex_);
   return plans_.size();
+}
+
+void GroomingService::open_store() {
+  if (config_.data_dir.empty() || store_ != nullptr) return;
+  DurableStoreOptions options;
+  options.dir = config_.data_dir;
+  options.fsync = config_.fsync;
+  options.snapshot_every = config_.snapshot_every;
+  auto store = std::make_unique<DurableStore>(options);
+  RecoveredState state = store->take_recovered();
+  {
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    plans_ = std::move(state.plans);
+    next_plan_id_ = std::max(next_plan_id_, state.next_plan_id);
+  }
+  if (config_.prewarm_cache) {
+    for (PrewarmEntry& entry : state.prewarm) {
+      cache_.put(entry.key, std::move(entry.value));
+    }
+  }
+  store_ = std::move(store);
+}
+
+void GroomingService::snapshot_store(bool force) {
+  if (store_ == nullptr) return;
+  if (!force && !store_->snapshot_due()) return;
+  SnapshotData snap;
+  {
+    // Appends happen under plans_mutex_ too, so last_seq taken here is
+    // exactly the sequence number covering this copy of the table.
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    snap.last_seq = store_->last_seq();
+    snap.next_plan_id = next_plan_id_;
+    snap.plans.reserve(plans_.size());
+    for (const auto& [id, plan] : plans_) snap.plans.emplace_back(id, plan);
+  }
+  std::sort(snap.plans.begin(), snap.plans.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (store_->write_snapshot(snap)) {
+    metrics_.increment(ServiceMetrics::Counter::kStoreSnapshots);
+  }
 }
 
 bool GroomingService::deadline_expired(const ServiceRequest& request) const {
@@ -162,9 +204,23 @@ void GroomingService::handle_groom(ServiceRequest& request,
     GroomingPlan plan = plan_from_partition(
         DemandSet::from_traffic_graph(request.graph), request.graph,
         partition);
-    std::lock_guard<std::mutex> lock(plans_mutex_);
-    held_id = next_plan_id_++;
-    plans_.emplace(held_id, std::move(plan));
+    std::uint64_t seq = 0;
+    {
+      std::lock_guard<std::mutex> lock(plans_mutex_);
+      held_id = next_plan_id_++;
+      auto [it, inserted] = plans_.emplace(held_id, std::move(plan));
+      (void)inserted;
+      if (store_ != nullptr) {
+        // Append before ack, under the table lock so WAL order equals
+        // table order; the fsync (sync below) happens off the lock.
+        seq = store_->append_hold(held_id, it->second, key, *value);
+      }
+    }
+    if (store_ != nullptr && seq != 0) {
+      metrics_.increment(ServiceMetrics::Counter::kStoreAppends);
+      store_->sync(seq);
+      snapshot_store(false);
+    }
   }
 
   begin_ok_response(w, request.id, request.has_id, ServiceOp::kGroom);
@@ -188,8 +244,10 @@ void GroomingService::handle_provision(ServiceRequest& request,
   if (deadline_expired(request)) return deadline_response(request, w);
 
   IncrementalResult result;
+  std::uint64_t seq = 0;
   try {
     if (request.plan.has_value()) {
+      // Stateless mode mutates no server state, so nothing is logged.
       result = add_demands_incremental(*request.plan, request.add);
     } else {
       std::lock_guard<std::mutex> lock(plans_mutex_);
@@ -202,11 +260,21 @@ void GroomingService::handle_provision(ServiceRequest& request,
       }
       result = add_demands_incremental(it->second, request.add);
       it->second = result.plan;
+      if (store_ != nullptr) {
+        // The WAL logs the *input* pairs; replay recomputes the same
+        // placement deterministically (extend_plan_incremental).
+        seq = store_->append_provision(request.plan_id, request.add);
+      }
     }
   } catch (const CheckError& e) {
     metrics_.increment(ServiceMetrics::Counter::kError);
     return write_error_response(w, request.id, request.has_id,
                                 ServiceError::kBadRequest, e.what());
+  }
+  if (store_ != nullptr && seq != 0) {
+    metrics_.increment(ServiceMetrics::Counter::kStoreAppends);
+    store_->sync(seq);
+    snapshot_store(false);
   }
 
   begin_ok_response(w, request.id, request.has_id, ServiceOp::kProvision);
@@ -248,6 +316,10 @@ void GroomingService::handle_stats(const ServiceRequest& request,
   write_cache_stats(w);
   w.key("metrics");
   metrics_.write_json(w);
+  if (store_ != nullptr) {
+    w.key("store");
+    store_->write_json(w);
+  }
   w.end_object();
   metrics_.increment(ServiceMetrics::Counter::kOk);
 }
@@ -261,6 +333,17 @@ int GroomingService::run(std::istream& in, std::ostream& out) {
     out << line << '\n';
     out.flush();
   };
+
+  try {
+    open_store();
+  } catch (const StoreIncompatibleError& e) {
+    emit(make_error_response(0, false, ServiceError::kStoreIncompatible,
+                             e.what()));
+    return 0;
+  } catch (const StoreCorruptError& e) {
+    emit(make_error_response(0, false, ServiceError::kInternal, e.what()));
+    return 0;
+  }
 
   BoundedQueue<ServiceRequest> queue(config_.queue_capacity);
   ThreadPool pool(config_.workers);
@@ -341,6 +424,14 @@ int GroomingService::run(std::istream& in, std::ostream& out) {
   }
   for (auto& done : worker_done) done.get();
 
+  // Nothing acked may be lost at a clean exit, whatever the fsync
+  // policy: flush the WAL, then leave a snapshot so the next start
+  // replays (almost) nothing.
+  if (store_ != nullptr) {
+    store_->flush();
+    snapshot_store(/*force=*/true);
+  }
+
   if (shutdown_) {
     JsonWriter w;
     begin_ok_response(w, shutdown_id, shutdown_has_id, ServiceOp::kShutdown);
@@ -359,6 +450,10 @@ int GroomingService::run(std::istream& in, std::ostream& out) {
     write_cache_stats(w);
     w.key("metrics");
     metrics_.write_json(w);
+    if (store_ != nullptr) {
+      w.key("store");
+      store_->write_json(w);
+    }
     w.end_object();
     emit(w.take());
   }

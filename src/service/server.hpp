@@ -27,6 +27,7 @@
 #include <atomic>
 #include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -34,6 +35,7 @@
 #include "service/cache.hpp"
 #include "service/metrics.hpp"
 #include "service/protocol.hpp"
+#include "store/durable_store.hpp"
 #include "util/json.hpp"
 
 namespace tgroom {
@@ -47,6 +49,12 @@ struct ServiceConfig {
   std::size_t cache_shards = 0;   // lock stripes; 0 = auto (power of two)
   std::int64_t default_deadline_ms = 0;  // applied when a request has none
   bool metrics_on_exit = true;  // final {"event":"exit",...} metrics line
+
+  // Durability (empty data_dir = in-memory only, the pre-store behavior).
+  std::string data_dir;
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  std::uint64_t snapshot_every = 1024;  // records per snapshot; 0 disables
+  bool prewarm_cache = true;  // seed the PlanCache from recovered WAL holds
 };
 
 class GroomingService {
@@ -80,6 +88,18 @@ class GroomingService {
   const ServiceConfig& config() const { return config_; }
   std::size_t held_plan_count() const;
 
+  /// Opens the durable store when `config.data_dir` is set: recovers the
+  /// held-plan table (snapshot + WAL replay), optionally pre-warms the
+  /// cache, and starts the WAL writer.  Idempotent; a no-op without a
+  /// data_dir.  Throws StoreIncompatibleError on a format-version
+  /// mismatch and StoreCorruptError on unrepairable damage — `tgroom
+  /// serve` calls this before entering the session loop so those become
+  /// structured errors, not mid-session surprises.  run() also calls it.
+  void open_store();
+
+  /// The store, or nullptr when running in-memory (tests, stats).
+  DurableStore* store() { return store_.get(); }
+
   /// Cooperative stop for signal handlers: the read loop drains and exits
   /// at the next line boundary (the `tgroom serve` command wires SIGTERM
   /// here without SA_RESTART, so a blocked read fails and drains too).
@@ -97,15 +117,21 @@ class GroomingService {
   void write_cache_stats(JsonWriter& w) const;
   bool deadline_expired(const ServiceRequest& request) const;
   void deadline_response(const ServiceRequest& request, JsonWriter& w);
+  /// Snapshots the held-plan table into the store; with `force` false
+  /// only when the store says one is due.
+  void snapshot_store(bool force);
 
   ServiceConfig config_;
   PlanCache cache_;
   ServiceMetrics metrics_;
   mutable std::mutex plans_mutex_;  // guards plans_ and next_plan_id_;
                                     // held across a held-plan provision so
-                                    // concurrent provisions serialize
+                                    // concurrent provisions serialize, and
+                                    // across the matching WAL append so log
+                                    // order equals table order
   std::unordered_map<std::int64_t, GroomingPlan> plans_;
   std::int64_t next_plan_id_ = 1;
+  std::unique_ptr<DurableStore> store_;
   bool shutdown_ = false;
 };
 

@@ -1,0 +1,142 @@
+// Durable state store for the grooming service: recovery + WAL +
+// snapshots + compaction behind one object.
+//
+// Lifecycle:
+//   1. Construction recovers: load the newest valid snapshot, replay the
+//      WAL tail (seq > snapshot seq), truncating a torn final record.
+//      The recovered held-plan table, next plan id, and cache-prewarm
+//      entries are handed to the service via take_recovered().
+//   2. The service appends a record for every mutation (hold /
+//      provision) *before* acking the request, then sync()s it under
+//      the configured fsync policy.
+//   3. Every `snapshot_every` records the service snapshots its table;
+//      write_snapshot() persists it atomically and then compacts: older
+//      snapshots and WAL segments wholly covered by the new snapshot
+//      are deleted (never the active segment).
+//
+// Mutation replay recomputes provisions through
+// extend_plan_incremental, which is deterministic and sequentially
+// composable — so a recovered table is byte-identical to the live table
+// the crashed process held (for every acked-durable mutation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "grooming/plan.hpp"
+#include "service/cache.hpp"
+#include "store/snapshot.hpp"
+#include "store/wal.hpp"
+#include "util/json.hpp"
+
+namespace tgroom {
+
+struct DurableStoreOptions {
+  std::string dir;
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  /// Snapshot after this many appended records; 0 disables periodic
+  /// snapshots (one is still written at clean shutdown).
+  std::uint64_t snapshot_every = 1024;
+  std::uint64_t segment_bytes = 4ull << 20;
+  std::uint64_t batch_bytes = 64ull << 10;
+};
+
+/// What recovery found, for stats/logging.
+struct StoreRecovery {
+  bool snapshot_loaded = false;
+  std::uint64_t snapshot_seq = 0;
+  std::size_t snapshots_skipped = 0;  // corrupt snapshots fallen past
+  std::size_t wal_segments = 0;
+  std::size_t wal_records_replayed = 0;
+  std::size_t wal_records_skipped = 0;  // already covered by the snapshot
+  bool torn_truncated = false;
+  std::uint64_t last_seq = 0;  // the WAL resumes at last_seq + 1
+};
+
+/// A groom-cache entry recovered from a WAL hold record, for pre-warming
+/// the PlanCache.  Best-effort: only hold records in the replayed WAL
+/// tail carry one (snapshots store plans, not cache payloads).
+struct PrewarmEntry {
+  GroomCacheKey key;
+  std::shared_ptr<const GroomCacheValue> value;
+};
+
+struct RecoveredState {
+  std::unordered_map<std::int64_t, GroomingPlan> plans;
+  std::int64_t next_plan_id = 1;
+  std::vector<PrewarmEntry> prewarm;
+};
+
+/// Pure recovery: snapshot load + WAL replay, no writer opened.  With
+/// `repair` false the store directory is left byte-untouched (a torn
+/// tail still stops replay, it just isn't truncated) — `tgroom
+/// store-dump` uses that to inspect a live or dead store read-only.
+RecoveredState recover_store_state(const std::string& dir,
+                                   StoreRecovery* recovery, bool repair);
+
+class DurableStore {
+ public:
+  /// Recovers (creating `options.dir` if needed, repairing a torn tail)
+  /// and opens a fresh WAL segment at last_seq + 1.  Throws
+  /// StoreIncompatibleError on a format-version mismatch and
+  /// StoreCorruptError on unrepairable damage.
+  explicit DurableStore(DurableStoreOptions options);
+
+  /// Moves the recovered table out (valid once, right after construction).
+  RecoveredState take_recovered() { return std::move(recovered_); }
+  const StoreRecovery& recovery() const { return recovery_; }
+  StoreMetrics& metrics() { return metrics_; }
+
+  /// Appends a hold-plan record (plan + cache-prewarm payload).  Returns
+  /// the record's sequence number; pass it to sync() before acking.
+  std::uint64_t append_hold(std::int64_t plan_id, const GroomingPlan& plan,
+                            const GroomCacheKey& key,
+                            const GroomCacheValue& value);
+  /// Appends a provision record (pairs added to an existing plan).
+  std::uint64_t append_provision(std::int64_t plan_id,
+                                 const std::vector<DemandPair>& pairs);
+
+  void sync(std::uint64_t seq) { wal_->sync(seq); }
+  /// Forces all appended records durable (drain / shutdown path).
+  void flush() { wal_->flush(); }
+
+  std::uint64_t last_seq() const { return wal_->last_appended_seq(); }
+
+  /// True once snapshot_every records have been appended since the last
+  /// snapshot (callers then build a SnapshotData and call
+  /// write_snapshot).
+  bool snapshot_due() const;
+
+  /// Persists `snap` and compacts superseded snapshots/WAL segments.
+  /// Returns false (doing nothing) if another snapshot write is in
+  /// flight or `snap` does not advance past the previous one.
+  bool write_snapshot(const SnapshotData& snap);
+
+  /// Store stats object for the `stats` op / exit metrics (appends,
+  /// fsyncs, batch sizes, snapshots, recovery summary).
+  void write_json(JsonWriter& w) const;
+
+  FsyncPolicy fsync_policy() const { return options_.fsync; }
+
+ private:
+  const DurableStoreOptions options_;
+  StoreMetrics metrics_;
+  StoreRecovery recovery_;
+  RecoveredState recovered_;
+  std::unique_ptr<WalWriter> wal_;
+
+  std::mutex encode_mutex_;  // guards body_ scratch across appenders
+  ByteWriter body_;
+
+  std::mutex snapshot_mutex_;  // single snapshot writer + compactor
+  std::uint64_t last_snapshot_seq_ = 0;
+  std::atomic<std::uint64_t> records_appended_{0};
+  std::atomic<std::uint64_t> records_at_last_snapshot_{0};
+};
+
+}  // namespace tgroom

@@ -1,0 +1,53 @@
+// Point-in-time snapshots of the service's held-plan table.
+//
+// A snapshot file `snap-<last_seq>.snap` captures every held plan and
+// the next plan id as of WAL sequence `last_seq`; recovery loads the
+// newest valid snapshot and replays only WAL records with seq >
+// last_seq.  Files are written to a `.tmp` sibling, fsynced, then
+// renamed into place (and the directory fsynced), so a crash mid-write
+// can never shadow an older good snapshot with a half-written one.
+// Loading walks snapshots newest-first and falls back across corrupt
+// files; a snapshot from another format version is a hard
+// StoreIncompatibleError, never a silent skip.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "store/format.hpp"
+
+namespace tgroom {
+
+struct SnapshotData {
+  /// WAL sequence number this snapshot covers (replay resumes after it).
+  std::uint64_t last_seq = 0;
+  std::int64_t next_plan_id = 1;
+  /// Held plans sorted by ascending plan id (writers sort, the loader
+  /// checks nothing — the map insertion order is irrelevant).
+  std::vector<std::pair<std::int64_t, GroomingPlan>> plans;
+};
+
+/// Writes `snap` into `dir` atomically (tmp + fsync + rename + dir
+/// fsync) and returns the final path.
+std::string write_snapshot_file(const std::string& dir,
+                                const SnapshotData& snap);
+
+/// Loads the newest snapshot in `dir` that passes CRC and framing
+/// checks, skipping corrupt ones (counted into `*skipped_corrupt` when
+/// non-null).  Returns nullopt if the directory holds no usable
+/// snapshot.  Throws StoreIncompatibleError if a candidate was written
+/// by a different store or fingerprint format version.
+std::optional<SnapshotData> load_latest_snapshot(const std::string& dir,
+                                                 std::size_t* skipped_corrupt);
+
+/// Snapshot file paths in `dir`, sorted oldest-first (filename order).
+std::vector<std::string> list_snapshot_files(const std::string& dir);
+
+/// The last_seq encoded in a snapshot filename, or 0 if the name is not
+/// a snapshot file.
+std::uint64_t snapshot_file_last_seq(const std::string& path);
+
+}  // namespace tgroom

@@ -1,6 +1,8 @@
 #include "tools/commands.hpp"
 
+#include <algorithm>
 #include <iostream>
+#include <iterator>
 #include <sstream>
 
 #include "algorithms/algorithm.hpp"
@@ -15,6 +17,7 @@
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "sonet/protection.hpp"
+#include "store/durable_store.hpp"
 #include "sonet/simulator.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -131,9 +134,15 @@ std::string usage() {
       "             [--algorithms a,b,...] [--csv | --format json] runs the\n"
       "             batch engine over a (seed x k) grid, aggregate SADMs\n"
       "  serve      [--workers W] [--queue Q] [--cache C] [--cache-shards S]\n"
-      "             [--deadline-ms D] [--port P] NDJSON request daemon on\n"
+      "             [--deadline-ms D] [--port P] [--data-dir PATH]\n"
+      "             [--fsync always|batch|none] [--snapshot-every N]\n"
+      "             [--prewarm-cache BOOL] NDJSON request daemon on\n"
       "             stdin/stdout (or loopback TCP); ops groom, provision,\n"
-      "             stats, shutdown — see DESIGN.md section 10\n"
+      "             stats, shutdown — see DESIGN.md sections 10 and 12;\n"
+      "             --data-dir makes held plans survive crashes (WAL +\n"
+      "             snapshots, recovered on restart)\n"
+      "  store-dump --data-dir PATH  read-only recovery: prints the\n"
+      "             held-plan table a restarted daemon would serve\n"
       "\n"
       "algorithms: Algo1-Goldschmidt, Algo2-Brauner, Algo3-WangGu,\n"
       "            SpanT_Euler, Regular_Euler, CliquePack (aliases: algo1,\n"
@@ -483,6 +492,16 @@ int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
       static_cast<std::size_t>(args.get_int("cache-shards", 0));
   config.default_deadline_ms = args.get_int("deadline-ms", 0);
   config.metrics_on_exit = args.get_bool("exit-metrics", true);
+  config.data_dir = args.get("data-dir", "");
+  config.snapshot_every =
+      static_cast<std::uint64_t>(args.get_int("snapshot-every", 1024));
+  config.prewarm_cache = args.get_bool("prewarm-cache", true);
+  try {
+    config.fsync = parse_fsync_policy(args.get("fsync", "batch"));
+  } catch (const CheckError& e) {
+    err << e.what() << "\n";
+    return 2;
+  }
   if (config.queue_capacity == 0) {
     err << "--queue must be >= 1\n";
     return 2;
@@ -499,9 +518,62 @@ int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
 #endif
   GroomingService::clear_stop();
   GroomingService service(config);
+  // Open (and recover) the store before accepting any request, so a
+  // format-version mismatch or unrepairable corruption is a structured
+  // error up front, not a mid-session surprise.
+  try {
+    service.open_store();
+  } catch (const StoreIncompatibleError& e) {
+    out << make_error_response(0, false, ServiceError::kStoreIncompatible,
+                               e.what())
+        << "\n";
+    err << e.what() << "\n";
+    return 1;
+  } catch (const CheckError& e) {
+    out << make_error_response(0, false, ServiceError::kInternal, e.what())
+        << "\n";
+    err << e.what() << "\n";
+    return 1;
+  }
   const int port = static_cast<int>(args.get_int("port", 0));
   if (port > 0) return serve_tcp(service, port, err);
   return service.run(in, out);
+}
+
+int cmd_store_dump(const CliArgs& args, std::ostream& out,
+                   std::ostream& err) {
+  const std::string dir = args.get("data-dir", "");
+  if (dir.empty()) {
+    err << "store-dump needs --data-dir\n";
+    return 2;
+  }
+  StoreRecovery recovery;
+  try {
+    // repair=false: inspection never mutates the store, so it is safe to
+    // run against the data dir of a live daemon or a fresh crash site.
+    RecoveredState state = recover_store_state(dir, &recovery,
+                                               /*repair=*/false);
+    std::vector<std::pair<std::int64_t, GroomingPlan>> plans(
+        std::make_move_iterator(state.plans.begin()),
+        std::make_move_iterator(state.plans.end()));
+    std::sort(plans.begin(), plans.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Recovery details go to stderr so stdout is a pure function of the
+    // recovered state (the crash harness diffs stdout across runs).
+    err << "store-dump: snapshot_seq=" << recovery.snapshot_seq
+        << " wal_records=" << recovery.wal_records_replayed
+        << " torn=" << (recovery.torn_truncated ? 1 : 0) << "\n";
+    out << "# tgroom store: last_seq=" << recovery.last_seq
+        << " plans=" << plans.size() << " next_plan_id=" << state.next_plan_id
+        << "\n";
+    for (const auto& [id, plan] : plans) {
+      out << "plan " << id << "\n" << serialize_plan(plan);
+    }
+    return 0;
+  } catch (const CheckError& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
 }
 
 int run_tool(int argc, const char* const* argv, std::istream& in,
@@ -522,6 +594,7 @@ int run_tool(int argc, const char* const* argv, std::istream& in,
   if (command == "gadget") return cmd_gadget(args, in, out, err);
   if (command == "sweep") return cmd_sweep(args, out, err);
   if (command == "serve") return cmd_serve(args, in, out, err);
+  if (command == "store-dump") return cmd_store_dump(args, out, err);
   if (command == "help" || command == "--help") {
     out << usage();
     return 0;

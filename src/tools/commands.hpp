@@ -15,7 +15,10 @@
 //   sweep      (seed x k) grid over generated workloads -> aggregate
 //              SADM table, fanned across workers by the batch engine
 //   serve      long-running NDJSON daemon (stdin/stdout or --port) with
-//              admission control, deadlines, plan cache, and metrics
+//              admission control, deadlines, plan cache, metrics, and —
+//              with --data-dir — a durable store (WAL + snapshots)
+//   store-dump read-only recovery of a --data-dir: prints the held-plan
+//              table a restarted daemon would serve (never mutates files)
 //
 // `groom` and `sweep` take --format json for machine-readable output via
 // the service serializers.  All file arguments default to stdin/stdout.
@@ -52,6 +55,7 @@ int cmd_gadget(const CliArgs& args, std::istream& in, std::ostream& out,
 int cmd_sweep(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
               std::ostream& err);
+int cmd_store_dump(const CliArgs& args, std::ostream& out, std::ostream& err);
 
 /// Usage text for the whole tool.
 std::string usage();

@@ -76,5 +76,17 @@ TEST(Fingerprint, PairwiseDistinctOverRandomFamily) {
   EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
 }
 
+TEST(Fingerprint, TopByteCarriesFormatVersion) {
+  // Fingerprints are persisted in the durable store as cache-prewarm
+  // keys; the embedded version byte is what lets recovery reject keys
+  // computed by a different absorption scheme.
+  for (std::uint64_t seed = 1; seed <= 16; ++seed) {
+    Rng rng(seed);
+    Graph g = random_dense_ratio(12, 0.3, rng);
+    const std::uint64_t fp = graph_fingerprint(g);
+    EXPECT_EQ(fingerprint_version(fp), kFingerprintFormatVersion);
+  }
+}
+
 }  // namespace
 }  // namespace tgroom

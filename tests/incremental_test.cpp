@@ -127,5 +127,38 @@ TEST(Incremental, NoNewDemandsIsIdentity) {
   EXPECT_EQ(r.new_wavelengths, 0);
 }
 
+TEST(Incremental, ExtendInPlaceMatchesCopyingWrapper) {
+  // The WAL replay path uses extend_plan_incremental directly; the
+  // service's live path goes through add_demands_incremental.  Both must
+  // produce the same plan or recovery diverges from the acked state.
+  GroomingPlan in_place = base_plan(12, 0.4, 4, 9);
+  const std::vector<DemandPair> add = {DemandPair{0, 6}, DemandPair{2, 9},
+                                       DemandPair{1, 7}};
+  const IncrementalResult copied = add_demands_incremental(in_place, add);
+  const IncrementalStats stats = extend_plan_incremental(in_place, add);
+  EXPECT_EQ(serialize_plan(in_place), serialize_plan(copied.plan));
+  EXPECT_EQ(stats.new_sadms, copied.new_sadms);
+  EXPECT_EQ(stats.new_wavelengths, copied.new_wavelengths);
+  EXPECT_EQ(stats.reused_sites, copied.reused_sites);
+}
+
+TEST(Incremental, SequentialExtensionComposes) {
+  // Replaying N provision records one-by-one must land on the same plan
+  // as the live process that applied them one-by-one — and splitting a
+  // batch anywhere cannot change the outcome relative to replay order.
+  GroomingPlan one_by_one = base_plan(14, 0.5, 4, 10);
+  GroomingPlan split = one_by_one;
+  const std::vector<DemandPair> adds = {
+      DemandPair{0, 7}, DemandPair{3, 11}, DemandPair{5, 9},
+      DemandPair{1, 8}, DemandPair{2, 13}, DemandPair{4, 10}};
+  for (const DemandPair& p : adds) {
+    extend_plan_incremental(one_by_one, {p});
+  }
+  extend_plan_incremental(split,
+                          {adds.begin(), adds.begin() + 2});
+  extend_plan_incremental(split, {adds.begin() + 2, adds.end()});
+  EXPECT_EQ(serialize_plan(one_by_one), serialize_plan(split));
+}
+
 }  // namespace
 }  // namespace tgroom
