@@ -7,8 +7,9 @@ Each trial:
      (inline execution: request order == WAL order, one record per
      mutating request).
   2. Feeds it a deterministic NDJSON workload (4 groom-holds on distinct
-     graphs, then provisions round-robin across the held plans) and
-     SIGKILLs it at a random point — either between requests (tracking
+     graphs, then a round-robin mix of provisions, partial releases with
+     and without repair, and periodic release-all + re-hold cycles that
+     advance the plan-id counter) and SIGKILLs it at a random point — either between requests (tracking
      how many were acked) or racing the stream (the kill can land
      mid-write, producing genuinely torn WAL tails).
   3. Recovers the directory read-only via `tgroom store-dump`, parses the
@@ -50,9 +51,19 @@ HOLD_GRAPHS = [
 
 
 def workload(ops):
-    """The scripted request list: HELD_PLANS holds, then provisions."""
+    """The scripted request list: HELD_PLANS holds, then a deterministic
+    round-robin interleaving of provisions, partial releases (repair on
+    and off), and release-all + re-hold cycles.  Python mirrors the
+    per-plan demand multiset so every release targets pairs that are
+    actually present, and tracks the server's plan-id counter so re-holds
+    after a release-all address the right plan.  Any prefix of the list
+    is itself a valid workload — the replay-first-S-requests check in
+    each trial depends on that."""
     lines = []
+    slots = []  # per round-robin slot: {"plan_id": int|None, "pairs": [..]}
+    next_plan_id = 1
     for i in range(ops):
+        slot_index = i % HELD_PLANS
         if i < HELD_PLANS:
             request = {
                 "op": "groom",
@@ -61,17 +72,57 @@ def workload(ops):
                 "k": 4,
                 "hold": True,
             }
+            slots.append({
+                "plan_id": next_plan_id,
+                "pairs": [tuple(e) for e in HOLD_GRAPHS[i]],
+            })
+            next_plan_id += 1
         else:
-            a = (i * 7 + 1) % RING
-            b = (i * 5 + 3) % RING
-            if a == b:
-                b = (b + 1) % RING
-            request = {
-                "op": "provision",
-                "id": i,
-                "plan_id": (i % HELD_PLANS) + 1,
-                "add": [[min(a, b), max(a, b)]],
-            }
+            slot = slots[slot_index]
+            if slot["plan_id"] is None:
+                # Dropped by an earlier release-all: re-hold its graph
+                # under a fresh plan id.
+                request = {
+                    "op": "groom",
+                    "id": i,
+                    "graph": {"n": RING, "edges": HOLD_GRAPHS[slot_index]},
+                    "k": 4,
+                    "hold": True,
+                }
+                slot["plan_id"] = next_plan_id
+                slot["pairs"] = [tuple(e) for e in HOLD_GRAPHS[slot_index]]
+                next_plan_id += 1
+            elif i % 31 == 0:
+                request = {
+                    "op": "release",
+                    "id": i,
+                    "plan_id": slot["plan_id"],
+                    "all": True,
+                }
+                slot["plan_id"] = None
+                slot["pairs"] = []
+            elif i % 7 == 0 and slot["pairs"]:
+                a, b = slot["pairs"].pop(0)
+                request = {
+                    "op": "release",
+                    "id": i,
+                    "plan_id": slot["plan_id"],
+                    "remove": [[a, b]],
+                    "repair": i % 14 == 0,
+                }
+            else:
+                a = (i * 7 + 1) % RING
+                b = (i * 5 + 3) % RING
+                if a == b:
+                    b = (b + 1) % RING
+                pair = (min(a, b), max(a, b))
+                request = {
+                    "op": "provision",
+                    "id": i,
+                    "plan_id": slot["plan_id"],
+                    "add": [list(pair)],
+                }
+                slot["pairs"].append(pair)
         lines.append(json.dumps(request, separators=(",", ":")))
     return lines
 

@@ -12,10 +12,14 @@ namespace tgroom {
 std::vector<BatchCellResult> BatchGroomer::run(
     const std::vector<BatchCell>& cells) const {
   std::vector<BatchCellResult> results(cells.size());
-  ThreadPool pool(config_.workers);
-  pool.parallel_for_chunks(
+  pool_->parallel_for_chunks(
       cells.size(), [&](std::size_t begin, std::size_t end) {
-        GroomingWorkspace workspace;  // reused across this chunk's cells
+        // One warm workspace per thread, kept across chunks AND run()
+        // calls; reset() rewinds it without dropping capacity.  Each chunk
+        // runs on exactly one thread, so no sharing within a run; output
+        // is workspace-independent by the GroomingWorkspace contract.
+        thread_local GroomingWorkspace workspace;
+        workspace.reset();
         for (std::size_t i = begin; i < end; ++i) {
           const BatchCell& cell = cells[i];
           TGROOM_CHECK_MSG(cell.graph != nullptr, "batch cell has no graph");

@@ -4,9 +4,15 @@
 // figure reproductions, capacity studies) is embarrassingly parallel, but
 // naive fan-out either leaves determinism to thread timing or re-allocates
 // every scratch buffer per instance.  BatchGroomer fans a flat list of
-// (graph, algorithm, k, options) cells across a ThreadPool in contiguous
-// chunks, one GroomingWorkspace per chunk, and writes results by cell
-// index.
+// (graph, algorithm, k, options) cells across a persistent ThreadPool in
+// contiguous chunks, one warm GroomingWorkspace per worker thread, and
+// writes results by cell index.
+//
+// The pool is created once in the constructor and reused by every run()
+// call: repeated small batches (the service, the throughput bench) must
+// not pay thread creation/join per batch.  Workspaces are thread_local, so
+// they stay warm across runs too — after the first batch the steady state
+// performs no allocation in the scratch buffers at all.
 //
 // Determinism contract: results[i] is a pure function of cells[i] — the
 // RNG seed lives in each cell's options (derive it per cell, e.g. with
@@ -16,10 +22,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "algorithms/algorithm.hpp"
 #include "partition/edge_partition.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tgroom {
 
@@ -47,7 +55,13 @@ struct BatchConfig {
 
 class BatchGroomer {
  public:
-  explicit BatchGroomer(BatchConfig config = {}) : config_(config) {}
+  explicit BatchGroomer(BatchConfig config = {})
+      : config_(config),
+        pool_(std::make_unique<ThreadPool>(config.workers)) {}
+
+  // Owns a ThreadPool, so the groomer is pinned in place like the pool is.
+  BatchGroomer(const BatchGroomer&) = delete;
+  BatchGroomer& operator=(const BatchGroomer&) = delete;
 
   /// Grooms every cell; results are indexed like `cells`.
   std::vector<BatchCellResult> run(const std::vector<BatchCell>& cells) const;
@@ -60,6 +74,7 @@ class BatchGroomer {
 
  private:
   BatchConfig config_;
+  std::unique_ptr<ThreadPool> pool_;  // persistent across run() calls
 };
 
 }  // namespace tgroom

@@ -1,0 +1,236 @@
+#include "grooming/repair.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <set>
+#include <tuple>
+#include <vector>
+
+#include "partition/cover_transform.hpp"
+
+namespace tgroom {
+
+namespace {
+
+/// Renumbers wavelengths so empty ones disappear, preserving the relative
+/// order of the non-empty ones.
+void compact_wavelengths(GroomingPlan& plan) {
+  const int wavelengths = plan.wavelength_count();
+  if (wavelengths == 0) return;
+  std::vector<bool> occupied(static_cast<std::size_t>(wavelengths), false);
+  for (const GroomedPair& gp : plan.pairs) {
+    occupied[static_cast<std::size_t>(gp.wavelength)] = true;
+  }
+  std::vector<int> remap(static_cast<std::size_t>(wavelengths), -1);
+  int next = 0;
+  for (int w = 0; w < wavelengths; ++w) {
+    if (occupied[static_cast<std::size_t>(w)]) {
+      remap[static_cast<std::size_t>(w)] = next++;
+    }
+  }
+  for (GroomedPair& gp : plan.pairs) {
+    gp.wavelength = remap[static_cast<std::size_t>(gp.wavelength)];
+  }
+}
+
+/// Moves circuits off the affected wavelengths whenever the move strictly
+/// lowers the total SADM count.  Every committed move lowers it by at
+/// least one, so the fixpoint loop terminates.
+void repair_affected(GroomingPlan& plan, const std::set<int>& affected,
+                     ReleaseStats& stats) {
+  const int k = plan.grooming_factor;
+  const int wavelengths = plan.wavelength_count();
+  if (wavelengths == 0 || affected.empty()) return;
+
+  // Occupancy model kept in lockstep with the plan: per-wavelength slot
+  // usage and per-wavelength SADM site reference counts.
+  std::vector<std::vector<bool>> slot_used(
+      static_cast<std::size_t>(wavelengths),
+      std::vector<bool>(static_cast<std::size_t>(k), false));
+  std::vector<std::map<NodeId, int>> site_refs(
+      static_cast<std::size_t>(wavelengths));
+  for (const GroomedPair& gp : plan.pairs) {
+    auto w = static_cast<std::size_t>(gp.wavelength);
+    slot_used[w][static_cast<std::size_t>(gp.timeslot)] = true;
+    ++site_refs[w][gp.pair.a];
+    ++site_refs[w][gp.pair.b];
+  }
+  std::vector<int> free_slots(static_cast<std::size_t>(wavelengths), 0);
+  for (int w = 0; w < wavelengths; ++w) {
+    for (int s = 0; s < k; ++s) {
+      if (!slot_used[static_cast<std::size_t>(w)]
+                    [static_cast<std::size_t>(s)]) {
+        ++free_slots[static_cast<std::size_t>(w)];
+      }
+    }
+  }
+  auto ref_count = [&](int w, NodeId node) {
+    const auto& refs = site_refs[static_cast<std::size_t>(w)];
+    auto it = refs.find(node);
+    return it == refs.end() ? 0 : it->second;
+  };
+
+  bool moved = true;
+  while (moved) {
+    moved = false;
+    // Candidate circuits on affected wavelengths, in a fixed total order
+    // (wavelength, timeslot, endpoints) so repair is deterministic.
+    std::vector<std::size_t> candidates;
+    for (std::size_t i = 0; i < plan.pairs.size(); ++i) {
+      if (affected.count(plan.pairs[i].wavelength) != 0) {
+        candidates.push_back(i);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [&](std::size_t x, std::size_t y) {
+                const GroomedPair& a = plan.pairs[x];
+                const GroomedPair& b = plan.pairs[y];
+                return std::tie(a.wavelength, a.timeslot, a.pair.a,
+                                a.pair.b) <
+                       std::tie(b.wavelength, b.timeslot, b.pair.a,
+                                b.pair.b);
+              });
+    for (std::size_t idx : candidates) {
+      GroomedPair& gp = plan.pairs[idx];
+      const int w = gp.wavelength;
+      // SADMs freed at the source if this circuit leaves: endpoints no
+      // other circuit on w terminates at.
+      const int freed = (ref_count(w, gp.pair.a) == 1 ? 1 : 0) +
+                        (ref_count(w, gp.pair.b) == 1 ? 1 : 0);
+      if (freed == 0) continue;
+      int best = -1;
+      int best_cost = freed;  // strict improvement only: cost < freed
+      for (int w2 = 0; w2 < wavelengths; ++w2) {
+        if (w2 == w || free_slots[static_cast<std::size_t>(w2)] == 0) {
+          continue;
+        }
+        const int cost = (ref_count(w2, gp.pair.a) > 0 ? 0 : 1) +
+                         (ref_count(w2, gp.pair.b) > 0 ? 0 : 1);
+        if (cost < best_cost) {
+          best_cost = cost;
+          best = w2;
+          if (cost == 0) break;
+        }
+      }
+      if (best < 0) continue;
+      // Commit the move: free the source slot/sites, take the lowest
+      // free slot at the target.
+      auto src = static_cast<std::size_t>(w);
+      auto dst = static_cast<std::size_t>(best);
+      slot_used[src][static_cast<std::size_t>(gp.timeslot)] = false;
+      ++free_slots[src];
+      for (NodeId node : {gp.pair.a, gp.pair.b}) {
+        if (--site_refs[src][node] == 0) site_refs[src].erase(node);
+      }
+      int slot = 0;
+      while (slot_used[dst][static_cast<std::size_t>(slot)]) ++slot;
+      slot_used[dst][static_cast<std::size_t>(slot)] = true;
+      --free_slots[dst];
+      ++site_refs[dst][gp.pair.a];
+      ++site_refs[dst][gp.pair.b];
+      gp.wavelength = best;
+      gp.timeslot = slot;
+      ++stats.repair_moves;
+      moved = true;
+    }
+  }
+}
+
+}  // namespace
+
+ReleaseStats release_demands(GroomingPlan& plan,
+                             const std::vector<DemandPair>& remove,
+                             bool repair) {
+  ReleaseStats stats;
+  TGROOM_CHECK(plan.grooming_factor >= 1);
+  const long long sadms_before = plan_sadm_count(plan);
+  const int wavelengths_before = plan.wavelength_count();
+
+  // Locate every victim before mutating, so a bad release (pair not in
+  // the plan) leaves the plan untouched.  Each removed pair claims the
+  // lowest (wavelength, timeslot) match, which makes duplicate demands
+  // release in a fixed order — WAL replay depends on that.
+  std::vector<std::size_t> victims;
+  std::vector<bool> claimed(plan.pairs.size(), false);
+  victims.reserve(remove.size());
+  for (DemandPair pair : remove) {
+    if (pair.a > pair.b) std::swap(pair.a, pair.b);
+    TGROOM_CHECK_MSG(pair.a >= 0 && pair.b < plan.ring_size &&
+                         pair.a != pair.b,
+                     "released demand outside the ring");
+    std::size_t best = plan.pairs.size();
+    for (std::size_t i = 0; i < plan.pairs.size(); ++i) {
+      if (claimed[i] || plan.pairs[i].pair != pair) continue;
+      if (best == plan.pairs.size() ||
+          std::tie(plan.pairs[i].wavelength, plan.pairs[i].timeslot) <
+              std::tie(plan.pairs[best].wavelength,
+                       plan.pairs[best].timeslot)) {
+        best = i;
+      }
+    }
+    TGROOM_CHECK_MSG(best < plan.pairs.size(),
+                     "released demand is not in the plan");
+    claimed[best] = true;
+    victims.push_back(best);
+  }
+
+  std::set<int> affected;
+  for (std::size_t i : victims) affected.insert(plan.pairs[i].wavelength);
+  std::sort(victims.begin(), victims.end(),
+            std::greater<std::size_t>());
+  for (std::size_t i : victims) {
+    plan.pairs.erase(plan.pairs.begin() + static_cast<std::ptrdiff_t>(i));
+    ++stats.released;
+  }
+
+  if (repair) repair_affected(plan, affected, stats);
+  compact_wavelengths(plan);
+
+  stats.sadms_removed = sadms_before - plan_sadm_count(plan);
+  stats.freed_wavelengths = wavelengths_before - plan.wavelength_count();
+  return stats;
+}
+
+long long plan_fragment_count(const GroomingPlan& plan) {
+  const int wavelengths = plan.wavelength_count();
+  long long fragments = 0;
+  // Union-find per wavelength over that wavelength's endpoints.
+  for (int w = 0; w < wavelengths; ++w) {
+    std::map<NodeId, NodeId> parent;
+    auto find = [&](NodeId x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    long long nodes = 0;
+    long long merges = 0;
+    for (const GroomedPair& gp : plan.pairs) {
+      if (gp.wavelength != w) continue;
+      for (NodeId node : {gp.pair.a, gp.pair.b}) {
+        if (parent.emplace(node, node).second) ++nodes;
+      }
+      NodeId ra = find(gp.pair.a);
+      NodeId rb = find(gp.pair.b);
+      if (ra != rb) {
+        parent[ra] = rb;
+        ++merges;
+      }
+    }
+    fragments += nodes - merges;
+  }
+  return fragments;
+}
+
+bool plan_within_prop2_bound(const GroomingPlan& plan) {
+  const auto m = static_cast<long long>(plan.pairs.size());
+  if (m == 0) return true;
+  const long long fragments = plan_fragment_count(plan);
+  return plan_sadm_count(plan) <=
+         prop2_cost_bound(m, plan.grooming_factor,
+                          static_cast<std::size_t>(fragments));
+}
+
+}  // namespace tgroom

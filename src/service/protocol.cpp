@@ -14,6 +14,7 @@ const char* service_op_name(ServiceOp op) {
   switch (op) {
     case ServiceOp::kGroom: return "groom";
     case ServiceOp::kProvision: return "provision";
+    case ServiceOp::kRelease: return "release";
     case ServiceOp::kStats: return "stats";
     case ServiceOp::kShutdown: return "shutdown";
   }
@@ -206,6 +207,22 @@ void write_incremental_json(JsonWriter& w, const IncrementalResult& result,
   if (include_plan) {
     w.key("plan");
     write_plan_json(w, result.plan);
+  }
+}
+
+void write_release_json(JsonWriter& w, const ReleaseStats& stats,
+                        const GroomingPlan& plan, bool include_plan) {
+  w.kv("released", static_cast<long long>(stats.released));
+  w.kv("repair_moves", static_cast<long long>(stats.repair_moves));
+  w.kv("freed_wavelengths",
+       static_cast<long long>(stats.freed_wavelengths));
+  w.kv("sadms_removed", stats.sadms_removed);
+  w.kv("remaining", static_cast<long long>(plan.pairs.size()));
+  w.kv("sadms", plan_sadm_count(plan));
+  w.kv("wavelengths", static_cast<long long>(plan.wavelength_count()));
+  if (include_plan) {
+    w.key("plan");
+    write_plan_json(w, plan);
   }
 }
 
@@ -465,6 +482,7 @@ bool fast_parse_request(const std::string& line, RequestParse& out) {
   bool have_include_partition = false, have_deadline = false;
   bool have_plan = false, have_plan_id = false, have_add = false;
   bool have_include_plan = false;
+  bool have_remove = false, have_all = false, have_repair = false;
 
   if (!s.peek('}')) {
     do {
@@ -539,6 +557,29 @@ bool fast_parse_request(const std::string& line, RequestParse& out) {
           return false;
         }
         have_include_plan = true;
+      } else if (key == "remove") {
+        if (have_remove || !s.eat('[')) return false;
+        have_remove = true;
+        if (!s.peek(']')) {
+          do {
+            std::int64_t a = 0, b = 0;
+            if (!s.eat('[') || !s.integer(a) || !s.eat(',') ||
+                !s.integer(b) || !s.eat(']')) {
+              return false;
+            }
+            if (a < 0 || b < 0 || a == b) return false;
+            request.remove.push_back(
+                DemandPair{static_cast<NodeId>(std::min(a, b)),
+                           static_cast<NodeId>(std::max(a, b))});
+          } while (s.eat(','));
+        }
+        if (!s.eat(']')) return false;
+      } else if (key == "all") {
+        if (have_all || !s.boolean(request.release_all)) return false;
+        have_all = true;
+      } else if (key == "repair") {
+        if (have_repair || !s.boolean(request.repair)) return false;
+        have_repair = true;
       } else {
         return false;  // unknown key → let the generic parser decide
       }
@@ -551,7 +592,8 @@ bool fast_parse_request(const std::string& line, RequestParse& out) {
   if (op == "groom") {
     request.op = ServiceOp::kGroom;
     if (!have_graph) return false;
-    if (have_plan || have_plan_id || have_add || have_include_plan) {
+    if (have_plan || have_plan_id || have_add || have_include_plan ||
+        have_remove || have_all || have_repair) {
       return false;
     }
     if (k < 1 || k > 1'000'000) return false;
@@ -562,10 +604,27 @@ bool fast_parse_request(const std::string& line, RequestParse& out) {
     if (have_plan == have_plan_id) return false;
     if (have_plan_id && request.plan_id < 0) return false;
     if (!have_add || request.add.empty()) return false;
-    if (have_graph || have_algorithm || have_k || have_seed) return false;
+    if (have_graph || have_algorithm || have_k || have_seed ||
+        have_remove || have_all || have_repair) {
+      return false;
+    }
+  } else if (op == "release") {
+    request.op = ServiceOp::kRelease;
+    if (have_plan == have_plan_id) return false;
+    if (have_plan_id && request.plan_id < 0) return false;
+    // Exactly one of a non-empty "remove" list or "all":true ("all":false
+    // reads as absent, matching the generic parser).
+    const bool removing = have_remove && !request.remove.empty();
+    const bool dropping = have_all && request.release_all;
+    if (removing == dropping) return false;
+    if (have_remove && request.remove.empty()) return false;
+    if (dropping && have_plan) return false;  // "all" needs a held plan
+    if (have_graph || have_algorithm || have_k || have_seed || have_add) {
+      return false;
+    }
   } else if (op == "stats" || op == "shutdown") {
     request.op = op == "stats" ? ServiceOp::kStats : ServiceOp::kShutdown;
-    if (have_graph || have_plan || have_add) return false;
+    if (have_graph || have_plan || have_add || have_remove) return false;
   } else {
     return false;
   }
@@ -615,6 +674,7 @@ RequestParse parse_request(const std::string& line) {
                      "\"op\" (string) is required");
     if (op->string == "groom") request.op = ServiceOp::kGroom;
     else if (op->string == "provision") request.op = ServiceOp::kProvision;
+    else if (op->string == "release") request.op = ServiceOp::kRelease;
     else if (op->string == "stats") request.op = ServiceOp::kStats;
     else if (op->string == "shutdown") request.op = ServiceOp::kShutdown;
     else TGROOM_CHECK_MSG(false, "unknown op '" + op->string + "'");
@@ -658,6 +718,35 @@ RequestParse parse_request(const std::string& line) {
       TGROOM_CHECK_MSG(add != nullptr, "\"add\" is required for provision");
       request.add = demand_pairs_from_json(*add);
       TGROOM_CHECK_MSG(!request.add.empty(), "\"add\" lists no pairs");
+      request.include_plan = bool_field(doc, "include_plan", false);
+    } else if (request.op == ServiceOp::kRelease) {
+      const JsonValue* plan = doc.find("plan");
+      const JsonValue* plan_id = doc.find("plan_id");
+      TGROOM_CHECK_MSG((plan != nullptr) != (plan_id != nullptr),
+                       "release needs exactly one of \"plan\"/\"plan_id\"");
+      if (plan != nullptr) {
+        request.plan = plan_from_json(*plan);
+      } else {
+        request.plan_id = plan_id->as_int();
+        TGROOM_CHECK_MSG(request.plan_id >= 0, "\"plan_id\" must be >= 0");
+      }
+      request.release_all = bool_field(doc, "all", false);
+      const JsonValue* remove = doc.find("remove");
+      if (request.release_all) {
+        TGROOM_CHECK_MSG(remove == nullptr,
+                         "release takes \"remove\" or \"all\", not both");
+        TGROOM_CHECK_MSG(plan == nullptr,
+                         "\"all\" releases a held plan; use \"plan_id\"");
+      } else {
+        TGROOM_CHECK_MSG(remove != nullptr,
+                         "release needs \"remove\" pairs or \"all\":true");
+        TGROOM_CHECK_MSG(remove->is_array(),
+                         "\"remove\" must be an array of [a,b] pairs");
+        request.remove = demand_pairs_from_json(*remove);
+        TGROOM_CHECK_MSG(!request.remove.empty(),
+                         "\"remove\" lists no pairs");
+      }
+      request.repair = bool_field(doc, "repair", true);
       request.include_plan = bool_field(doc, "include_plan", false);
     }
   } catch (const CheckError& e) {

@@ -5,7 +5,7 @@
 // is echoed verbatim in the response (responses may be emitted out of
 // order when the daemon runs with workers).  Grammar:
 //
-//   request    := groom | provision | stats | shutdown
+//   request    := groom | provision | release | stats | shutdown
 //   groom      := {"op":"groom", "id"?:int, "graph":{"n":int,
 //                  "edges":[[u,v],...]}, "algorithm"?:string, "k"?:int,
 //                  "seed"?:int, "refine"?:bool, "smart_branches"?:bool,
@@ -13,6 +13,10 @@
 //                  "deadline_ms"?:int}
 //   provision  := {"op":"provision", "id"?:int,
 //                  ("plan_id":int | "plan":plan), "add":[[a,b],...],
+//                  "include_plan"?:bool, "deadline_ms"?:int}
+//   release    := {"op":"release", "id"?:int,
+//                  ("plan_id":int | "plan":plan),
+//                  ("remove":[[a,b],...] | "all":true), "repair"?:bool,
 //                  "include_plan"?:bool, "deadline_ms"?:int}
 //   stats      := {"op":"stats", "id"?:int}
 //   shutdown   := {"op":"shutdown", "id"?:int}
@@ -39,13 +43,14 @@
 #include "graph/graph.hpp"
 #include "grooming/incremental.hpp"
 #include "grooming/plan.hpp"
+#include "grooming/repair.hpp"
 
 namespace tgroom {
 
 class JsonValue;
 class JsonWriter;
 
-enum class ServiceOp { kGroom, kProvision, kStats, kShutdown };
+enum class ServiceOp { kGroom, kProvision, kRelease, kStats, kShutdown };
 const char* service_op_name(ServiceOp op);
 
 enum class ServiceError {
@@ -73,11 +78,16 @@ struct ServiceRequest {
   bool hold = false;               // keep the plan server-side, return plan_id
   bool include_partition = false;  // echo the partition parts
 
-  // provision fields
+  // provision / release fields
   std::int64_t plan_id = -1;           // >= 0 references a held plan
   std::optional<GroomingPlan> plan;    // inline base plan (stateless mode)
   std::vector<DemandPair> add;
   bool include_plan = false;           // echo the extended plan
+
+  // release fields
+  std::vector<DemandPair> remove;      // circuits to release
+  bool release_all = false;            // drop the whole held plan
+  bool repair = true;                  // local repair after release
 
   // lifecycle (stamped by the server at admission)
   std::int64_t deadline_ms = 0;  // 0 = no deadline
@@ -130,6 +140,12 @@ void write_partition_json(JsonWriter& w,
 /// new_sadms/new_wavelengths/reused_sites/sadms/wavelengths[, plan].
 void write_incremental_json(JsonWriter& w, const IncrementalResult& result,
                             bool include_plan);
+
+/// Emits the release payload keys into an open object:
+/// released/repair_moves/freed_wavelengths/sadms_removed/remaining/
+/// sadms/wavelengths[, plan].  `plan` is the residual plan.
+void write_release_json(JsonWriter& w, const ReleaseStats& stats,
+                        const GroomingPlan& plan, bool include_plan);
 
 /// [[a,b],...] demand pairs; normalizes a < b, rejects a == b.
 std::vector<DemandPair> demand_pairs_from_json(const JsonValue& v);

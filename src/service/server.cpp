@@ -113,6 +113,9 @@ void GroomingService::execute_into(ServiceRequest& request,
       case ServiceOp::kProvision:
         handle_provision(request, w);
         break;
+      case ServiceOp::kRelease:
+        handle_release(request, w);
+        break;
       case ServiceOp::kStats:
         handle_stats(request, w);
         break;
@@ -283,6 +286,74 @@ void GroomingService::handle_provision(ServiceRequest& request,
   }
   w.kv("added", static_cast<long long>(request.add.size()));
   write_incremental_json(w, result, request.include_plan);
+  w.end_object();
+  metrics_.increment(ServiceMetrics::Counter::kOk);
+}
+
+void GroomingService::handle_release(ServiceRequest& request,
+                                     JsonWriter& w) {
+  if (deadline_expired(request)) return deadline_response(request, w);
+
+  ReleaseStats stats;
+  GroomingPlan residual;
+  bool dropped = false;
+  std::uint64_t seq = 0;
+  try {
+    if (request.plan.has_value()) {
+      // Stateless mode mutates no server state, so nothing is logged.
+      residual = std::move(*request.plan);
+      stats = release_demands(residual, request.remove, request.repair);
+    } else {
+      std::lock_guard<std::mutex> lock(plans_mutex_);
+      auto it = plans_.find(request.plan_id);
+      if (it == plans_.end()) {
+        metrics_.increment(ServiceMetrics::Counter::kError);
+        return write_error_response(
+            w, request.id, request.has_id, ServiceError::kBadRequest,
+            "unknown plan_id " + std::to_string(request.plan_id));
+      }
+      if (request.release_all) {
+        residual = GroomingPlan{it->second.ring_size,
+                                it->second.grooming_factor, {}};
+        stats.released = static_cast<int>(it->second.pairs.size());
+        stats.sadms_removed = plan_sadm_count(it->second);
+        stats.freed_wavelengths = it->second.wavelength_count();
+        plans_.erase(it);
+        dropped = true;
+      } else {
+        // Release on a copy first: a bad pair must not leave the held
+        // plan (or the WAL) half-mutated.
+        GroomingPlan updated = it->second;
+        stats = release_demands(updated, request.remove, request.repair);
+        it->second = updated;
+        residual = std::move(updated);
+      }
+      if (store_ != nullptr) {
+        // Append before ack, under the table lock so WAL order equals
+        // table order; the fsync (sync below) happens off the lock.
+        seq = store_->append_release(request.plan_id, request.remove,
+                                     request.release_all, request.repair);
+      }
+    }
+  } catch (const CheckError& e) {
+    metrics_.increment(ServiceMetrics::Counter::kError);
+    return write_error_response(w, request.id, request.has_id,
+                                ServiceError::kBadRequest, e.what());
+  }
+  if (store_ != nullptr && seq != 0) {
+    metrics_.increment(ServiceMetrics::Counter::kStoreAppends);
+    store_->sync(seq);
+    snapshot_store(false);
+  }
+
+  begin_ok_response(w, request.id, request.has_id, ServiceOp::kRelease);
+  if (request.plan_id >= 0) {
+    w.kv("plan_id", static_cast<long long>(request.plan_id));
+  }
+  if (request.release_all) w.kv("dropped", dropped);
+  // A dropped plan never echoes back, whatever include_plan says.
+  write_release_json(w, stats, residual,
+                     request.include_plan && !dropped);
   w.end_object();
   metrics_.increment(ServiceMetrics::Counter::kOk);
 }

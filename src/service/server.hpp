@@ -113,6 +113,7 @@ class GroomingService {
   void handle_groom(ServiceRequest& request, GroomingWorkspace& workspace,
                     JsonWriter& w);
   void handle_provision(ServiceRequest& request, JsonWriter& w);
+  void handle_release(ServiceRequest& request, JsonWriter& w);
   void handle_stats(const ServiceRequest& request, JsonWriter& w);
   void write_cache_stats(JsonWriter& w) const;
   bool deadline_expired(const ServiceRequest& request) const;

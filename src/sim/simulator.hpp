@@ -1,0 +1,101 @@
+// Event-driven dynamic-traffic simulator over a live GroomingPlan.
+//
+// Plays a DemandScript against one plan: arrivals go through
+// extend_plan_incremental (with trial-and-rollback admission when the
+// wavelength budget is finite), departures through release_demands with
+// local repair, and the Proposition 2 fragment bound
+// (plan_within_prop2_bound) is asserted after every mutation.  The
+// simulation outcome is a pure function of (script, options) — wall-clock
+// latency collection is opt-in and reported separately precisely so the
+// deterministic part stays byte-reproducible.
+//
+// run_load_sweep mirrors the blocking-rate-vs-load methodology of the OTN
+// grooming simulators: each load point simulates an independent script
+// (per-point seed derived from the base seed by index) and the sweep
+// reports where the blocking rate first crosses a threshold.  Points fan
+// out across a ThreadPool into index-addressed slots, so the result is
+// bit-identical for any worker count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/traffic.hpp"
+
+namespace tgroom {
+
+struct SimOptions {
+  int k = 16;                // grooming factor of the simulated ring
+  int max_wavelengths = 0;   // 0 = unbounded (nothing ever blocks)
+  bool repair = true;        // local repair on departures
+  bool check_bound = true;   // assert Prop-2 fragment bound per event
+  bool collect_latency = false;  // wall-clock percentiles (nondeterministic)
+};
+
+/// Percentiles over one operation class, in microseconds.
+struct LatencySummary {
+  long long count = 0;
+  double p50_us = 0.0;
+  double p90_us = 0.0;
+  double p99_us = 0.0;
+  double max_us = 0.0;
+};
+
+struct SimResult {
+  std::size_t arrivals = 0;
+  std::size_t accepted = 0;
+  std::size_t blocked = 0;
+  std::size_t departures = 0;       // releases actually performed
+  double blocking_rate = 0.0;       // blocked / arrivals
+
+  // SADM churn: installs at arrivals, removals at departures.
+  long long sadms_added = 0;
+  long long sadms_removed = 0;
+  long long repair_moves = 0;
+  long long freed_wavelengths = 0;
+
+  long long peak_sadms = 0;
+  int peak_wavelengths = 0;
+  long long final_sadms = 0;
+  int final_wavelengths = 0;
+  std::size_t residual_demands = 0;  // circuits still up at script end
+
+  bool bound_ok = true;  // Prop-2 fragment bound held after every event
+
+  // Populated only with options.collect_latency.
+  LatencySummary arrival_latency;
+  LatencySummary release_latency;
+};
+
+/// Runs the whole script against a fresh plan.  Deterministic up to the
+/// latency summaries (see header comment).
+SimResult simulate_script(const DemandScript& script,
+                          const SimOptions& options);
+
+struct LoadSweepOptions {
+  TrafficConfig traffic;  // base config; `load` and `seed` set per point
+  SimOptions sim;
+  double load_start = 0.5;
+  double load_step = 0.5;
+  int load_steps = 8;
+  double blocking_threshold = 0.01;  // sweep "saturation" criterion
+  std::size_t workers = 0;           // 0 = inline
+};
+
+struct LoadPoint {
+  double load = 0.0;
+  SimResult result;
+};
+
+struct LoadSweepResult {
+  std::vector<LoadPoint> points;
+  int threshold_index = -1;  // first point at/over the threshold, or -1
+};
+
+/// Per-point seed: decorrelated stream derived from (base_seed, index),
+/// so every load point is an independent but reproducible script.
+std::uint64_t load_point_seed(std::uint64_t base_seed, std::size_t index);
+
+LoadSweepResult run_load_sweep(const LoadSweepOptions& options);
+
+}  // namespace tgroom

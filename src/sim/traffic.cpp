@@ -1,0 +1,118 @@
+#include "sim/traffic.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <tuple>
+
+namespace tgroom {
+
+const char* traffic_model_name(TrafficModel model) {
+  switch (model) {
+    case TrafficModel::kPoisson: return "poisson";
+    case TrafficModel::kDiurnal: return "diurnal";
+    case TrafficModel::kFlash: return "flash";
+  }
+  return "?";
+}
+
+std::optional<TrafficModel> parse_traffic_model(const std::string& name) {
+  if (name == "poisson") return TrafficModel::kPoisson;
+  if (name == "diurnal") return TrafficModel::kDiurnal;
+  if (name == "flash") return TrafficModel::kFlash;
+  return std::nullopt;
+}
+
+namespace {
+
+constexpr double kTwoPi = 6.283185307179586476925286766559;
+
+/// Exponential variate with the given mean; 1 - u keeps the argument of
+/// log strictly positive (uniform01 can return 0, never 1).
+double exponential(Rng& rng, double mean) {
+  return -mean * std::log(1.0 - rng.uniform01());
+}
+
+double peak_rate(const TrafficConfig& config) {
+  const double base = config.arrival_rate * config.load;
+  if (config.model == TrafficModel::kFlash) {
+    return base * std::max(1.0, config.flash_multiplier);
+  }
+  return base;
+}
+
+}  // namespace
+
+double traffic_rate_at(const TrafficConfig& config, double t) {
+  const double base = config.arrival_rate * config.load;
+  switch (config.model) {
+    case TrafficModel::kPoisson:
+      return base;
+    case TrafficModel::kDiurnal: {
+      // Swings between base and (1 - depth) * base over one period.
+      const double phase =
+          0.5 + 0.5 * std::sin(kTwoPi * t / config.diurnal_period);
+      return base * (1.0 - config.diurnal_depth * phase);
+    }
+    case TrafficModel::kFlash: {
+      const bool in_burst = t >= config.flash_start &&
+                            t < config.flash_start + config.flash_duration;
+      return in_burst ? base * config.flash_multiplier : base;
+    }
+  }
+  return base;
+}
+
+DemandScript generate_script(const TrafficConfig& config) {
+  TGROOM_CHECK_MSG(config.ring_size >= 2,
+                   "traffic needs at least two ring nodes");
+  TGROOM_CHECK_MSG(config.arrival_rate > 0.0 && config.load > 0.0,
+                   "arrival rate and load must be positive");
+  TGROOM_CHECK_MSG(config.mean_holding > 0.0,
+                   "mean holding time must be positive");
+  TGROOM_CHECK_MSG(config.diurnal_depth >= 0.0 && config.diurnal_depth < 1.0,
+                   "diurnal depth must be in [0, 1)");
+  TGROOM_CHECK_MSG(config.diurnal_period > 0.0 && config.flash_duration >= 0.0,
+                   "traffic periods must be positive");
+  TGROOM_CHECK_MSG(config.flash_multiplier >= 1.0,
+                   "flash multiplier must be >= 1");
+
+  DemandScript script;
+  script.config = config;
+  script.demands.reserve(config.arrivals);
+  script.arrival_time.reserve(config.arrivals);
+  script.departure_time.reserve(config.arrivals);
+
+  Rng rng(config.seed);
+  const double peak = peak_rate(config);
+  double t = 0.0;
+  while (script.demands.size() < config.arrivals) {
+    // Lewis–Shedler thinning: candidate points at the peak rate, each
+    // kept with probability rate(t) / peak.
+    t += exponential(rng, 1.0 / peak);
+    if (rng.uniform01() * peak > traffic_rate_at(config, t)) continue;
+    const auto a = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(config.ring_size)));
+    auto b = static_cast<NodeId>(
+        rng.below(static_cast<std::uint64_t>(config.ring_size - 1)));
+    if (b >= a) ++b;  // uniform over nodes != a
+    script.demands.push_back(DemandPair{std::min(a, b), std::max(a, b)});
+    script.arrival_time.push_back(t);
+    script.departure_time.push_back(t + exponential(rng, config.mean_holding));
+  }
+
+  script.events.reserve(2 * config.arrivals);
+  for (std::uint32_t i = 0; i < script.demands.size(); ++i) {
+    script.events.push_back(
+        SimEvent{script.arrival_time[i], SimEvent::Kind::kArrival, i});
+    script.events.push_back(
+        SimEvent{script.departure_time[i], SimEvent::Kind::kDeparture, i});
+  }
+  std::sort(script.events.begin(), script.events.end(),
+            [](const SimEvent& x, const SimEvent& y) {
+              return std::tie(x.time, x.kind, x.demand) <
+                     std::tie(y.time, y.kind, y.demand);
+            });
+  return script;
+}
+
+}  // namespace tgroom

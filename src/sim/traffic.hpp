@@ -1,0 +1,78 @@
+// Seeded dynamic-traffic generation for the event-driven simulator.
+//
+// A DemandScript is the whole workload decided up front: every demand's
+// endpoints, arrival time, and departure time, plus the merged event
+// timeline.  Pre-generating (rather than drawing randomness during the
+// simulation) keeps the simulator itself deterministic and lets a load
+// sweep re-run the identical script family at different load multipliers.
+//
+// Three arrival processes, all driven by one Rng stream via Lewis–Shedler
+// thinning against the model's peak rate:
+//  - poisson: homogeneous rate `arrival_rate * load`.
+//  - diurnal: sinusoidal modulation between (1 - depth) and 1 of the base
+//    rate with period `diurnal_period` (the day/night cycle).
+//  - flash:   base rate, except `flash_multiplier` x inside the window
+//    [flash_start, flash_start + flash_duration) (the flash crowd).
+// Holding times are exponential with mean `mean_holding`; endpoints are
+// uniform distinct ring nodes.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "grooming/demand.hpp"
+#include "util/rng.hpp"
+
+namespace tgroom {
+
+enum class TrafficModel { kPoisson, kDiurnal, kFlash };
+
+const char* traffic_model_name(TrafficModel model);
+/// Parses "poisson" / "diurnal" / "flash"; nullopt otherwise.
+std::optional<TrafficModel> parse_traffic_model(const std::string& name);
+
+struct TrafficConfig {
+  TrafficModel model = TrafficModel::kPoisson;
+  NodeId ring_size = 16;
+  double arrival_rate = 4.0;     // base arrivals per unit time
+  double mean_holding = 4.0;     // mean circuit lifetime
+  double load = 1.0;             // multiplier on arrival_rate (sweep axis)
+  double diurnal_depth = 0.5;    // trough rate = (1 - depth) * base
+  double diurnal_period = 64.0;  // one day, in sim time units
+  double flash_start = 32.0;
+  double flash_duration = 8.0;
+  double flash_multiplier = 4.0;
+  std::size_t arrivals = 1000;   // demands to generate
+  std::uint64_t seed = 1;
+};
+
+struct SimEvent {
+  // Departures sort before arrivals at equal timestamps so capacity is
+  // freed before it is asked for; the demand index breaks remaining ties
+  // for a total deterministic order.
+  enum class Kind : std::uint8_t { kDeparture = 0, kArrival = 1 };
+
+  double time = 0.0;
+  Kind kind = Kind::kArrival;
+  std::uint32_t demand = 0;  // index into DemandScript::demands
+};
+
+struct DemandScript {
+  TrafficConfig config;
+  std::vector<DemandPair> demands;      // demand i's endpoints
+  std::vector<double> arrival_time;     // per demand
+  std::vector<double> departure_time;   // per demand
+  std::vector<SimEvent> events;         // merged, totally ordered
+};
+
+/// The instantaneous arrival rate at time `t` under `config` (exposed for
+/// tests pinning the modulation shapes).
+double traffic_rate_at(const TrafficConfig& config, double t);
+
+/// Generates the full script for `config`.  Deterministic: a pure
+/// function of the config (including the seed).
+DemandScript generate_script(const TrafficConfig& config);
+
+}  // namespace tgroom

@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "grooming/incremental.hpp"
+#include "grooming/repair.hpp"
 
 namespace tgroom {
 
@@ -44,6 +45,27 @@ void apply_record(RecoveredState& state, std::uint64_t seq,
       extend_plan_incremental(it->second, pairs);
       break;
     }
+    case WalRecordType::kRelease: {
+      const std::int64_t plan_id = r.i64();
+      const std::uint8_t flags = r.u8();
+      const bool drop_all = (flags & 1u) != 0;
+      const bool repair = (flags & 2u) != 0;
+      const std::vector<DemandPair> pairs = decode_demand_pairs(r);
+      auto it = state.plans.find(plan_id);
+      if (it == state.plans.end()) {
+        throw StoreCorruptError(
+            "WAL record " + std::to_string(seq) +
+            " releases unknown plan " + std::to_string(plan_id));
+      }
+      if (drop_all) {
+        state.plans.erase(it);
+      } else {
+        // Same deterministic-replay contract as provisions: the record
+        // logs the released pairs, release_demands recomputes the repair.
+        release_demands(it->second, pairs, repair);
+      }
+      break;
+    }
   }
   if (!r.at_end()) {
     throw StoreCorruptError("WAL record " + std::to_string(seq) +
@@ -72,7 +94,13 @@ RecoveredState recover_store_state(const std::string& dir,
   }
   const WalReplayStats stats = replay_wal(
       dir, after_seq,
-      [&state](std::uint64_t seq, WalRecordType type, std::string_view body) {
+      [&state, &rec](std::uint64_t seq, WalRecordType type,
+                     std::string_view body) {
+        switch (type) {
+          case WalRecordType::kHoldPlan: ++rec.hold_records; break;
+          case WalRecordType::kProvision: ++rec.provision_records; break;
+          case WalRecordType::kRelease: ++rec.release_records; break;
+        }
         apply_record(state, seq, type, body);
       },
       repair);
@@ -127,6 +155,22 @@ std::uint64_t DurableStore::append_provision(
   encode_demand_pairs(body_, pairs);
   const std::uint64_t seq =
       wal_->append(WalRecordType::kProvision, body_.str());
+  records_appended_.fetch_add(1, std::memory_order_relaxed);
+  return seq;
+}
+
+std::uint64_t DurableStore::append_release(
+    std::int64_t plan_id, const std::vector<DemandPair>& pairs,
+    bool drop_all, bool repair) {
+  static const std::vector<DemandPair> kNone;
+  std::lock_guard<std::mutex> lock(encode_mutex_);
+  body_.clear();
+  body_.i64(plan_id);
+  body_.u8(static_cast<std::uint8_t>((drop_all ? 1u : 0u) |
+                                     (repair ? 2u : 0u)));
+  encode_demand_pairs(body_, drop_all ? kNone : pairs);
+  const std::uint64_t seq =
+      wal_->append(WalRecordType::kRelease, body_.str());
   records_appended_.fetch_add(1, std::memory_order_relaxed);
   return seq;
 }
@@ -203,6 +247,11 @@ void DurableStore::write_json(JsonWriter& w) const {
        static_cast<std::uint64_t>(recovery_.wal_records_replayed));
   w.kv("wal_records_skipped",
        static_cast<std::uint64_t>(recovery_.wal_records_skipped));
+  w.kv("hold_records", static_cast<std::uint64_t>(recovery_.hold_records));
+  w.kv("provision_records",
+       static_cast<std::uint64_t>(recovery_.provision_records));
+  w.kv("release_records",
+       static_cast<std::uint64_t>(recovery_.release_records));
   w.kv("torn_truncated", recovery_.torn_truncated);
   w.kv("last_seq", recovery_.last_seq);
   w.end_object();

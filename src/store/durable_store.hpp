@@ -54,6 +54,10 @@ struct StoreRecovery {
   std::size_t wal_segments = 0;
   std::size_t wal_records_replayed = 0;
   std::size_t wal_records_skipped = 0;  // already covered by the snapshot
+  // Replayed-record breakdown by type (`tgroom store-dump` triage).
+  std::size_t hold_records = 0;
+  std::size_t provision_records = 0;
+  std::size_t release_records = 0;
   bool torn_truncated = false;
   std::uint64_t last_seq = 0;  // the WAL resumes at last_seq + 1
 };
@@ -100,6 +104,12 @@ class DurableStore {
   /// Appends a provision record (pairs added to an existing plan).
   std::uint64_t append_provision(std::int64_t plan_id,
                                  const std::vector<DemandPair>& pairs);
+  /// Appends a release record.  With `drop_all` the plan leaves the table
+  /// entirely (`pairs` is ignored and encoded empty); otherwise the pairs
+  /// are released through release_demands with the given repair flag.
+  std::uint64_t append_release(std::int64_t plan_id,
+                               const std::vector<DemandPair>& pairs,
+                               bool drop_all, bool repair);
 
   void sync(std::uint64_t seq) { wal_->sync(seq); }
   /// Forces all appended records durable (drain / shutdown path).

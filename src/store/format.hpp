@@ -26,8 +26,11 @@
 
 namespace tgroom {
 
-/// Layout version of WAL records and snapshot bodies.
-inline constexpr std::uint32_t kStoreFormatVersion = 1;
+/// Layout version of WAL records and snapshot bodies.  v2 added the
+/// kRelease WAL record (demand release with local repair) — a v1 reader
+/// would replay a v2 log into the wrong held-plan table, so the bump is
+/// a hard gate.
+inline constexpr std::uint32_t kStoreFormatVersion = 2;
 
 /// A store file was written by a different store or fingerprint format
 /// version.  Deliberate hard stop: replaying it could only produce a

@@ -399,7 +399,8 @@ WalReplayStats replay_wal(
                                 "has " + std::to_string(seq) + ")");
       }
       if (type_byte != static_cast<std::uint8_t>(WalRecordType::kHoldPlan) &&
-          type_byte != static_cast<std::uint8_t>(WalRecordType::kProvision)) {
+          type_byte != static_cast<std::uint8_t>(WalRecordType::kProvision) &&
+          type_byte != static_cast<std::uint8_t>(WalRecordType::kRelease)) {
         throw StoreCorruptError(path + ": unknown record type " +
                                 std::to_string(type_byte));
       }

@@ -48,6 +48,8 @@ FsyncPolicy parse_fsync_policy(const std::string& text);
 enum class WalRecordType : std::uint8_t {
   kHoldPlan = 1,   // body: i64 plan_id, plan, cache entry (prewarm payload)
   kProvision = 2,  // body: i64 plan_id, demand pairs appended to that plan
+  kRelease = 3,    // body: i64 plan_id, u8 flags (bit0 = drop whole plan,
+                   // bit1 = local repair), demand pairs released
 };
 
 /// Counters shared by the WAL writer, snapshotter, and compactor; read by

@@ -16,8 +16,10 @@
 #include "nphard/gadget.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
+#include "sim/simulator.hpp"
 #include "sonet/protection.hpp"
 #include "store/durable_store.hpp"
+#include "store/format.hpp"
 #include "sonet/simulator.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -106,6 +108,232 @@ std::optional<std::vector<int>> int_list_flag(const CliArgs& args,
   return values;
 }
 
+void write_latency_json(JsonWriter& w, std::string_view key,
+                        const LatencySummary& latency) {
+  w.key(key).begin_object();
+  w.kv("count", static_cast<long long>(latency.count));
+  w.kv("p50_us", latency.p50_us);
+  w.kv("p90_us", latency.p90_us);
+  w.kv("p99_us", latency.p99_us);
+  w.kv("max_us", latency.max_us);
+  w.end_object();
+}
+
+void write_sim_result_json(JsonWriter& w, const SimResult& result,
+                           bool timing) {
+  w.kv("arrivals", static_cast<long long>(result.arrivals));
+  w.kv("accepted", static_cast<long long>(result.accepted));
+  w.kv("blocked", static_cast<long long>(result.blocked));
+  w.kv("blocking_rate", result.blocking_rate);
+  w.kv("departures", static_cast<long long>(result.departures));
+  w.kv("sadms_added", result.sadms_added);
+  w.kv("sadms_removed", result.sadms_removed);
+  w.kv("repair_moves", result.repair_moves);
+  w.kv("freed_wavelengths", result.freed_wavelengths);
+  w.kv("peak_sadms", result.peak_sadms);
+  w.kv("peak_wavelengths", static_cast<long long>(result.peak_wavelengths));
+  w.kv("final_sadms", result.final_sadms);
+  w.kv("final_wavelengths",
+       static_cast<long long>(result.final_wavelengths));
+  w.kv("residual_demands",
+       static_cast<long long>(result.residual_demands));
+  w.kv("bound_ok", result.bound_ok);
+  if (timing) {
+    write_latency_json(w, "arrival_latency", result.arrival_latency);
+    write_latency_json(w, "release_latency", result.release_latency);
+  }
+}
+
+void print_latency_text(std::ostream& out, const char* label,
+                        const LatencySummary& latency) {
+  out << label << "p50=" << TextTable::num(latency.p50_us, 1)
+      << "us p90=" << TextTable::num(latency.p90_us, 1)
+      << "us p99=" << TextTable::num(latency.p99_us, 1)
+      << "us max=" << TextTable::num(latency.max_us, 1) << "us (n="
+      << latency.count << ")\n";
+}
+
+void print_sim_result_text(std::ostream& out, const SimResult& result,
+                           bool timing) {
+  out << "arrivals:          " << result.arrivals << "\n"
+      << "accepted:          " << result.accepted << "\n"
+      << "blocked:           " << result.blocked << "\n"
+      << "blocking rate:     "
+      << TextTable::num(result.blocking_rate * 100.0, 2) << "%\n"
+      << "departures:        " << result.departures << "\n"
+      << "SADMs added:       " << result.sadms_added << "\n"
+      << "SADMs removed:     " << result.sadms_removed << "\n"
+      << "repair moves:      " << result.repair_moves << "\n"
+      << "freed wavelengths: " << result.freed_wavelengths << "\n"
+      << "peak SADMs:        " << result.peak_sadms << "\n"
+      << "peak wavelengths:  " << result.peak_wavelengths << "\n"
+      << "final SADMs:       " << result.final_sadms << "\n"
+      << "final wavelengths: " << result.final_wavelengths << "\n"
+      << "residual demands:  " << result.residual_demands << "\n"
+      << "prop2 bound:       " << (result.bound_ok ? "ok" : "VIOLATED")
+      << "\n";
+  if (timing) {
+    print_latency_text(out, "arrival latency:   ", result.arrival_latency);
+    print_latency_text(out, "release latency:   ", result.release_latency);
+  }
+}
+
+/// The dynamic-traffic mode of `tgroom simulate` (active when --traffic is
+/// given): generates a seeded DemandScript and plays it through the
+/// arrival/release event loop, or sweeps load until blocking crosses the
+/// threshold when --load-steps is set.
+int cmd_simulate_dynamic(const CliArgs& args, std::ostream& out,
+                         std::ostream& err) {
+  auto json = json_format_flag(args, err);
+  if (!json) return 2;
+  const std::string model_name = args.get("traffic", "poisson");
+  auto model = parse_traffic_model(model_name);
+  if (!model) {
+    err << "--traffic expects poisson|diurnal|flash, got '" << model_name
+        << "'\n";
+    return 2;
+  }
+
+  TrafficConfig traffic;
+  traffic.model = *model;
+  traffic.ring_size = static_cast<NodeId>(args.get_int("ring", 16));
+  traffic.arrival_rate = args.get_double("rate", 4.0);
+  traffic.mean_holding = args.get_double("holding", 4.0);
+  traffic.load = args.get_double("load", 1.0);
+  traffic.diurnal_depth = args.get_double("depth", 0.5);
+  traffic.diurnal_period = args.get_double("period", 64.0);
+  traffic.flash_start = args.get_double("flash-start", 32.0);
+  traffic.flash_duration = args.get_double("flash-duration", 8.0);
+  traffic.flash_multiplier = args.get_double("flash-mult", 4.0);
+  traffic.arrivals = static_cast<std::size_t>(args.get_int("events", 1000));
+  traffic.seed = static_cast<std::uint64_t>(args.get_int("seed", 1));
+
+  SimOptions sim;
+  sim.k = static_cast<int>(args.get_int("k", 16));
+  sim.max_wavelengths = static_cast<int>(args.get_int("max-wavelengths", 0));
+  sim.repair = args.get_bool("repair", true);
+  sim.check_bound = args.get_bool("check-bound", true);
+  sim.collect_latency = args.get_bool("timing", false);
+
+  const int load_steps = static_cast<int>(args.get_int("load-steps", 0));
+  try {
+    if (load_steps <= 0) {
+      const SimResult result = simulate_script(generate_script(traffic), sim);
+      if (*json) {
+        JsonWriter w;
+        w.begin_object();
+        w.kv("traffic", traffic_model_name(traffic.model));
+        w.kv("ring", static_cast<long long>(traffic.ring_size));
+        w.kv("k", static_cast<long long>(sim.k));
+        w.kv("seed", traffic.seed);
+        w.kv("load", traffic.load);
+        w.kv("max_wavelengths",
+             static_cast<long long>(sim.max_wavelengths));
+        w.kv("repair", sim.repair);
+        write_sim_result_json(w, result, sim.collect_latency);
+        w.end_object();
+        out << w.str() << "\n";
+      } else {
+        out << "# tgroom simulate: traffic="
+            << traffic_model_name(traffic.model) << " ring="
+            << traffic.ring_size << " k=" << sim.k << " arrivals="
+            << traffic.arrivals << " seed=" << traffic.seed << " load="
+            << TextTable::num(traffic.load, 2) << " max_wavelengths="
+            << sim.max_wavelengths << " repair="
+            << (sim.repair ? "on" : "off") << "\n";
+        print_sim_result_text(out, result, sim.collect_latency);
+      }
+      return result.bound_ok ? 0 : 1;
+    }
+
+    LoadSweepOptions sweep_options;
+    sweep_options.traffic = traffic;
+    sweep_options.sim = sim;
+    sweep_options.load_start = args.get_double("load-start", 0.5);
+    sweep_options.load_step = args.get_double("load-step", 0.5);
+    sweep_options.load_steps = load_steps;
+    sweep_options.blocking_threshold = args.get_double("threshold", 0.01);
+    sweep_options.workers =
+        static_cast<std::size_t>(args.get_int("workers", 0));
+    const LoadSweepResult sweep = run_load_sweep(sweep_options);
+    bool all_bounds_ok = true;
+    for (const LoadPoint& point : sweep.points) {
+      all_bounds_ok = all_bounds_ok && point.result.bound_ok;
+    }
+    if (*json) {
+      JsonWriter w;
+      w.begin_object();
+      w.kv("traffic", traffic_model_name(traffic.model));
+      w.kv("ring", static_cast<long long>(traffic.ring_size));
+      w.kv("k", static_cast<long long>(sim.k));
+      w.kv("seed", traffic.seed);
+      w.kv("max_wavelengths", static_cast<long long>(sim.max_wavelengths));
+      w.kv("repair", sim.repair);
+      w.kv("blocking_threshold", sweep_options.blocking_threshold);
+      w.kv("threshold_index",
+           static_cast<long long>(sweep.threshold_index));
+      if (sweep.threshold_index >= 0) {
+        w.kv("threshold_load",
+             sweep.points[static_cast<std::size_t>(sweep.threshold_index)]
+                 .load);
+      } else {
+        w.key("threshold_load").null();
+      }
+      w.key("points").begin_array();
+      for (const LoadPoint& point : sweep.points) {
+        w.begin_object();
+        w.kv("load", point.load);
+        write_sim_result_json(w, point.result, sim.collect_latency);
+        w.end_object();
+      }
+      w.end_array();
+      w.end_object();
+      out << w.str() << "\n";
+    } else {
+      TextTable table(
+          "load sweep: traffic=" +
+          std::string(traffic_model_name(traffic.model)) + ", ring=" +
+          std::to_string(traffic.ring_size) + ", k=" + std::to_string(sim.k) +
+          ", max_wavelengths=" + std::to_string(sim.max_wavelengths) +
+          ", threshold=" +
+          TextTable::num(sweep_options.blocking_threshold * 100.0, 2) + "%");
+      table.set_header({"load", "arrivals", "blocked", "blocking",
+                        "peak waves", "peak SADMs", "bound"});
+      for (const LoadPoint& point : sweep.points) {
+        table.add_row(
+            {TextTable::num(point.load, 2),
+             TextTable::num(static_cast<long long>(point.result.arrivals)),
+             TextTable::num(static_cast<long long>(point.result.blocked)),
+             TextTable::num(point.result.blocking_rate * 100.0, 2) + "%",
+             TextTable::num(
+                 static_cast<long long>(point.result.peak_wavelengths)),
+             TextTable::num(point.result.peak_sadms),
+             point.result.bound_ok ? "ok" : "VIOLATED"});
+      }
+      table.print(out);
+      if (sweep.threshold_index >= 0) {
+        out << "blocking crosses "
+            << TextTable::num(sweep_options.blocking_threshold * 100.0, 2)
+            << "% at load "
+            << TextTable::num(
+                   sweep.points[static_cast<std::size_t>(
+                                    sweep.threshold_index)]
+                       .load,
+                   2)
+            << "\n";
+      } else {
+        out << "blocking never crosses "
+            << TextTable::num(sweep_options.blocking_threshold * 100.0, 2)
+            << "% on this load grid\n";
+      }
+    }
+    return all_bounds_ok ? 0 : 1;
+  } catch (const CheckError& e) {
+    err << e.what() << "\n";
+    return 1;
+  }
+}
+
 }  // namespace
 
 std::string usage() {
@@ -120,7 +348,16 @@ std::string usage() {
       "             [--anneal-iterations I] [--smart-branches]\n"
       "             [--format text|json]\n"
       "             reads a demand file on stdin, writes a plan file\n"
-      "  simulate   reads a plan file on stdin, prints the ring report\n"
+      "  simulate   reads a plan file on stdin, prints the ring report;\n"
+      "             with --traffic poisson|diurnal|flash runs the dynamic\n"
+      "             event-driven simulator instead: [--ring N] [--k K]\n"
+      "             [--events E] [--rate R] [--holding H] [--load L]\n"
+      "             [--max-wavelengths W] [--repair BOOL] [--seed S]\n"
+      "             [--depth D] [--period P] [--flash-start T]\n"
+      "             [--flash-duration T] [--flash-mult M] [--timing]\n"
+      "             [--format text|json]; add --load-steps N [--load-start\n"
+      "             L0] [--load-step DL] [--threshold B] [--workers W] to\n"
+      "             sweep load until blocking crosses the threshold\n"
       "  survive    reads a plan file on stdin, prints survivability\n"
       "  compare    --k K  reads a demand file, prints per-algorithm table\n"
       "  grow       --add a-b,c-d  reads a plan file, provisions the new\n"
@@ -142,7 +379,9 @@ std::string usage() {
       "             --data-dir makes held plans survive crashes (WAL +\n"
       "             snapshots, recovered on restart)\n"
       "  store-dump --data-dir PATH  read-only recovery: prints the\n"
-      "             held-plan table a restarted daemon would serve\n"
+      "             held-plan table a restarted daemon would serve; a\n"
+      "             summary with the store format version and per-record-\n"
+      "             type counts goes to stderr\n"
       "\n"
       "algorithms: Algo1-Goldschmidt, Algo2-Brauner, Algo3-WangGu,\n"
       "            SpanT_Euler, Regular_Euler, CliquePack (aliases: algo1,\n"
@@ -227,7 +466,9 @@ int cmd_groom(const CliArgs& args, std::istream& in, std::ostream& out,
 
 int cmd_simulate(const CliArgs& args, std::istream& in, std::ostream& out,
                  std::ostream& err) {
-  (void)args;
+  // --traffic switches to the dynamic event-driven mode; without it the
+  // command keeps its original contract (plan file on stdin, ring report).
+  if (args.has("traffic")) return cmd_simulate_dynamic(args, out, err);
   try {
     GroomingPlan plan = parse_plan(slurp(in));
     UpsrRing ring(plan.ring_size);
@@ -560,9 +801,13 @@ int cmd_store_dump(const CliArgs& args, std::ostream& out,
               [](const auto& a, const auto& b) { return a.first < b.first; });
     // Recovery details go to stderr so stdout is a pure function of the
     // recovered state (the crash harness diffs stdout across runs).
-    err << "store-dump: snapshot_seq=" << recovery.snapshot_seq
+    err << "store-dump: version=" << kStoreFormatVersion
+        << " snapshot_seq=" << recovery.snapshot_seq
         << " wal_records=" << recovery.wal_records_replayed
-        << " torn=" << (recovery.torn_truncated ? 1 : 0) << "\n";
+        << " torn=" << (recovery.torn_truncated ? 1 : 0)
+        << " hold=" << recovery.hold_records
+        << " provision=" << recovery.provision_records
+        << " release=" << recovery.release_records << "\n";
     out << "# tgroom store: last_seq=" << recovery.last_seq
         << " plans=" << plans.size() << " next_plan_id=" << state.next_plan_id
         << "\n";

@@ -1,0 +1,314 @@
+// release_demands: exact removal semantics, local repair quality, the
+// Prop-2 fragment bound, and parity against fresh re-grooming of the
+// residual demand set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "algorithms/algorithm.hpp"
+#include "gen/traffic_patterns.hpp"
+#include "grooming/incremental.hpp"
+#include "grooming/repair.hpp"
+#include "sonet/simulator.hpp"
+#include "util/rng.hpp"
+
+namespace tgroom {
+namespace {
+
+GroomingPlan base_plan(NodeId n, double dense, int k, std::uint64_t seed) {
+  Rng rng(seed);
+  DemandSet demands = random_traffic(n, dense, rng);
+  Graph traffic = demands.traffic_graph();
+  EdgePartition p = run_algorithm(AlgorithmId::kSpanTEuler, traffic, k);
+  return plan_from_partition(demands, traffic, p);
+}
+
+std::multiset<DemandPair> pair_multiset(const GroomingPlan& plan) {
+  std::multiset<DemandPair> pairs;
+  for (const GroomedPair& gp : plan.pairs) pairs.insert(gp.pair);
+  return pairs;
+}
+
+/// The plan still simulates cleanly on the ring (slots unique, k respected).
+void expect_valid(const GroomingPlan& plan) {
+  UpsrRing ring(plan.ring_size);
+  SimulationResult sim = simulate_plan(ring, plan);
+  EXPECT_TRUE(sim.ok) << sim.issue;
+}
+
+TEST(Release, RemovesExactlyTheRequestedPairs) {
+  GroomingPlan plan = base_plan(12, 0.5, 4, 1);
+  std::multiset<DemandPair> expected = pair_multiset(plan);
+  const std::vector<DemandPair> remove = {plan.pairs[0].pair,
+                                          plan.pairs[3].pair};
+  for (const DemandPair& p : remove) expected.erase(expected.find(p));
+
+  ReleaseStats stats = release_demands(plan, remove);
+  EXPECT_EQ(stats.released, 2);
+  EXPECT_EQ(pair_multiset(plan), expected);
+  expect_valid(plan);
+}
+
+TEST(Release, NormalizesEndpointOrder) {
+  GroomingPlan plan;
+  plan.ring_size = 8;
+  plan.grooming_factor = 4;
+  plan.pairs = {{DemandPair{0, 3}, 0, 0}, {DemandPair{2, 5}, 0, 1}};
+  ReleaseStats stats = release_demands(plan, {DemandPair{5, 2}});
+  EXPECT_EQ(stats.released, 1);
+  ASSERT_EQ(plan.pairs.size(), 1u);
+  EXPECT_EQ(plan.pairs[0].pair, (DemandPair{0, 3}));
+}
+
+TEST(Release, DuplicateCircuitsReleaseLowestSlotFirst) {
+  // Two circuits for the same pair; one release call removes exactly one —
+  // the lowest (wavelength, timeslot) — and a second removes the other.
+  GroomingPlan plan;
+  plan.ring_size = 6;
+  plan.grooming_factor = 4;
+  plan.pairs = {{DemandPair{1, 4}, 1, 0}, {DemandPair{1, 4}, 0, 2},
+                {DemandPair{0, 5}, 0, 0}};
+  release_demands(plan, {DemandPair{1, 4}}, /*repair=*/false);
+  ASSERT_EQ(plan.pairs.size(), 2u);
+  // The (0, 2) copy went first; the wavelength-1 copy survives (as the
+  // only circuit there it may have been renumbered by compaction).
+  int survivors = 0;
+  for (const GroomedPair& gp : plan.pairs) {
+    if (gp.pair == (DemandPair{1, 4})) ++survivors;
+  }
+  EXPECT_EQ(survivors, 1);
+  release_demands(plan, {DemandPair{1, 4}}, /*repair=*/false);
+  ASSERT_EQ(plan.pairs.size(), 1u);
+  EXPECT_EQ(plan.pairs[0].pair, (DemandPair{0, 5}));
+}
+
+TEST(Release, OneCallReleasesBothCopiesWhenAskedTwice) {
+  GroomingPlan plan;
+  plan.ring_size = 6;
+  plan.grooming_factor = 4;
+  plan.pairs = {{DemandPair{1, 4}, 0, 0}, {DemandPair{1, 4}, 0, 1}};
+  ReleaseStats stats =
+      release_demands(plan, {DemandPair{1, 4}, DemandPair{1, 4}});
+  EXPECT_EQ(stats.released, 2);
+  EXPECT_TRUE(plan.pairs.empty());
+}
+
+TEST(Release, ErrorsLeaveThePlanUntouched) {
+  GroomingPlan plan = base_plan(10, 0.5, 4, 2);
+  const std::string before = serialize_plan(plan);
+  // Not in the plan at all.
+  EXPECT_THROW(release_demands(plan, {DemandPair{0, 1}, DemandPair{0, 1},
+                                      DemandPair{0, 1}, DemandPair{0, 1},
+                                      DemandPair{0, 1}}),
+               CheckError);
+  // Outside the ring.
+  EXPECT_THROW(release_demands(plan, {DemandPair{0, 10}}), CheckError);
+  EXPECT_THROW(release_demands(plan, {DemandPair{3, 3}}), CheckError);
+  EXPECT_EQ(serialize_plan(plan), before);
+}
+
+TEST(Release, CompactionDropsEmptiedWavelengthsStably) {
+  GroomingPlan plan;
+  plan.ring_size = 8;
+  plan.grooming_factor = 2;
+  plan.pairs = {{DemandPair{0, 1}, 0, 0}, {DemandPair{2, 3}, 1, 0},
+                {DemandPair{4, 5}, 1, 1}, {DemandPair{6, 7}, 2, 0}};
+  ReleaseStats stats =
+      release_demands(plan, {DemandPair{2, 3}, DemandPair{4, 5}},
+                      /*repair=*/false);
+  EXPECT_EQ(stats.freed_wavelengths, 1);
+  ASSERT_EQ(plan.pairs.size(), 2u);
+  // Stable renumbering: wavelength 0 stays 0, old wavelength 2 becomes 1.
+  EXPECT_EQ(plan.pairs[0].pair, (DemandPair{0, 1}));
+  EXPECT_EQ(plan.pairs[0].wavelength, 0);
+  EXPECT_EQ(plan.pairs[1].pair, (DemandPair{6, 7}));
+  EXPECT_EQ(plan.pairs[1].wavelength, 1);
+  EXPECT_EQ(plan.wavelength_count(), 2);
+}
+
+TEST(Release, RepairConsolidatesAStraggler) {
+  // Wavelength 1 is left with one circuit whose endpoints both already
+  // terminate on wavelength 0 (which has slack): repair must move it and
+  // free the wavelength.
+  GroomingPlan plan;
+  plan.ring_size = 8;
+  plan.grooming_factor = 4;
+  plan.pairs = {{DemandPair{0, 1}, 0, 0},
+                {DemandPair{1, 2}, 0, 1},
+                {DemandPair{0, 2}, 1, 0},
+                {DemandPair{3, 4}, 1, 1}};
+  ReleaseStats stats = release_demands(plan, {DemandPair{3, 4}});
+  EXPECT_EQ(stats.released, 1);
+  EXPECT_EQ(stats.repair_moves, 1);
+  EXPECT_EQ(plan.wavelength_count(), 1);
+  EXPECT_EQ(plan_sadm_count(plan), 3);  // {0,1,2} on one wavelength
+  expect_valid(plan);
+}
+
+TEST(Release, RepairOffIsPureRemoval) {
+  GroomingPlan plan;
+  plan.ring_size = 8;
+  plan.grooming_factor = 4;
+  plan.pairs = {{DemandPair{0, 1}, 0, 0},
+                {DemandPair{1, 2}, 0, 1},
+                {DemandPair{0, 2}, 1, 0},
+                {DemandPair{3, 4}, 1, 1}};
+  ReleaseStats stats =
+      release_demands(plan, {DemandPair{3, 4}}, /*repair=*/false);
+  EXPECT_EQ(stats.repair_moves, 0);
+  EXPECT_EQ(plan.wavelength_count(), 2);  // straggler stays put
+  EXPECT_EQ(plan_sadm_count(plan), 5);
+}
+
+TEST(Release, RepairNeverWorseThanNaiveRemoval) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    GroomingPlan repaired = base_plan(14, 0.5, 4, seed);
+    GroomingPlan naive = repaired;
+    Rng rng(seed * 101);
+    std::vector<DemandPair> remove;
+    for (const GroomedPair& gp : repaired.pairs) {
+      if (rng.below(3) == 0) remove.push_back(gp.pair);
+    }
+    if (remove.empty()) remove.push_back(repaired.pairs[0].pair);
+
+    release_demands(repaired, remove, /*repair=*/true);
+    release_demands(naive, remove, /*repair=*/false);
+
+    EXPECT_LE(plan_sadm_count(repaired), plan_sadm_count(naive))
+        << "seed " << seed;
+    EXPECT_LE(repaired.wavelength_count(), naive.wavelength_count())
+        << "seed " << seed;
+    EXPECT_EQ(pair_multiset(repaired), pair_multiset(naive));
+    expect_valid(repaired);
+    expect_valid(naive);
+  }
+}
+
+TEST(Release, FragmentBoundSurvivesRandomChurn) {
+  // Property-style: random interleaved add/remove sequences keep the plan
+  // within the Prop-2 fragment bound at every step.
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    Rng rng(seed);
+    GroomingPlan plan;
+    plan.ring_size = 12;
+    plan.grooming_factor = 4;
+    std::vector<DemandPair> live;
+    for (int step = 0; step < 200; ++step) {
+      const bool add = live.empty() || rng.below(5) < 3;
+      if (add) {
+        auto a = static_cast<NodeId>(rng.below(12));
+        auto b = static_cast<NodeId>(rng.below(11));
+        if (b >= a) ++b;
+        DemandPair pair{std::min(a, b), std::max(a, b)};
+        extend_plan_incremental(plan, {pair});
+        live.push_back(pair);
+      } else {
+        const std::size_t victim = rng.below(live.size());
+        release_demands(plan, {live[victim]});
+        live.erase(live.begin() + static_cast<std::ptrdiff_t>(victim));
+      }
+      ASSERT_TRUE(plan_within_prop2_bound(plan))
+          << "seed " << seed << " step " << step << ": sadms="
+          << plan_sadm_count(plan) << " fragments="
+          << plan_fragment_count(plan);
+      ASSERT_EQ(plan.pairs.size(), live.size());
+    }
+    expect_valid(plan);
+  }
+}
+
+TEST(Release, RepairedResidualParityWithFullRecompute) {
+  // The satellite claim: remove + local repair stays within the Prop-2
+  // cost envelope of grooming the residual demand set from scratch.  The
+  // repaired plan cannot always match the recompute SADM-for-SADM (repair
+  // only moves circuits off the touched wavelengths), so the pinned
+  // property is the paper-level one — the repaired cost respects the same
+  // prop2_cost_bound certificate the recompute's cover earns — plus
+  // byte-level residual parity.  Empirically the gap on these seeds is
+  // also checked to stay small (within 25% + 2 SADMs).
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    Rng rng(seed);
+    DemandSet demands = random_traffic(14, 0.5, rng);
+    Graph traffic = demands.traffic_graph();
+    EdgePartition part = run_algorithm(AlgorithmId::kSpanTEuler, traffic, 4);
+    GroomingPlan plan = plan_from_partition(demands, traffic, part);
+
+    Rng churn(seed * 31);
+    std::vector<DemandPair> remove;
+    DemandSet residual(14);
+    for (const GroomedPair& gp : plan.pairs) {
+      if (churn.below(2) == 0) {
+        remove.push_back(gp.pair);
+      } else {
+        residual.add_pair(gp.pair.a, gp.pair.b);
+      }
+    }
+    if (remove.empty() || residual.size() == 0) continue;
+
+    release_demands(plan, remove, /*repair=*/true);
+    EXPECT_EQ(pair_multiset(plan),
+              std::multiset<DemandPair>(residual.pairs().begin(),
+                                        residual.pairs().end()));
+
+    Graph residual_traffic = residual.traffic_graph();
+    EdgePartition fresh_part =
+        run_algorithm(AlgorithmId::kSpanTEuler, residual_traffic, 4);
+    GroomingPlan fresh =
+        plan_from_partition(residual, residual_traffic, fresh_part);
+
+    EXPECT_TRUE(plan_within_prop2_bound(plan)) << "seed " << seed;
+    const long long repaired_sadms = plan_sadm_count(plan);
+    const long long fresh_sadms = plan_sadm_count(fresh);
+    EXPECT_LE(repaired_sadms, (fresh_sadms * 5) / 4 + 2)
+        << "seed " << seed << ": repair drifted far from recompute ("
+        << repaired_sadms << " vs " << fresh_sadms << ")";
+    expect_valid(plan);
+  }
+}
+
+TEST(Release, DeterministicAcrossRepeats) {
+  GroomingPlan first = base_plan(14, 0.5, 4, 7);
+  GroomingPlan second = first;
+  const std::vector<DemandPair> remove = {
+      first.pairs[1].pair, first.pairs[4].pair, first.pairs[9].pair};
+  release_demands(first, remove);
+  release_demands(second, remove);
+  EXPECT_EQ(serialize_plan(first), serialize_plan(second));
+}
+
+TEST(Release, ReleaseEverythingEmptiesThePlan) {
+  GroomingPlan plan = base_plan(10, 0.5, 4, 3);
+  std::vector<DemandPair> all;
+  for (const GroomedPair& gp : plan.pairs) all.push_back(gp.pair);
+  const int waves = plan.wavelength_count();
+  const long long sadms = plan_sadm_count(plan);
+  ReleaseStats stats = release_demands(plan, all);
+  EXPECT_EQ(stats.released, static_cast<int>(all.size()));
+  EXPECT_EQ(stats.freed_wavelengths, waves);
+  EXPECT_EQ(stats.sadms_removed, sadms);
+  EXPECT_TRUE(plan.pairs.empty());
+  EXPECT_EQ(plan.wavelength_count(), 0);
+  EXPECT_TRUE(plan_within_prop2_bound(plan));
+  EXPECT_EQ(plan_fragment_count(plan), 0);
+}
+
+TEST(Fragments, CountsComponentsPerWavelength) {
+  GroomingPlan plan;
+  plan.ring_size = 10;
+  plan.grooming_factor = 8;
+  // Wavelength 0: a path {0,1},{1,2} (one fragment) plus isolated {5,6}
+  // (second fragment).  Wavelength 1: one edge (third fragment).
+  plan.pairs = {{DemandPair{0, 1}, 0, 0},
+                {DemandPair{1, 2}, 0, 1},
+                {DemandPair{5, 6}, 0, 2},
+                {DemandPair{3, 4}, 1, 0}};
+  EXPECT_EQ(plan_fragment_count(plan), 3);
+  // m=4 circuits, 7 distinct (node, wavelength) sites.
+  EXPECT_EQ(plan_sadm_count(plan), 7);
+  EXPECT_TRUE(plan_within_prop2_bound(plan));
+}
+
+}  // namespace
+}  // namespace tgroom

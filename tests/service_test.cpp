@@ -439,6 +439,165 @@ TEST(Service, UnknownPlanIdIsBadRequest) {
   EXPECT_EQ(session.responses[0].find("error")->string, "bad_request");
 }
 
+std::string release_request(long long id, const GroomingPlan& plan,
+                            const std::vector<DemandPair>& remove,
+                            bool include_plan = true) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("op", "release");
+  w.kv("id", id);
+  w.key("plan");
+  write_plan_json(w, plan);
+  w.key("remove").begin_array();
+  for (const DemandPair& p : remove) {
+    w.begin_array()
+        .value(static_cast<long long>(p.a))
+        .value(static_cast<long long>(p.b))
+        .end_array();
+  }
+  w.end_array();
+  if (include_plan) w.kv("include_plan", true);
+  w.end_object();
+  return w.take();
+}
+
+TEST(Service, ReleaseHeldPlanMatchesDirectRelease) {
+  Graph g = test_graph(10, 0.5, 23);
+  ServiceConfig config;
+  config.metrics_on_exit = false;
+  GroomingService service(config);
+  GroomingPlan direct = plan_from_partition(
+      DemandSet::from_traffic_graph(g), g,
+      run_algorithm(AlgorithmId::kSpanTEuler, g, 4));
+  const std::vector<DemandPair> remove = {direct.pairs[0].pair,
+                                          direct.pairs[2].pair};
+  JsonWriter req;
+  req.begin_object();
+  req.kv("op", "release");
+  req.kv("id", 2);
+  req.kv("plan_id", 1);
+  req.key("remove").begin_array();
+  for (const DemandPair& p : remove) {
+    req.begin_array()
+        .value(static_cast<long long>(p.a))
+        .value(static_cast<long long>(p.b))
+        .end_array();
+  }
+  req.end_array();
+  req.kv("include_plan", true);
+  req.end_object();
+  Session session = run_session(
+      service,
+      {groom_request(1, g, AlgorithmId::kSpanTEuler, 4, 1, false, true),
+       req.take(),
+       R"({"op":"provision","id":3,"plan_id":1,"add":[[0,3]]})"});
+  ASSERT_EQ(session.responses.size(), 3u);
+
+  const ReleaseStats stats = release_demands(direct, remove);
+  const JsonValue& r = session.responses[1];
+  ASSERT_TRUE(r.find("ok")->boolean);
+  EXPECT_EQ(r.find("released")->as_int(), stats.released);
+  EXPECT_EQ(r.find("repair_moves")->as_int(), stats.repair_moves);
+  EXPECT_EQ(r.find("freed_wavelengths")->as_int(), stats.freed_wavelengths);
+  EXPECT_EQ(r.find("sadms_removed")->as_int(), stats.sadms_removed);
+  EXPECT_EQ(r.find("sadms")->as_int(), plan_sadm_count(direct));
+  EXPECT_EQ(serialize_plan(plan_from_json(*r.find("plan"))),
+            serialize_plan(direct));
+  // The held plan is the released one: provisioning continues from it.
+  EXPECT_TRUE(session.responses[2].find("ok")->boolean);
+  EXPECT_EQ(service.held_plan_count(), 1u);
+}
+
+TEST(Service, ReleaseAllDropsTheHeldPlan) {
+  Graph g = test_graph(8, 0.5, 29);
+  ServiceConfig config;
+  config.metrics_on_exit = false;
+  GroomingService service(config);
+  Session session = run_session(
+      service,
+      {groom_request(1, g, AlgorithmId::kSpanTEuler, 4, 1, false, true),
+       R"({"op":"release","id":2,"plan_id":1,"all":true})",
+       R"({"op":"provision","id":3,"plan_id":1,"add":[[0,1]]})",
+       R"({"op":"release","id":4,"plan_id":1,"all":true})"});
+  ASSERT_EQ(session.responses.size(), 4u);
+  const JsonValue& r = session.responses[1];
+  ASSERT_TRUE(r.find("ok")->boolean);
+  EXPECT_TRUE(r.find("dropped")->boolean);
+  EXPECT_EQ(r.find("remaining")->as_int(), 0);
+  EXPECT_EQ(service.held_plan_count(), 0u);
+  // Both follow-ups hit a plan that no longer exists.
+  EXPECT_FALSE(session.responses[2].find("ok")->boolean);
+  EXPECT_EQ(session.responses[2].find("error")->string, "bad_request");
+  EXPECT_FALSE(session.responses[3].find("ok")->boolean);
+}
+
+TEST(Service, ReleaseInlinePlanIsStateless) {
+  Graph g = test_graph(10, 0.5, 31);
+  GroomingPlan plan = plan_from_partition(
+      DemandSet::from_traffic_graph(g), g,
+      run_algorithm(AlgorithmId::kSpanTEuler, g, 4));
+  ServiceConfig config;
+  config.metrics_on_exit = false;
+  GroomingService service(config);
+  const std::vector<DemandPair> remove = {plan.pairs[1].pair};
+  Session session =
+      run_session(service, {release_request(1, plan, remove)});
+  ASSERT_EQ(session.responses.size(), 1u);
+  const JsonValue& r = session.responses[0];
+  ASSERT_TRUE(r.find("ok")->boolean);
+  GroomingPlan direct = plan;
+  release_demands(direct, remove);
+  EXPECT_EQ(serialize_plan(plan_from_json(*r.find("plan"))),
+            serialize_plan(direct));
+  EXPECT_EQ(service.held_plan_count(), 0u);  // nothing was held
+}
+
+TEST(Service, ReleaseValidationErrors) {
+  Graph g = test_graph(8, 0.5, 37);
+  GroomingPlan plan = plan_from_partition(
+      DemandSet::from_traffic_graph(g), g,
+      run_algorithm(AlgorithmId::kSpanTEuler, g, 4));
+  JsonWriter plan_json;
+  write_plan_json(plan_json, plan);
+  const std::string plan_text = plan_json.take();
+  ServiceConfig config;
+  config.metrics_on_exit = false;
+  GroomingService service(config);
+  Session session = run_session(
+      service,
+      {// Neither plan nor plan_id.
+       R"({"op":"release","id":1,"remove":[[0,1]]})",
+       // Both remove and all.
+       R"({"op":"release","id":2,"plan_id":1,"remove":[[0,1]],"all":true})",
+       // Neither remove nor all.
+       R"({"op":"release","id":3,"plan_id":1})",
+       // Empty remove list.
+       R"({"op":"release","id":4,"plan_id":1,"remove":[]})",
+       // "all" with an inline plan (drop-all only makes sense held).
+       R"({"op":"release","id":5,"plan":)" + plan_text + R"(,"all":true})",
+       // Pair not present in the inline plan.
+       [&] {
+         DemandSet demands = DemandSet::from_traffic_graph(g);
+         for (NodeId x = 0; x < 8; ++x) {
+           for (NodeId y = static_cast<NodeId>(x + 1); y < 8; ++y) {
+             if (!demands.contains(x, y)) {
+               return R"({"op":"release","id":6,"plan":)" + plan_text +
+                      R"(,"remove":[[)" + std::to_string(x) + "," +
+                      std::to_string(y) + R"(]]})";
+             }
+           }
+         }
+         ADD_FAILURE() << "dense graph has every pair";
+         return std::string();
+       }()});
+  ASSERT_EQ(session.responses.size(), 6u);
+  for (const JsonValue& r : session.responses) {
+    EXPECT_FALSE(r.find("ok")->boolean)
+        << "id " << r.find("id")->as_int();
+    EXPECT_EQ(r.find("error")->string, "bad_request");
+  }
+}
+
 TEST(Service, DeadlineExpiredBetweenStages) {
   Graph g = test_graph(10, 0.4, 19);
   ServiceConfig config;

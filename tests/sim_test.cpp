@@ -1,0 +1,262 @@
+// Dynamic-traffic generation and the event-driven simulator: script
+// determinism, arrival-rate shapes, blocking/admission control, the
+// per-event Prop-2 assertion, and worker-count-independent load sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "sim/simulator.hpp"
+
+namespace tgroom {
+namespace {
+
+std::string script_digest(const DemandScript& script) {
+  std::ostringstream out;
+  for (std::size_t i = 0; i < script.demands.size(); ++i) {
+    out << script.demands[i].a << '-' << script.demands[i].b << '@'
+        << script.arrival_time[i] << ':' << script.departure_time[i] << '\n';
+  }
+  for (const SimEvent& e : script.events) {
+    out << e.time << ' ' << static_cast<int>(e.kind) << ' ' << e.demand
+        << '\n';
+  }
+  return out.str();
+}
+
+TEST(Traffic, ScriptIsDeterministicPerSeed) {
+  TrafficConfig config;
+  config.arrivals = 500;
+  config.seed = 42;
+  EXPECT_EQ(script_digest(generate_script(config)),
+            script_digest(generate_script(config)));
+  config.seed = 43;
+  EXPECT_NE(script_digest(generate_script(config)),
+            script_digest(generate_script(TrafficConfig{})));
+}
+
+TEST(Traffic, ScriptShapeInvariants) {
+  TrafficConfig config;
+  config.arrivals = 300;
+  config.ring_size = 9;
+  const DemandScript script = generate_script(config);
+  ASSERT_EQ(script.demands.size(), 300u);
+  ASSERT_EQ(script.events.size(), 600u);
+  for (std::size_t i = 0; i < script.demands.size(); ++i) {
+    EXPECT_LT(script.demands[i].a, script.demands[i].b);
+    EXPECT_LT(script.demands[i].b, 9);
+    EXPECT_GT(script.departure_time[i], script.arrival_time[i]);
+  }
+  for (std::size_t i = 1; i < script.events.size(); ++i) {
+    EXPECT_LE(script.events[i - 1].time, script.events[i].time);
+  }
+}
+
+TEST(Traffic, RateShapes) {
+  TrafficConfig config;
+  config.arrival_rate = 10.0;
+  config.load = 2.0;
+  config.model = TrafficModel::kPoisson;
+  EXPECT_DOUBLE_EQ(traffic_rate_at(config, 0.0), 20.0);
+  EXPECT_DOUBLE_EQ(traffic_rate_at(config, 123.0), 20.0);
+
+  config.model = TrafficModel::kDiurnal;
+  config.diurnal_depth = 0.5;
+  config.diurnal_period = 64.0;
+  // Trough at quarter period (sin = 1): (1 - depth) * base.
+  EXPECT_NEAR(traffic_rate_at(config, 16.0), 10.0, 1e-9);
+  // Peak at three-quarter period (sin = -1): base.
+  EXPECT_NEAR(traffic_rate_at(config, 48.0), 20.0, 1e-9);
+
+  config.model = TrafficModel::kFlash;
+  config.flash_start = 32.0;
+  config.flash_duration = 8.0;
+  config.flash_multiplier = 4.0;
+  EXPECT_DOUBLE_EQ(traffic_rate_at(config, 31.9), 20.0);
+  EXPECT_DOUBLE_EQ(traffic_rate_at(config, 32.0), 80.0);
+  EXPECT_DOUBLE_EQ(traffic_rate_at(config, 39.9), 80.0);
+  EXPECT_DOUBLE_EQ(traffic_rate_at(config, 40.0), 20.0);
+}
+
+TEST(Traffic, ModelNamesRoundTrip) {
+  for (TrafficModel model : {TrafficModel::kPoisson, TrafficModel::kDiurnal,
+                             TrafficModel::kFlash}) {
+    auto parsed = parse_traffic_model(traffic_model_name(model));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, model);
+  }
+  EXPECT_FALSE(parse_traffic_model("bursty").has_value());
+}
+
+TEST(Traffic, RejectsBadConfigs) {
+  TrafficConfig config;
+  config.ring_size = 1;
+  EXPECT_THROW(generate_script(config), CheckError);
+  config = TrafficConfig{};
+  config.mean_holding = 0.0;
+  EXPECT_THROW(generate_script(config), CheckError);
+  config = TrafficConfig{};
+  config.diurnal_depth = 1.0;
+  EXPECT_THROW(generate_script(config), CheckError);
+  config = TrafficConfig{};
+  config.flash_multiplier = 0.5;
+  EXPECT_THROW(generate_script(config), CheckError);
+}
+
+TEST(Simulator, UnboundedNeverBlocksAndDrainsToEmpty) {
+  TrafficConfig config;
+  config.arrivals = 800;
+  config.seed = 5;
+  SimOptions options;
+  const SimResult result = simulate_script(generate_script(config), options);
+  EXPECT_EQ(result.arrivals, 800u);
+  EXPECT_EQ(result.accepted, 800u);
+  EXPECT_EQ(result.blocked, 0u);
+  EXPECT_EQ(result.departures, 800u);  // every circuit departs eventually
+  EXPECT_EQ(result.blocking_rate, 0.0);
+  EXPECT_EQ(result.final_sadms, 0);
+  EXPECT_EQ(result.final_wavelengths, 0);
+  EXPECT_EQ(result.residual_demands, 0u);
+  EXPECT_EQ(result.sadms_added, result.sadms_removed);
+  EXPECT_TRUE(result.bound_ok);
+  EXPECT_GT(result.peak_sadms, 0);
+}
+
+TEST(Simulator, TightBudgetBlocksAndNeverExceedsIt) {
+  TrafficConfig config;
+  config.arrivals = 600;
+  config.load = 6.0;
+  config.seed = 11;
+  SimOptions options;
+  options.k = 2;
+  options.max_wavelengths = 1;
+  const SimResult result = simulate_script(generate_script(config), options);
+  EXPECT_GT(result.blocked, 0u);
+  EXPECT_EQ(result.accepted + result.blocked, result.arrivals);
+  EXPECT_LE(result.peak_wavelengths, 1);
+  EXPECT_GT(result.blocking_rate, 0.0);
+  EXPECT_TRUE(result.bound_ok);
+  // Blocked demands must not leak releases.
+  EXPECT_EQ(result.departures, result.accepted);
+}
+
+TEST(Simulator, RepairOnNeverWorseSadmChurnThanOff) {
+  TrafficConfig config;
+  config.arrivals = 500;
+  config.load = 3.0;
+  config.seed = 21;
+  const DemandScript script = generate_script(config);
+  SimOptions repair_on;
+  SimOptions repair_off;
+  repair_off.repair = false;
+  const SimResult with = simulate_script(script, repair_on);
+  const SimResult without = simulate_script(script, repair_off);
+  EXPECT_GT(with.repair_moves, 0);
+  EXPECT_EQ(without.repair_moves, 0);
+  EXPECT_LE(with.peak_sadms, without.peak_sadms);
+  EXPECT_TRUE(with.bound_ok);
+  EXPECT_TRUE(without.bound_ok);
+}
+
+TEST(Simulator, ResultIsDeterministic) {
+  TrafficConfig config;
+  config.model = TrafficModel::kFlash;
+  config.arrivals = 400;
+  config.seed = 9;
+  SimOptions options;
+  options.max_wavelengths = 3;
+  const DemandScript script = generate_script(config);
+  const SimResult a = simulate_script(script, options);
+  const SimResult b = simulate_script(script, options);
+  EXPECT_EQ(a.accepted, b.accepted);
+  EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_EQ(a.sadms_added, b.sadms_added);
+  EXPECT_EQ(a.sadms_removed, b.sadms_removed);
+  EXPECT_EQ(a.repair_moves, b.repair_moves);
+  EXPECT_EQ(a.peak_sadms, b.peak_sadms);
+  EXPECT_EQ(a.final_sadms, b.final_sadms);
+}
+
+TEST(Simulator, LatencyCollectionDoesNotChangeTheOutcome) {
+  TrafficConfig config;
+  config.arrivals = 300;
+  config.seed = 33;
+  const DemandScript script = generate_script(config);
+  SimOptions plain;
+  SimOptions timed;
+  timed.collect_latency = true;
+  const SimResult a = simulate_script(script, plain);
+  const SimResult b = simulate_script(script, timed);
+  EXPECT_EQ(a.sadms_added, b.sadms_added);
+  EXPECT_EQ(a.repair_moves, b.repair_moves);
+  EXPECT_EQ(a.peak_sadms, b.peak_sadms);
+  EXPECT_EQ(a.arrival_latency.count, 0);
+  EXPECT_EQ(b.arrival_latency.count, static_cast<long long>(b.accepted));
+  EXPECT_EQ(b.release_latency.count, static_cast<long long>(b.departures));
+}
+
+std::string sweep_digest(const LoadSweepResult& sweep) {
+  std::ostringstream out;
+  out << sweep.threshold_index << '\n';
+  for (const LoadPoint& p : sweep.points) {
+    out << p.load << ' ' << p.result.accepted << ' ' << p.result.blocked
+        << ' ' << p.result.sadms_added << ' ' << p.result.sadms_removed
+        << ' ' << p.result.repair_moves << ' ' << p.result.peak_sadms
+        << ' ' << p.result.peak_wavelengths << '\n';
+  }
+  return out.str();
+}
+
+TEST(LoadSweep, BitIdenticalAcrossWorkerCounts) {
+  LoadSweepOptions options;
+  options.traffic.arrivals = 200;
+  options.traffic.seed = 77;
+  options.sim.k = 4;
+  options.sim.max_wavelengths = 2;
+  options.load_start = 0.5;
+  options.load_step = 1.0;
+  options.load_steps = 5;
+  options.blocking_threshold = 0.01;
+
+  options.workers = 0;
+  const std::string inline_digest = sweep_digest(run_load_sweep(options));
+  for (std::size_t workers : {1u, 4u}) {
+    options.workers = workers;
+    EXPECT_EQ(sweep_digest(run_load_sweep(options)), inline_digest)
+        << "workers=" << workers;
+  }
+}
+
+TEST(LoadSweep, FindsTheBlockingKnee) {
+  LoadSweepOptions options;
+  options.traffic.arrivals = 300;
+  options.traffic.seed = 3;
+  options.sim.k = 2;
+  options.sim.max_wavelengths = 1;
+  options.load_start = 0.25;
+  options.load_step = 2.0;
+  options.load_steps = 6;
+  options.blocking_threshold = 0.05;
+  const LoadSweepResult sweep = run_load_sweep(options);
+  ASSERT_EQ(sweep.points.size(), 6u);
+  ASSERT_GE(sweep.threshold_index, 0);
+  // Everything before the knee is under the threshold, the knee is at or
+  // over it.
+  for (int i = 0; i < sweep.threshold_index; ++i) {
+    EXPECT_LT(sweep.points[static_cast<std::size_t>(i)].result.blocking_rate,
+              0.05);
+  }
+  EXPECT_GE(sweep.points[static_cast<std::size_t>(sweep.threshold_index)]
+                .result.blocking_rate,
+            0.05);
+  for (const LoadPoint& p : sweep.points) EXPECT_TRUE(p.result.bound_ok);
+}
+
+TEST(LoadSweep, PointSeedsAreDecorrelatedButStable) {
+  EXPECT_EQ(load_point_seed(1, 0), load_point_seed(1, 0));
+  EXPECT_NE(load_point_seed(1, 0), load_point_seed(1, 1));
+  EXPECT_NE(load_point_seed(1, 0), load_point_seed(2, 0));
+}
+
+}  // namespace
+}  // namespace tgroom

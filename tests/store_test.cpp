@@ -22,6 +22,7 @@
 #include "graph/fingerprint.hpp"
 #include "grooming/incremental.hpp"
 #include "grooming/plan.hpp"
+#include "grooming/repair.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "store/durable_store.hpp"
@@ -530,6 +531,85 @@ TEST(StoreDurable, ProvisionOfUnknownPlanIsCorruption) {
   EXPECT_THROW(DurableStore{options}, StoreCorruptError);
 }
 
+TEST(StoreDurable, ReleaseRecordsReplayToReleasedState) {
+  TempDir dir;
+  DurableStoreOptions options;
+  options.dir = dir.str();
+  options.fsync = FsyncPolicy::kNone;
+  options.snapshot_every = 0;  // WAL-only recovery
+
+  GroomingPlan plan = make_plan(8, 4, {});
+  extend_plan_incremental(plan, {{0, 4}, {1, 5}, {2, 6}});
+  GroomingPlan doomed = make_plan(8, 4, {});
+  extend_plan_incremental(doomed, {{3, 7}});
+  std::string expect_serialized;
+  {
+    DurableStore store(options);
+    store.append_hold(1, plan, make_key(42), make_value());
+    store.append_hold(2, doomed, make_key(43), make_value());
+    store.append_provision(1, {{0, 7}});
+    // Partial release with repair on plan 1; drop-all of plan 2.
+    store.append_release(1, {{1, 5}, {0, 4}}, /*drop_all=*/false,
+                         /*repair=*/true);
+    const std::uint64_t seq =
+        store.append_release(2, {}, /*drop_all=*/true, /*repair=*/true);
+    store.sync(seq);
+    store.flush();
+    // Mirror the live state the acked responses described.
+    extend_plan_incremental(plan, {{0, 7}});
+    release_demands(plan, {{1, 5}, {0, 4}}, /*repair=*/true);
+    expect_serialized = serialize_plan(plan);
+  }
+  DurableStore reopened(options);
+  RecoveredState state = reopened.take_recovered();
+  EXPECT_EQ(reopened.recovery().wal_records_replayed, 5u);
+  EXPECT_EQ(reopened.recovery().hold_records, 2u);
+  EXPECT_EQ(reopened.recovery().provision_records, 1u);
+  EXPECT_EQ(reopened.recovery().release_records, 2u);
+  ASSERT_EQ(state.plans.size(), 1u);  // plan 2 stays released
+  EXPECT_EQ(state.plans.count(2), 0u);
+  EXPECT_EQ(serialize_plan(state.plans.at(1)), expect_serialized);
+  EXPECT_EQ(state.next_plan_id, 3);
+}
+
+TEST(StoreDurable, ReleaseRepairFlagIsReplayedExactly) {
+  // The record carries the repair flag: a no-repair release must not be
+  // replayed as a repairing one (the recovered plan would diverge from
+  // the acked responses).
+  TempDir dir;
+  DurableStoreOptions options;
+  options.dir = dir.str();
+  options.fsync = FsyncPolicy::kNone;
+  options.snapshot_every = 0;
+
+  GroomingPlan plan = make_plan(8, 4, {});
+  extend_plan_incremental(plan, {{0, 1}, {1, 2}, {0, 2}, {3, 4}});
+  {
+    DurableStore store(options);
+    store.append_hold(1, plan, make_key(1), make_value());
+    store.append_release(1, {{3, 4}}, /*drop_all=*/false, /*repair=*/false);
+    store.flush();
+  }
+  release_demands(plan, {{3, 4}}, /*repair=*/false);
+  DurableStore reopened(options);
+  RecoveredState state = reopened.take_recovered();
+  ASSERT_EQ(state.plans.size(), 1u);
+  EXPECT_EQ(serialize_plan(state.plans.at(1)), serialize_plan(plan));
+}
+
+TEST(StoreDurable, ReleaseOfUnknownPlanIsCorruption) {
+  TempDir dir;
+  DurableStoreOptions options;
+  options.dir = dir.str();
+  options.fsync = FsyncPolicy::kNone;
+  {
+    DurableStore store(options);
+    store.append_release(99, {{0, 1}}, /*drop_all=*/false, /*repair=*/true);
+    store.flush();
+  }
+  EXPECT_THROW(DurableStore{options}, StoreCorruptError);
+}
+
 TEST(StoreDurable, BatchPolicyDefersFsyncUntilFlush) {
   TempDir dir;
   DurableStoreOptions options;
@@ -732,6 +812,49 @@ TEST(StoreService, RestartedServiceAnswersExactlyLikeUncrashedOne) {
   ASSERT_EQ(reference_lines.size(), 4u);
   // Byte-identical response: recovery reproduced the held plan exactly.
   EXPECT_EQ(recovered_lines[0], reference_lines[3]);
+  EXPECT_EQ(restarted.held_plan_count(), 1u);
+}
+
+TEST(StoreService, RestartAfterReleasesAnswersLikeUncrashedOne) {
+  TempDir dir;
+  const Graph g = ring_demand_graph(10, 0.4, 9);
+  const Graph h = ring_demand_graph(8, 0.5, 5);
+  const std::vector<std::string> first_half = {
+      groom_hold_request(1, g, 4),
+      groom_hold_request(2, h, 4),
+      provision_by_id_request(3, 1, {{0, 5}}),
+      R"({"op":"release","id":4,"plan_id":1,"remove":[[0,5]],)"
+      R"("include_plan":true})",
+      R"({"op":"release","id":5,"plan_id":2,"all":true})",
+  };
+  const std::string next_request = provision_by_id_request(6, 1, {{3, 9}});
+  const std::string dead_request = provision_by_id_request(7, 2, {{0, 1}});
+
+  ServiceConfig durable;
+  durable.metrics_on_exit = false;
+  durable.data_dir = dir.str();
+  {
+    GroomingService service(durable);
+    run_lines(service, first_half);
+  }
+  GroomingService restarted(durable);
+  const std::vector<std::string> recovered_lines =
+      run_lines(restarted, {next_request, dead_request});
+
+  ServiceConfig volatile_config;
+  volatile_config.metrics_on_exit = false;
+  GroomingService reference(volatile_config);
+  std::vector<std::string> all = first_half;
+  all.push_back(next_request);
+  all.push_back(dead_request);
+  const std::vector<std::string> reference_lines = run_lines(reference, all);
+
+  ASSERT_EQ(recovered_lines.size(), 2u);
+  ASSERT_EQ(reference_lines.size(), 7u);
+  // The partially-released plan provisions identically after restart...
+  EXPECT_EQ(recovered_lines[0], reference_lines[5]);
+  // ...and the dropped plan stays dropped: same bad_request either way.
+  EXPECT_EQ(recovered_lines[1], reference_lines[6]);
   EXPECT_EQ(restarted.held_plan_count(), 1u);
 }
 
