@@ -7,6 +7,7 @@
 // iteration model does not fit here.
 #include <fstream>
 #include <iostream>
+#include <thread>
 #include <vector>
 
 #include "bench_support/workload.hpp"
@@ -41,6 +42,7 @@ bool write_json(const std::string& path, NodeId n, double dense, int k,
   std::ofstream out(path);
   out << "{\n"
       << "  \"benchmark\": \"batch_grooming_throughput\",\n"
+      << "  \"cpus\": " << std::thread::hardware_concurrency() << ",\n"
       << "  \"workload\": {\"pattern\": \"dense\", \"n\": " << n
       << ", \"dense\": " << dense << ", \"k\": " << k
       << ", \"instances\": " << instances << "},\n"
@@ -134,6 +136,17 @@ int main(int argc, char** argv) {
                                   2)});
   }
   table.print(std::cout);
+
+  const unsigned cpus = std::thread::hardware_concurrency();
+  for (const Measurement& m : measurements) {
+    if (cpus != 0 && m.workers > cpus) {
+      std::cout << "\nnote: this machine has " << cpus
+                << " hardware thread" << (cpus == 1 ? "" : "s")
+                << "; rows with workers > " << cpus
+                << " measure oversubscription, not parallel speedup\n";
+      break;
+    }
+  }
 
   if (!write_json(out_path, n, dense, k, instances, measurements)) {
     std::cerr << "FAIL: could not write " << out_path << "\n";

@@ -31,7 +31,9 @@ RATE_SUFFIXES = ("_rps", "_per_sec")
 # Fields that identify a run within a benchmark's "runs" array.  A run
 # carries any subset of these; absent fields read as None so artifacts
 # with different shapes (workers-keyed vs mode-keyed) both work.
-KEY_FIELDS = ("workers", "mode", "threads")
+# "connections"/"pipeline" key the event-loop TCP rows of
+# BENCH_service.json (mode="tcp") by client fan-in and window depth.
+KEY_FIELDS = ("workers", "mode", "threads", "connections", "pipeline")
 
 
 def run_key(run):

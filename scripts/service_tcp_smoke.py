@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""Multi-connection smoke test for the epoll event-loop service.
+
+Launches `tgroom serve --port 0` (ephemeral port, announced on stderr),
+drives N concurrent client connections each pipelining a burst of groom
+and stats requests, checks every request gets exactly one well-formed
+JSON response with the right id, then sends `shutdown` and asserts a
+clean drain (EOF to the surviving clients, exit code 0).
+
+Built to run under ASan/TSan in CI: the client load is small and
+deterministic; the point is to exercise accept, concurrent reads and
+write-backs, the pipelined-parse path, and the drain — not to measure
+anything.
+
+Usage:
+    service_tcp_smoke.py /path/to/tgroom [--connections 4] [--requests 16]
+        [--workers 2]
+"""
+
+import argparse
+import json
+import re
+import socket
+import subprocess
+import sys
+import threading
+
+
+def build_burst(client, requests):
+    """One client's pipelined request blob plus its expected ids."""
+    lines = []
+    ids = []
+    edges = [[u, u + 1] for u in range(7)] + [[0, 3 + client % 4]]
+    for i in range(requests):
+        rid = client * 1000 + i
+        ids.append(rid)
+        if i % 4 == 3:
+            req = {"op": "stats", "id": rid}
+        else:
+            req = {
+                "op": "groom",
+                "id": rid,
+                "graph": {"n": 8, "edges": edges},
+                "k": 4,
+                "seed": 1,
+            }
+        lines.append(json.dumps(req))
+    return ("\n".join(lines) + "\n").encode(), ids
+
+
+def drive_client(port, client, requests, failures):
+    try:
+        blob, ids = build_burst(client, requests)
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+            s.settimeout(30)
+            s.sendall(blob)  # one send: pipelined on the wire
+            s.shutdown(socket.SHUT_WR)  # EOF-drain: server answers then closes
+            data = b""
+            while True:
+                chunk = s.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        lines = data.decode().splitlines()
+        if len(lines) != len(ids):
+            raise AssertionError(
+                f"client {client}: {len(lines)} responses to {len(ids)} requests"
+            )
+        got_ids = sorted(json.loads(line)["id"] for line in lines)
+        if got_ids != sorted(ids):
+            raise AssertionError(f"client {client}: response ids {got_ids}")
+        for line in lines:
+            if not json.loads(line).get("ok"):
+                raise AssertionError(f"client {client}: error response {line}")
+    except Exception as e:  # noqa: BLE001 - anything here is a test failure
+        failures.append(f"{type(e).__name__}: {e}")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("binary", help="path to the tgroom binary")
+    parser.add_argument("--connections", type=int, default=4)
+    parser.add_argument("--requests", type=int, default=16)
+    parser.add_argument("--workers", type=int, default=2)
+    args = parser.parse_args()
+
+    proc = subprocess.Popen(
+        [args.binary, "serve", "--port", "0",
+         "--workers", str(args.workers)],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+    )
+    try:
+        line = proc.stderr.readline()
+        match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
+        if not match:
+            proc.kill()
+            sys.exit(f"no listening line from server, got: {line!r}")
+        port = int(match.group(1))
+        print(f"server on port {port}, "
+              f"{args.connections} connections x {args.requests} requests")
+
+        failures = []
+        threads = [
+            threading.Thread(
+                target=drive_client,
+                args=(port, c, args.requests, failures),
+            )
+            for c in range(args.connections)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if failures:
+            proc.kill()
+            sys.exit("FAIL:\n  " + "\n  ".join(failures))
+
+        with socket.create_connection(("127.0.0.1", port), timeout=30) as s:
+            s.settimeout(30)
+            s.sendall(b'{"op":"shutdown","id":9}\n')
+            reply = b""
+            while True:
+                chunk = s.recv(65536)
+                if not chunk:
+                    break
+                reply += chunk
+        response = json.loads(reply.decode().splitlines()[0])
+        if not response.get("ok") or response.get("op") != "shutdown":
+            sys.exit(f"FAIL: bad shutdown response {response}")
+
+        rc = proc.wait(timeout=60)
+        if rc != 0:
+            sys.exit(f"FAIL: server exited {rc}")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+    total = args.connections * args.requests
+    print(f"OK: {total} responses across {args.connections} connections, "
+          f"clean shutdown")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,100 @@
+// Multi-connection epoll event loop for the grooming service.
+//
+// The PR-3 TCP front-end accepted exactly one connection at a time and
+// drove it through GroomingService::run()'s blocking getline loop: one
+// thread read, parsed, and wrote NDJSON, so the worker pool sat starved
+// behind a single IO thread (baselines/BENCH_service.json showed warm
+// throughput flat from 0 to 8 workers).  EventLoopServer replaces that
+// with a non-blocking, level-triggered epoll loop serving many
+// concurrent connections:
+//
+//  - Per-connection state machines.  Each connection owns a read buffer
+//    and a write outbox drawn from its own MonotonicArena pair, so a
+//    warm connection's buffer traffic never touches the heap (the PR-4
+//    zero-allocation discipline extended to the network layer).  Reads
+//    and writes are partial-tolerant: a request line may arrive over any
+//    number of readiness events, and a response drains across as many
+//    EPOLLOUT cycles as the socket needs.
+//  - Pipelining.  A readiness event parses every complete NDJSON line
+//    the buffer holds (bounded per connection per loop iteration by
+//    `max_batch` for fairness; the remainder is replayed before the next
+//    epoll_wait), so a client keeping N requests in flight pays one
+//    read() for many requests.
+//  - Write-back.  Workers never write to sockets.  They append finished
+//    response lines to the owning connection's outbox under its mutex
+//    (line-atomic — bytes of two responses never interleave) and nudge
+//    the loop through an eventfd; the loop flushes outboxes and arms
+//    EPOLLOUT only while a socket is write-blocked.
+//  - Backpressure.  Admission keeps the PR-3 contract: a full
+//    BoundedQueue answers `overloaded` immediately and the connection
+//    stays up.  Additionally, a connection whose outbox exceeds
+//    `outbox_pause_bytes` (slow reader) stops being read until the
+//    outbox drains below half the cap, so memory stays bounded per
+//    connection rather than per offered load.
+//  - Drain semantics are exactly GroomingService::run()'s, per
+//    connection: EOF stops admission from that connection but every
+//    accepted request still gets its response before the socket closes;
+//    a `shutdown` request (from any connection) or SIGTERM stops
+//    accepting, rejects still-queued requests as `shutting_down`,
+//    finishes in-flight work, flushes every outbox, and returns.
+//    `--data-dir` ordering is untouched: appends happen inside
+//    execute_into() before the response line exists, so append-before-
+//    ack holds connection-count-independently.
+//
+// Linux-only (epoll, eventfd, accept4); other platforms keep the
+// single-session fallback in serve_tcp().
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+namespace tgroom {
+
+class GroomingService;
+
+struct EventLoopConfig {
+  int port = 0;  // loopback TCP port; 0 picks an ephemeral port (see port())
+  int backlog = 0;               // listen() backlog; 0 = SOMAXCONN
+  std::size_t max_connections = 1024;  // beyond this, accepts are refused
+  std::size_t read_chunk = 64 * 1024;  // bytes per read() call
+  std::size_t max_batch = 256;   // request lines per connection per loop turn
+  // A single request line longer than this kills the connection (the
+  // stream cannot be resynchronized); responses are unbounded.
+  std::size_t max_request_bytes = 16u << 20;
+  // Reads from a connection pause while its outbox holds more than this
+  // many unflushed bytes, and resume below half of it.
+  std::size_t outbox_pause_bytes = 4u << 20;
+  int sndbuf = 0;  // SO_SNDBUF on accepted sockets when > 0 (tests)
+};
+
+/// One epoll server bound to 127.0.0.1:`config.port`.  The constructor
+/// creates, binds, and listens the socket (so ephemeral ports are known
+/// before run(), which tests and the bench need); run() serves until a
+/// `shutdown` request or GroomingService::request_stop().
+class EventLoopServer {
+ public:
+  EventLoopServer(GroomingService& service, const EventLoopConfig& config);
+  ~EventLoopServer();
+
+  EventLoopServer(const EventLoopServer&) = delete;
+  EventLoopServer& operator=(const EventLoopServer&) = delete;
+
+  /// False when the listen socket could not be set up; error() says why.
+  bool valid() const;
+  const std::string& error() const;
+
+  /// The actually-bound port (resolves config.port == 0).
+  int port() const;
+
+  /// Serves until shutdown/SIGTERM; returns 0 on a clean drain.  Progress
+  /// and the final metrics line go to `log` (never to a client socket).
+  int run(std::ostream& log);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace tgroom

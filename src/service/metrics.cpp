@@ -14,7 +14,8 @@ constexpr const char* kCounterNames[ServiceMetrics::kCounterCount] = {
     "shutting_down",   "deadline_exceeded",
     "cache_hits",      "cache_misses",
     "cache_evictions", "store_appends",
-    "store_snapshots",
+    "store_snapshots", "conn_accepted",
+    "conn_closed",     "pipelined",
 };
 
 }  // namespace

@@ -35,6 +35,10 @@ class ServiceMetrics {
     kCacheEvictions,
     kStoreAppends,      // WAL records appended by the durable store
     kStoreSnapshots,    // snapshots written by the durable store
+    kConnAccepted,      // TCP connections accepted by the event loop
+    kConnClosed,        // TCP connections closed (EOF, error, or drain)
+    kPipelined,         // requests parsed beyond the first of a readiness
+                        // batch (the pipelining depth actually realized)
     kCount_,
   };
   static constexpr std::size_t kCounterCount =

@@ -259,7 +259,7 @@ namespace {
 // error behaviour is byte-for-byte unchanged.
 class FastScanner {
  public:
-  explicit FastScanner(const std::string& line)
+  explicit FastScanner(std::string_view line)
       : p_(line.data()), end_(line.data() + line.size()) {}
 
   bool eat(char c) {
@@ -469,7 +469,7 @@ bool fast_parse_plan(FastScanner& s, GroomingPlan& plan) {
   return true;
 }
 
-bool fast_parse_request(const std::string& line, RequestParse& out) {
+bool fast_parse_request(std::string_view line, RequestParse& out) {
   FastScanner s(line);
   if (!s.eat('{')) return false;
 
@@ -638,7 +638,7 @@ bool fast_parse_request(const std::string& line, RequestParse& out) {
 
 }  // namespace
 
-RequestParse parse_request(const std::string& line) {
+RequestParse parse_request(std::string_view line) {
   {
     RequestParse fast;
     if (fast_parse_request(line, fast)) return fast;

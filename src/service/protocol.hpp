@@ -37,6 +37,7 @@
 #include <cstdint>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "algorithms/algorithm.hpp"
@@ -102,8 +103,10 @@ struct RequestParse {
 };
 
 /// Parses one request line; never throws — malformed input lands in
-/// RequestParse::error.
-RequestParse parse_request(const std::string& line);
+/// RequestParse::error.  Takes a view so the event loop can parse
+/// directly out of a connection's read buffer without copying the line;
+/// nothing in the result aliases `line`.
+RequestParse parse_request(std::string_view line);
 
 /// One structured error response line (without trailing newline).
 std::string make_error_response(std::int64_t id, bool has_id,

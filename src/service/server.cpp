@@ -16,9 +16,13 @@
 #include "util/alloc_tracker.hpp"
 #include "util/thread_pool.hpp"
 
+#if defined(__linux__)
+#include "service/event_loop.hpp"
+#endif
 #if defined(__unix__)
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -498,10 +502,7 @@ int GroomingService::run(std::istream& in, std::ostream& out) {
   // Nothing acked may be lost at a clean exit, whatever the fsync
   // policy: flush the WAL, then leave a snapshot so the next start
   // replays (almost) nothing.
-  if (store_ != nullptr) {
-    store_->flush();
-    snapshot_store(/*force=*/true);
-  }
+  finalize_store();
 
   if (shutdown_) {
     JsonWriter w;
@@ -513,40 +514,66 @@ int GroomingService::run(std::istream& in, std::ostream& out) {
   }
   if (config_.metrics_on_exit) {
     JsonWriter w;
-    w.begin_object();
-    w.kv("event", "exit");
-    w.kv("held_plans", static_cast<long long>(held_plan_count()));
-    w.kv("cache_size", static_cast<long long>(cache_.size()));
-    w.key("cache");
-    write_cache_stats(w);
-    w.key("metrics");
-    metrics_.write_json(w);
-    if (store_ != nullptr) {
-      w.key("store");
-      store_->write_json(w);
-    }
-    w.end_object();
+    write_exit_metrics(w);
     emit(w.take());
   }
   return 0;
 }
 
+void GroomingService::finalize_store() {
+  if (store_ == nullptr) return;
+  store_->flush();
+  snapshot_store(/*force=*/true);
+}
+
+void GroomingService::write_exit_metrics(JsonWriter& w) {
+  w.clear();
+  w.begin_object();
+  w.kv("event", "exit");
+  w.kv("held_plans", static_cast<long long>(held_plan_count()));
+  w.kv("cache_size", static_cast<long long>(cache_.size()));
+  w.key("cache");
+  write_cache_stats(w);
+  w.key("metrics");
+  metrics_.write_json(w);
+  if (store_ != nullptr) {
+    w.key("store");
+    store_->write_json(w);
+  }
+  w.end_object();
+}
+
 int serve_tcp(GroomingService& service, int port, std::ostream& log) {
-#if defined(__unix__) && defined(__GLIBCXX__)
+#if defined(__linux__)
+  EventLoopConfig config;
+  config.port = port;
+  EventLoopServer server(service, config);
+  if (!server.valid()) {
+    log << server.error() << "\n";
+    return 1;
+  }
+  return server.run(log);
+#elif defined(__unix__) && defined(__GLIBCXX__)
+  // Non-linux fallback: the historical one-connection-at-a-time loop.
   int listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd < 0) {
     log << "socket: " << std::strerror(errno) << "\n";
     return 1;
   }
   int enable = 1;
-  ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable, sizeof enable);
+  if (::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &enable,
+                   sizeof enable) < 0) {
+    log << "setsockopt(SO_REUSEADDR): " << std::strerror(errno) << "\n";
+    ::close(listen_fd);
+    return 1;
+  }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   if (::bind(listen_fd, reinterpret_cast<const sockaddr*>(&addr),
              sizeof addr) < 0 ||
-      ::listen(listen_fd, 8) < 0) {
+      ::listen(listen_fd, SOMAXCONN) < 0) {
     log << "bind/listen on 127.0.0.1:" << port << ": "
         << std::strerror(errno) << "\n";
     ::close(listen_fd);
@@ -559,6 +586,10 @@ int serve_tcp(GroomingService& service, int port, std::ostream& log) {
       if (errno == EINTR) continue;  // SIGTERM: loop re-checks the flag
       log << "accept: " << std::strerror(errno) << "\n";
       break;
+    }
+    if (::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &enable, sizeof enable) <
+        0) {
+      log << "setsockopt(TCP_NODELAY): " << std::strerror(errno) << "\n";
     }
     int out_fd = ::dup(fd);
     if (out_fd < 0) {

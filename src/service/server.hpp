@@ -100,6 +100,17 @@ class GroomingService {
   /// The store, or nullptr when running in-memory (tests, stats).
   DurableStore* store() { return store_.get(); }
 
+  /// Clean-exit durability: flushes the WAL and forces a snapshot so the
+  /// next start replays (almost) nothing.  A no-op without a store.
+  /// run() calls this on its own; the event-loop front-end calls it once
+  /// its last session drains.
+  void finalize_store();
+
+  /// The {"event":"exit",...} metrics document (held plans, cache,
+  /// counters, store) shared by run()'s exit line and the event loop's
+  /// log output.  `w` is cleared first.
+  void write_exit_metrics(JsonWriter& w);
+
   /// Cooperative stop for signal handlers: the read loop drains and exits
   /// at the next line boundary (the `tgroom serve` command wires SIGTERM
   /// here without SA_RESTART, so a blocked read fails and drains too).
@@ -136,10 +147,13 @@ class GroomingService {
   bool shutdown_ = false;
 };
 
-/// Accepts loopback TCP connections on 127.0.0.1:`port` and serves each,
-/// one at a time, as an NDJSON session over `service` (cache, held plans,
-/// and metrics persist across connections).  Returns when a session sends
-/// `shutdown` or request_stop() is set.  Linux/glibc builds only.
+/// Serves loopback TCP on 127.0.0.1:`port`.  On linux this runs the
+/// epoll event loop (service/event_loop.hpp): many concurrent
+/// connections, pipelined requests, per-connection outboxes — cache,
+/// held plans, and metrics are shared across all of them.  Other unix
+/// builds fall back to the historical accept-one-connection loop.
+/// Returns when any connection sends `shutdown` or request_stop() is
+/// set.
 int serve_tcp(GroomingService& service, int port, std::ostream& log);
 
 }  // namespace tgroom

@@ -374,8 +374,10 @@ std::string usage() {
       "             [--deadline-ms D] [--port P] [--data-dir PATH]\n"
       "             [--fsync always|batch|none] [--snapshot-every N]\n"
       "             [--prewarm-cache BOOL] NDJSON request daemon on\n"
-      "             stdin/stdout (or loopback TCP); ops groom, provision,\n"
-      "             stats, shutdown — see DESIGN.md sections 10 and 12;\n"
+      "             stdin/stdout; --port P serves many concurrent loopback\n"
+      "             TCP connections via an epoll event loop (P=0 picks an\n"
+      "             ephemeral port, announced on stderr); ops groom,\n"
+      "             provision, stats, shutdown — see DESIGN.md 10/12/14;\n"
       "             --data-dir makes held plans survive crashes (WAL +\n"
       "             snapshots, recovered on restart)\n"
       "  store-dump --data-dir PATH  read-only recovery: prints the\n"
@@ -776,8 +778,13 @@ int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
     err << e.what() << "\n";
     return 1;
   }
-  const int port = static_cast<int>(args.get_int("port", 0));
-  if (port > 0) return serve_tcp(service, port, err);
+  // --port present selects TCP mode; --port 0 binds an ephemeral port
+  // (the chosen port is announced on the "listening on" log line, which
+  // is how tests and smoke scripts avoid port collisions).
+  if (args.has("port")) {
+    const int port = static_cast<int>(args.get_int("port", 0));
+    return serve_tcp(service, port, err);
+  }
   return service.run(in, out);
 }
 

@@ -62,9 +62,21 @@ void ThreadPool::parallel_for_chunks(
     futures.push_back(submit([begin, end, &fn] { fn(begin, end); }));
     begin = end;
   }
-  // get() propagates the first stored exception; remaining futures are
-  // still joined by their destructors.
-  for (auto& f : futures) f.get();
+  // Wait for EVERY chunk before rethrowing: a packaged_task future's
+  // destructor does not block, so bailing out at the first exceptional
+  // get() would return while later chunks still run — and still
+  // reference `fn`, which dies with this frame.  (That dangling call was
+  // a real intermittent failure: a follow-up batch's fn at the same
+  // stack address received the dead batch's index ranges.)
+  std::exception_ptr first;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (first == nullptr) first = std::current_exception();
+    }
+  }
+  if (first != nullptr) std::rethrow_exception(first);
 }
 
 }  // namespace tgroom
