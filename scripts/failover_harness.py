@@ -1,0 +1,270 @@
+#!/usr/bin/env python3
+"""Failover harness: SIGKILL a replicated primary mid-workload, promote
+the replica, and assert the promoted store is exact.
+
+Generalizes crash_recovery_harness.py (whose workload and store-dump
+helpers it imports) from one process to a primary/replica pair:
+
+Each trial:
+  1. Starts a primary (`tgroom serve --data-dir ... --fsync always
+     --workers 0 --port 0`) and a replica (`--replica-of 127.0.0.1:PORT`)
+     on fresh data dirs, both on ephemeral ports parsed from the
+     "listening on" stderr line.
+  2. Feeds the primary the deterministic NDJSON workload over TCP.
+     Even trials are *synchronized*: each request's ack is read, the
+     replica is polled (health op) until it has applied every acked
+     record, then the primary is SIGKILLed — durability across failover
+     demands the promoted node hold all of them.  Odd trials are
+     *racing*: the whole stream is blasted and the primary SIGKILLed at
+     a random moment, so the replica holds some unknown prefix.
+  3. Checks the replica still rejects mutations (read_only), promotes it
+     (`promote` drains the stream, fsyncs, flips the role), and reads
+     the surviving sequence number S from its health probe.
+  4. store-dumps the promoted node's data dir and diffs it byte-for-byte
+     against a clean single-node replay of the first S workload requests
+     — the ISSUE 8 acceptance check — then proves the promoted node
+     accepts a fresh mutation.
+
+stdlib-only; exits non-zero on the first violated invariant.
+
+Usage:
+    failover_harness.py --binary build/examples/tgroom \\
+        [--trials 10] [--ops 300] [--seed 1]
+"""
+
+import argparse
+import json
+import os
+import random
+import re
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from crash_recovery_harness import reference_dump, store_dump, workload
+
+LISTEN_RE = re.compile(r"listening on 127\.0\.0\.1:(\d+)")
+
+
+def start_server(binary, data_dir, replica_of=None):
+    """Launches `tgroom serve --port 0` and returns (proc, port)."""
+    cmd = [
+        binary, "serve",
+        "--data-dir", data_dir,
+        "--fsync", "always",
+        "--workers", "0",
+        "--exit-metrics", "false",
+        "--port", "0",
+    ]
+    if replica_of:
+        cmd += ["--replica-of", replica_of]
+    proc = subprocess.Popen(
+        cmd, stdin=subprocess.DEVNULL, stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE, text=True,
+    )
+    deadline = time.monotonic() + 10
+    for line in proc.stderr:
+        match = LISTEN_RE.search(line)
+        if match:
+            return proc, int(match.group(1))
+        if time.monotonic() > deadline:
+            break
+    proc.kill()
+    proc.wait()
+    sys.exit(f"server on {data_dir} never announced its port")
+
+
+def connect(port):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+    sock.settimeout(10)
+    return sock, sock.makefile("r", encoding="utf-8", newline="\n")
+
+
+def request(sock, reader, obj):
+    """One request/response round-trip on an open connection."""
+    sock.sendall((json.dumps(obj, separators=(",", ":")) + "\n").encode())
+    line = reader.readline()
+    if not line:
+        sys.exit(f"connection closed answering {obj!r}")
+    return json.loads(line)
+
+
+def replica_last_seq(sock, reader):
+    reply = request(sock, reader, {"op": "health"})
+    if not reply.get("ok"):
+        sys.exit(f"health probe failed: {reply!r}")
+    return int(reply["last_seq"])
+
+
+def wait_applied(sock, reader, target, what):
+    deadline = time.monotonic() + 20
+    while True:
+        seq = replica_last_seq(sock, reader)
+        if seq >= target:
+            return seq
+        if time.monotonic() > deadline:
+            sys.exit(f"{what}: replica stuck at {seq}, want {target}")
+        time.sleep(0.002)
+
+
+def wait_settled(sock, reader):
+    """After the primary dies racing: wait until the replica's applied
+    seq stops moving (the stream client has drained what it received)."""
+    seq = replica_last_seq(sock, reader)
+    stable_since = time.monotonic()
+    deadline = time.monotonic() + 20
+    while time.monotonic() < deadline:
+        time.sleep(0.05)
+        now = replica_last_seq(sock, reader)
+        if now != seq:
+            seq = now
+            stable_since = time.monotonic()
+        elif time.monotonic() - stable_since > 0.3:
+            return seq
+    return seq
+
+
+def feed_synchronized(primary_sock, primary_reader, lines, kill_at):
+    """Sends `kill_at` requests, reading every ack.  Returns acked."""
+    acked = 0
+    for line in lines[:kill_at]:
+        primary_sock.sendall((line + "\n").encode())
+        reply = json.loads(primary_reader.readline())
+        if not reply.get("ok"):
+            sys.exit(f"request rejected before kill: {reply!r}")
+        acked += 1
+    return acked
+
+
+def feed_racing(primary_sock, lines, rng):
+    """Blasts the whole stream without reading acks; the caller kills the
+    primary after a random delay.  Returns 0: nothing is known acked."""
+    try:
+        primary_sock.sendall(("\n".join(lines) + "\n").encode())
+    except (BrokenPipeError, ConnectionResetError):
+        pass
+    time.sleep(rng.uniform(0.0, 0.1))
+    return 0
+
+
+def run_trial(args, trial, lines, rng, root):
+    primary_dir = os.path.join(root, f"primary{trial}")
+    replica_dir = os.path.join(root, f"replica{trial}")
+    ref_dir = os.path.join(root, f"ref{trial}")
+    for path in (primary_dir, replica_dir, ref_dir):
+        os.makedirs(path)
+
+    primary, primary_port = start_server(args.binary, primary_dir)
+    replica, _replica_port = start_server(
+        args.binary, replica_dir, replica_of=f"127.0.0.1:{primary_port}")
+    try:
+        psock, preader = connect(primary_port)
+        rsock, rreader = connect(_replica_port)
+
+        racing = trial % 2 == 1
+        if racing:
+            feed_racing(psock, lines, rng)
+            primary.send_signal(signal.SIGKILL)
+            primary.wait()
+            acked = 0
+            survived_min = wait_settled(rsock, rreader)
+        else:
+            kill_at = rng.randint(1, len(lines))
+            acked = feed_synchronized(psock, preader, lines, kill_at)
+            # The failover durability bar: everything acked must be on
+            # the replica before the primary is allowed to die.
+            survived_min = wait_applied(rsock, rreader, acked,
+                                        f"trial {trial} catch-up")
+            primary.send_signal(signal.SIGKILL)
+            primary.wait()
+
+        # Pre-promote: still a replica, still read-only.
+        denied = request(rsock, rreader, {
+            "op": "provision", "plan_id": 1, "add": [[0, 1]]})
+        if denied.get("ok") or denied.get("error") != "read_only":
+            sys.exit(f"trial {trial}: replica accepted a mutation before "
+                     f"promote: {denied!r}")
+
+        promoted = request(rsock, rreader, {"op": "promote"})
+        if not promoted.get("ok") or promoted.get("role") != "primary":
+            sys.exit(f"trial {trial}: promote failed: {promoted!r}")
+
+        survived = replica_last_seq(rsock, rreader)
+        if survived < survived_min:
+            sys.exit(f"trial {trial}: applied seq went backwards "
+                     f"({survived} < {survived_min})")
+        if survived < acked:
+            sys.exit(f"trial {trial}: FAILOVER DURABILITY VIOLATION — "
+                     f"{acked} acked and replicated, {survived} survived")
+        if survived > len(lines):
+            sys.exit(f"trial {trial}: {survived} ops survived a "
+                     f"{len(lines)}-op workload")
+
+        # The acceptance diff: the promoted store against a clean
+        # single-node replay of exactly the surviving prefix.  `promote`
+        # drained and fsynced, so the dir is quiescent while the node
+        # still runs.
+        _, promoted_text = store_dump(args.binary, replica_dir)
+        _, ref_text = reference_dump(args.binary, ref_dir, lines[:survived])
+        if promoted_text != ref_text:
+            sys.stderr.write(f"--- promoted node ---\n{promoted_text}\n"
+                             f"--- clean replay ---\n{ref_text}\n")
+            sys.exit(f"trial {trial}: promoted store diverges from the "
+                     f"clean replay of {survived} ops")
+
+        # A promoted node is a primary: it must take new mutations.
+        mutated = request(rsock, rreader, {
+            "op": "groom", "graph": {"n": 8, "edges": [[0, 1], [2, 3]]},
+            "k": 4, "hold": True})
+        if not mutated.get("ok"):
+            sys.exit(f"trial {trial}: promoted node rejected a mutation: "
+                     f"{mutated!r}")
+
+        request(rsock, rreader, {"op": "shutdown"})
+        replica.wait(timeout=10)
+        psock.close()
+        rsock.close()
+    finally:
+        for proc in (primary, replica):
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+
+    mode = "racing" if racing else f"acked={acked}"
+    print(f"trial {trial:3d}: {mode:>12}  survived={survived:4d}  "
+          f"promoted store exact")
+    for path in (primary_dir, replica_dir, ref_dir):
+        shutil.rmtree(path)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True,
+                        help="path to the tgroom tool binary")
+    parser.add_argument("--trials", type=int, default=10)
+    parser.add_argument("--ops", type=int, default=300)
+    parser.add_argument("--seed", type=int, default=1)
+    args = parser.parse_args()
+
+    lines = workload(args.ops)
+    rng = random.Random(args.seed)
+
+    root = tempfile.mkdtemp(prefix="tgroom_failover_harness_")
+    try:
+        for trial in range(args.trials):
+            run_trial(args, trial, lines, rng, root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    print(f"\nOK: {args.trials} kill/promote cycles, every promoted store "
+          f"bit-identical to its clean single-node replay")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,394 @@
+#include "replication/replica.hpp"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <utility>
+
+#include "graph/fingerprint.hpp"
+#include "service/protocol.hpp"
+#include "store/format.hpp"
+#include "store/snapshot.hpp"
+#include "util/json.hpp"
+
+namespace tgroom {
+
+namespace {
+
+int hex_nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+bool hex_decode(std::string_view hex, std::string& out) {
+  if (hex.size() % 2 != 0) return false;
+  out.clear();
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    const int hi = hex_nibble(hex[i]);
+    const int lo = hex_nibble(hex[i + 1]);
+    if (hi < 0 || lo < 0) return false;
+    out.push_back(static_cast<char>((hi << 4) | lo));
+  }
+  return true;
+}
+
+/// The "message" (or "error" code, or a fallback) out of a failed
+/// response — for last_error reporting.
+std::string error_text(const JsonValue& resp) {
+  if (const JsonValue* message = resp.find("message");
+      message != nullptr && message->is_string()) {
+    return message->string;
+  }
+  if (const JsonValue* code = resp.find("error");
+      code != nullptr && code->is_string()) {
+    return code->string;
+  }
+  return "primary returned an error";
+}
+
+bool response_ok(const JsonValue& resp) {
+  const JsonValue* ok = resp.find("ok");
+  return ok != nullptr && ok->is_bool() && ok->boolean;
+}
+
+}  // namespace
+
+ReplicationClient::ReplicationClient(GroomingService& service,
+                                     ReplicationClientConfig config)
+    : service_(service), config_(std::move(config)) {
+  applied_.store(service_.applied_seq(), std::memory_order_relaxed);
+}
+
+ReplicationClient::~ReplicationClient() { stop_and_drain(); }
+
+void ReplicationClient::start() {
+  thread_ = std::thread([this] { run(); });
+}
+
+void ReplicationClient::stop_and_drain() {
+  stop_.store(true, std::memory_order_release);
+  stop_cv_.notify_all();
+  // A recv blocked on a quiet primary returns immediately once the
+  // socket is shut down; records already received keep applying — the
+  // fetch loop only checks the stop flag between batches.
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  if (thread_.joinable()) thread_.join();
+}
+
+std::string ReplicationClient::last_error() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return last_error_;
+}
+
+void ReplicationClient::note_error(const std::string& message) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  last_error_ = message;
+}
+
+void ReplicationClient::write_status_json(JsonWriter& w) const {
+  const std::uint64_t applied = applied_.load(std::memory_order_relaxed);
+  const std::uint64_t primary_last =
+      primary_last_.load(std::memory_order_relaxed);
+  w.kv("connected", connected_.load(std::memory_order_relaxed));
+  w.kv("applied_seq", applied);
+  w.kv("primary_last_seq", primary_last);
+  w.kv("lag", primary_last > applied ? primary_last - applied : 0);
+  w.kv("reconnects", reconnects_.load(std::memory_order_relaxed));
+  w.kv("snapshot_bootstraps",
+       snapshot_bootstraps_.load(std::memory_order_relaxed));
+  if (fatal_.load(std::memory_order_relaxed)) w.kv("fatal", true);
+  const std::string error = last_error();
+  if (!error.empty()) w.kv("last_error", error);
+}
+
+bool ReplicationClient::wait_stop(int ms) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  stop_cv_.wait_for(lock, std::chrono::milliseconds(ms),
+                    [this] { return stop_.load(std::memory_order_acquire); });
+  return stop_.load(std::memory_order_acquire);
+}
+
+int ReplicationClient::connect_to_primary(std::string& error) {
+  const std::size_t colon = config_.primary.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == config_.primary.size()) {
+    error = "bad primary address '" + config_.primary + "' (want host:port)";
+    return -1;
+  }
+  const std::string host = config_.primary.substr(0, colon);
+  const std::string port = config_.primary.substr(colon + 1);
+
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  if (const int rc = ::getaddrinfo(host.c_str(), port.c_str(), &hints,
+                                   &result);
+      rc != 0) {
+    error = "resolve " + config_.primary + ": " + gai_strerror(rc);
+    return -1;
+  }
+  int fd = -1;
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    error = "connect " + config_.primary + ": " + std::strerror(errno);
+    return -1;
+  }
+  timeval timeout{};
+  timeout.tv_sec = config_.io_timeout_ms / 1000;
+  timeout.tv_usec = (config_.io_timeout_ms % 1000) * 1000;
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+bool ReplicationClient::send_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t n =
+        ::send(fd, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ReplicationClient::recv_line(int fd, std::string& line) {
+  char chunk[65536];
+  while (true) {
+    const std::size_t newline = recv_buffer_.find('\n');
+    if (newline != std::string::npos) {
+      line.assign(recv_buffer_, 0, newline);
+      recv_buffer_.erase(0, newline + 1);
+      return true;
+    }
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n == 0) return false;  // EOF
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;  // timeout (EAGAIN) or hard error: reconnect
+    }
+    recv_buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void ReplicationClient::run() {
+  int backoff = config_.backoff_initial_ms;
+  while (!stop_.load(std::memory_order_acquire)) {
+    std::string error;
+    const int fd = connect_to_primary(error);
+    if (fd < 0) {
+      note_error(error);
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      if (wait_stop(backoff)) break;
+      backoff = std::min(backoff * 2, config_.backoff_max_ms);
+      continue;
+    }
+    fd_.store(fd, std::memory_order_release);
+    connected_.store(true, std::memory_order_relaxed);
+    recv_buffer_.clear();
+    backoff = config_.backoff_initial_ms;
+
+    const bool clean = stream_session(fd);
+
+    connected_.store(false, std::memory_order_relaxed);
+    fd_.store(-1, std::memory_order_release);
+    ::close(fd);
+    if (clean || fatal_.load(std::memory_order_relaxed)) break;
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    if (wait_stop(backoff)) break;
+    backoff = std::min(backoff * 2, config_.backoff_max_ms);
+  }
+  connected_.store(false, std::memory_order_relaxed);
+}
+
+bool ReplicationClient::handshake(int fd, std::string& mode) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("op", "repl_handshake");
+  w.kv("store_version", static_cast<long long>(kStoreFormatVersion));
+  w.kv("fingerprint_version",
+       static_cast<long long>(kFingerprintFormatVersion));
+  w.kv("start_seq", applied_.load(std::memory_order_relaxed));
+  w.end_object();
+  if (!send_line(fd, w.str())) return false;
+  std::string line;
+  if (!recv_line(fd, line)) return false;
+  const JsonValue resp = parse_json(line);
+  if (!response_ok(resp)) {
+    note_error("handshake rejected: " + error_text(resp));
+    if (const JsonValue* code = resp.find("error");
+        code != nullptr && code->is_string() &&
+        code->string == "store_incompatible") {
+      // Retrying cannot change either side's format version: park.
+      fatal_.store(true, std::memory_order_relaxed);
+    }
+    return false;
+  }
+  if (const JsonValue* last = resp.find("last_seq");
+      last != nullptr && last->is_number()) {
+    primary_last_.store(static_cast<std::uint64_t>(last->as_int()),
+                        std::memory_order_relaxed);
+  }
+  const JsonValue* m = resp.find("mode");
+  if (m == nullptr || !m->is_string()) {
+    note_error("handshake response missing mode");
+    return false;
+  }
+  mode = m->string;
+  return true;
+}
+
+bool ReplicationClient::bootstrap_snapshot(int fd) {
+  if (!send_line(fd, "{\"op\":\"repl_snapshot\"}")) return false;
+  std::string line;
+  if (!recv_line(fd, line)) return false;
+  const JsonValue resp = parse_json(line);
+  if (!response_ok(resp)) {
+    note_error("snapshot bootstrap rejected: " + error_text(resp));
+    return false;
+  }
+  const JsonValue* last = resp.find("last_seq");
+  const JsonValue* next_id = resp.find("next_plan_id");
+  const JsonValue* plans = resp.find("plans");
+  if (last == nullptr || !last->is_number() || next_id == nullptr ||
+      !next_id->is_number() || plans == nullptr || !plans->is_array()) {
+    note_error("malformed snapshot response");
+    return false;
+  }
+  SnapshotData snap;
+  snap.last_seq = static_cast<std::uint64_t>(last->as_int());
+  snap.next_plan_id = next_id->as_int();
+  snap.plans.reserve(plans->array.size());
+  for (const JsonValue& entry : plans->array) {
+    if (!entry.is_array() || entry.array.size() != 2 ||
+        !entry.array[0].is_number()) {
+      note_error("malformed snapshot plan entry");
+      return false;
+    }
+    snap.plans.emplace_back(entry.array[0].as_int(),
+                            plan_from_json(entry.array[1]));
+  }
+  service_.install_replication_snapshot(snap);
+  applied_.store(snap.last_seq, std::memory_order_relaxed);
+  snapshot_bootstraps_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool ReplicationClient::stream_session(int fd) {
+  try {
+    while (!stop_.load(std::memory_order_acquire)) {
+      std::string mode;
+      if (!handshake(fd, mode)) {
+        return stop_.load(std::memory_order_acquire);
+      }
+      if (mode == "snapshot") {
+        if (!bootstrap_snapshot(fd)) {
+          return stop_.load(std::memory_order_acquire);
+        }
+      }
+
+      // The steady state: fetch, apply the whole batch, ack, repeat.
+      // `compacted` breaks back out to the handshake (our cursor fell off
+      // the primary's WAL — it will hand us a snapshot).
+      while (true) {
+        const std::uint64_t from = applied_.load(std::memory_order_relaxed);
+        JsonWriter w;
+        w.begin_object();
+        w.kv("op", "repl_fetch");
+        w.kv("from_seq", from);
+        w.kv("ack_seq", from);
+        w.kv("max_records", static_cast<long long>(config_.batch_records));
+        w.end_object();
+        if (!send_line(fd, w.str())) {
+          return stop_.load(std::memory_order_acquire);
+        }
+        std::string line;
+        if (!recv_line(fd, line)) {
+          return stop_.load(std::memory_order_acquire);
+        }
+        const JsonValue resp = parse_json(line);
+        if (!response_ok(resp)) {
+          note_error("fetch rejected: " + error_text(resp));
+          return stop_.load(std::memory_order_acquire);
+        }
+        if (const JsonValue* last = resp.find("last_seq");
+            last != nullptr && last->is_number()) {
+          primary_last_.store(static_cast<std::uint64_t>(last->as_int()),
+                              std::memory_order_relaxed);
+        }
+        const JsonValue* records = resp.find("records");
+        if (records == nullptr || !records->is_array()) {
+          note_error("malformed fetch response");
+          return stop_.load(std::memory_order_acquire);
+        }
+        // Drain semantics: everything in this batch is applied even if
+        // stop_and_drain() fires mid-loop — the stop check sits between
+        // batches, never between a record and its neighbor.
+        std::string body;
+        for (const JsonValue& entry : records->array) {
+          if (!entry.is_array() || entry.array.size() != 3 ||
+              !entry.array[0].is_number() || !entry.array[1].is_number() ||
+              !entry.array[2].is_string() ||
+              !hex_decode(entry.array[2].string, body)) {
+            throw CheckError("malformed shipped record");
+          }
+          const std::uint64_t seq =
+              static_cast<std::uint64_t>(entry.array[0].as_int());
+          const std::int64_t type = entry.array[1].as_int();
+          if (type < 1 || type > 3) {
+            throw CheckError("shipped record " + std::to_string(seq) +
+                             " has unknown type " + std::to_string(type));
+          }
+          service_.apply_replication_record(
+              seq, static_cast<WalRecordType>(type), body);
+          applied_.store(seq, std::memory_order_relaxed);
+        }
+        const JsonValue* compacted = resp.find("compacted");
+        if (compacted != nullptr && compacted->is_bool() &&
+            compacted->boolean) {
+          break;  // back to the handshake for a snapshot bootstrap
+        }
+        if (stop_.load(std::memory_order_acquire)) return true;
+        if (records->array.empty()) {
+          // Caught up (or the primary is mid-append): poll gently.
+          if (wait_stop(config_.poll_interval_ms)) return true;
+        }
+      }
+    }
+    return true;
+  } catch (const std::exception& e) {
+    // Decode failures, stream gaps, local store errors: re-streaming the
+    // same bytes would fail the same way — park instead of crash-looping.
+    note_error(std::string("replication apply failed: ") + e.what());
+    fatal_.store(true, std::memory_order_relaxed);
+    return false;
+  }
+}
+
+}  // namespace tgroom

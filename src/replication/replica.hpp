@@ -1,0 +1,111 @@
+// Follower side of WAL-shipping replication.
+//
+// A ReplicationClient owns one background thread that tails a primary's
+// WAL over the NDJSON service protocol and applies every shipped record
+// to the local GroomingService (live table + this node's own durable
+// store, byte-for-byte — see GroomingService::apply_replication_record).
+// The session shape:
+//
+//   repl_handshake   version check (store + fingerprint format) and
+//                    start-seq negotiation.  `mode:"snapshot"` means the
+//                    records after our cursor were compacted away on the
+//                    primary, so we bootstrap from repl_snapshot first.
+//   repl_snapshot    full held-plan table; installed wholesale via
+//                    GroomingService::install_replication_snapshot.
+//   repl_fetch ...   the steady state: batched records, each fetch also
+//                    acking our applied seq back to the primary.  When
+//                    caught up the client polls at `poll_interval_ms`.
+//
+// Failure policy: connection loss and transient errors reconnect with
+// exponential backoff (the counter is visible in stats); a format-version
+// rejection from the handshake is *fatal* — retrying cannot fix it, so
+// the client parks with `fatal() == true` and the error in last_error().
+// Apply-side corruption (decode failure, stream gap) is fatal too:
+// re-streaming diverged history would silently fork the store.
+//
+// stop_and_drain() is the promotion path: the thread finishes applying
+// the batch it already holds, then exits; nothing is left half-applied.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "service/server.hpp"
+
+namespace tgroom {
+
+struct ReplicationClientConfig {
+  std::string primary;          // "host:port" of the primary's TCP service
+  std::size_t batch_records = 512;  // max_records per repl_fetch
+  int poll_interval_ms = 20;    // caught-up re-poll cadence
+  int backoff_initial_ms = 100;  // reconnect backoff: initial...
+  int backoff_max_ms = 2000;     // ...doubling up to this cap
+  int io_timeout_ms = 5000;      // per-recv socket timeout
+};
+
+class ReplicationClient : public ReplicaLink {
+ public:
+  ReplicationClient(GroomingService& service, ReplicationClientConfig config);
+  ~ReplicationClient() override;
+
+  ReplicationClient(const ReplicationClient&) = delete;
+  ReplicationClient& operator=(const ReplicationClient&) = delete;
+
+  /// Starts the tailing thread.  Call once, after the service's store is
+  /// open and set_replica_link() points at this object.
+  void start();
+
+  // ReplicaLink -----------------------------------------------------------
+  void stop_and_drain() override;
+  void write_status_json(JsonWriter& w) const override;
+  std::uint64_t applied_seq() const override {
+    return applied_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t primary_last_seq() const override {
+    return primary_last_.load(std::memory_order_relaxed);
+  }
+
+  /// True once the client has given up permanently (version mismatch or
+  /// apply-side corruption).  The error is in last_error().
+  bool fatal() const { return fatal_.load(std::memory_order_relaxed); }
+  std::string last_error() const;
+
+ private:
+  void run();
+  /// One connected session: handshake, optional snapshot bootstrap, fetch
+  /// loop.  Returns true on clean stop, false to reconnect (or park, when
+  /// fatal_ got set).
+  bool stream_session(int fd);
+  bool handshake(int fd, std::string& mode);
+  bool bootstrap_snapshot(int fd);
+  bool send_line(int fd, const std::string& line);
+  bool recv_line(int fd, std::string& line);
+  int connect_to_primary(std::string& error);
+  /// Sleeps up to `ms`, waking early on stop; returns stop_requested.
+  bool wait_stop(int ms);
+  void note_error(const std::string& message);
+
+  GroomingService& service_;
+  ReplicationClientConfig config_;
+  std::thread thread_;
+
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> fatal_{false};
+  std::atomic<bool> connected_{false};
+  std::atomic<int> fd_{-1};  // live socket, for shutdown() on stop
+  std::atomic<std::uint64_t> applied_{0};
+  std::atomic<std::uint64_t> primary_last_{0};
+  std::atomic<long long> reconnects_{0};
+  std::atomic<long long> snapshot_bootstraps_{0};
+
+  mutable std::mutex mutex_;  // guards last_error_ and stop/join handoff
+  std::condition_variable stop_cv_;
+  std::string last_error_;
+  std::string recv_buffer_;  // carry-over bytes between recv_line calls
+};
+
+}  // namespace tgroom

@@ -505,6 +505,14 @@ struct EventLoopServer::Impl {
       begin_drain();
       return;
     }
+    if (request.op == ServiceOp::kHealth) {
+      // Health is answered inline from the event loop, never queued
+      // behind grooming work — it stays cheap under a full admission
+      // queue, which is exactly when a prober wants an answer.
+      service.execute_into(request, inline_workspace, inline_writer);
+      respond_now(conn, inline_writer.str());
+      return;
+    }
     if (service.config().workers == 0) {
       service.execute_into(request, inline_workspace, inline_writer);
       deliver(conn, inline_writer.str(), /*from_worker=*/false);

@@ -16,6 +16,8 @@ constexpr const char* kCounterNames[ServiceMetrics::kCounterCount] = {
     "cache_evictions", "store_appends",
     "store_snapshots", "conn_accepted",
     "conn_closed",     "pipelined",
+    "read_only_rejected", "repl_fetches",
+    "repl_records_shipped", "repl_records_applied",
 };
 
 }  // namespace

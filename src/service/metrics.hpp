@@ -39,6 +39,10 @@ class ServiceMetrics {
     kConnClosed,        // TCP connections closed (EOF, error, or drain)
     kPipelined,         // requests parsed beyond the first of a readiness
                         // batch (the pipelining depth actually realized)
+    kReadOnlyRejected,  // subset of kError: mutations refused by a replica
+    kReplFetches,       // repl_fetch batches served (primary side)
+    kReplRecordsShipped,  // WAL records shipped to followers
+    kReplRecordsApplied,  // shipped records applied locally (replica side)
     kCount_,
   };
   static constexpr std::size_t kCounterCount =

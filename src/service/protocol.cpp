@@ -17,6 +17,11 @@ const char* service_op_name(ServiceOp op) {
     case ServiceOp::kRelease: return "release";
     case ServiceOp::kStats: return "stats";
     case ServiceOp::kShutdown: return "shutdown";
+    case ServiceOp::kHealth: return "health";
+    case ServiceOp::kPromote: return "promote";
+    case ServiceOp::kReplHandshake: return "repl_handshake";
+    case ServiceOp::kReplFetch: return "repl_fetch";
+    case ServiceOp::kReplSnapshot: return "repl_snapshot";
   }
   return "?";
 }
@@ -28,6 +33,7 @@ const char* service_error_name(ServiceError code) {
     case ServiceError::kShuttingDown: return "shutting_down";
     case ServiceError::kDeadlineExceeded: return "deadline_exceeded";
     case ServiceError::kStoreIncompatible: return "store_incompatible";
+    case ServiceError::kReadOnly: return "read_only";
     case ServiceError::kInternal: return "internal";
   }
   return "?";
@@ -622,8 +628,12 @@ bool fast_parse_request(std::string_view line, RequestParse& out) {
     if (have_graph || have_algorithm || have_k || have_seed || have_add) {
       return false;
     }
-  } else if (op == "stats" || op == "shutdown") {
-    request.op = op == "stats" ? ServiceOp::kStats : ServiceOp::kShutdown;
+  } else if (op == "stats" || op == "shutdown" || op == "health" ||
+             op == "promote") {
+    request.op = op == "stats"      ? ServiceOp::kStats
+                 : op == "shutdown" ? ServiceOp::kShutdown
+                 : op == "health"   ? ServiceOp::kHealth
+                                    : ServiceOp::kPromote;
     if (have_graph || have_plan || have_add || have_remove) return false;
   } else {
     return false;
@@ -677,6 +687,13 @@ RequestParse parse_request(std::string_view line) {
     else if (op->string == "release") request.op = ServiceOp::kRelease;
     else if (op->string == "stats") request.op = ServiceOp::kStats;
     else if (op->string == "shutdown") request.op = ServiceOp::kShutdown;
+    else if (op->string == "health") request.op = ServiceOp::kHealth;
+    else if (op->string == "promote") request.op = ServiceOp::kPromote;
+    else if (op->string == "repl_handshake")
+      request.op = ServiceOp::kReplHandshake;
+    else if (op->string == "repl_fetch") request.op = ServiceOp::kReplFetch;
+    else if (op->string == "repl_snapshot")
+      request.op = ServiceOp::kReplSnapshot;
     else TGROOM_CHECK_MSG(false, "unknown op '" + op->string + "'");
 
     request.deadline_ms = int_field(doc, "deadline_ms", 0);
@@ -748,6 +765,29 @@ RequestParse parse_request(std::string_view line) {
       }
       request.repair = bool_field(doc, "repair", true);
       request.include_plan = bool_field(doc, "include_plan", false);
+    } else if (request.op == ServiceOp::kReplHandshake) {
+      request.repl_store_version = int_field(doc, "store_version", -1);
+      TGROOM_CHECK_MSG(request.repl_store_version >= 0,
+                       "\"store_version\" is required for repl_handshake");
+      request.repl_fingerprint_version =
+          int_field(doc, "fingerprint_version", -1);
+      TGROOM_CHECK_MSG(
+          request.repl_fingerprint_version >= 0,
+          "\"fingerprint_version\" is required for repl_handshake");
+      const std::int64_t start = int_field(doc, "start_seq", 0);
+      TGROOM_CHECK_MSG(start >= 0, "\"start_seq\" must be >= 0");
+      request.repl_start_seq = static_cast<std::uint64_t>(start);
+    } else if (request.op == ServiceOp::kReplFetch) {
+      const std::int64_t from = int_field(doc, "from_seq", -1);
+      TGROOM_CHECK_MSG(from >= 0,
+                       "\"from_seq\" (>= 0) is required for repl_fetch");
+      request.repl_from_seq = static_cast<std::uint64_t>(from);
+      request.repl_max_records = int_field(doc, "max_records", 0);
+      TGROOM_CHECK_MSG(request.repl_max_records >= 0,
+                       "\"max_records\" must be >= 0");
+      const std::int64_t ack = int_field(doc, "ack_seq", 0);
+      TGROOM_CHECK_MSG(ack >= 0, "\"ack_seq\" must be >= 0");
+      request.repl_ack_seq = static_cast<std::uint64_t>(ack);
     }
   } catch (const CheckError& e) {
     out.error = e.what();

@@ -6,6 +6,8 @@
 // order when the daemon runs with workers).  Grammar:
 //
 //   request    := groom | provision | release | stats | shutdown
+//               | health | promote | repl_handshake | repl_fetch
+//               | repl_snapshot
 //   groom      := {"op":"groom", "id"?:int, "graph":{"n":int,
 //                  "edges":[[u,v],...]}, "algorithm"?:string, "k"?:int,
 //                  "seed"?:int, "refine"?:bool, "smart_branches"?:bool,
@@ -20,14 +22,34 @@
 //                  "include_plan"?:bool, "deadline_ms"?:int}
 //   stats      := {"op":"stats", "id"?:int}
 //   shutdown   := {"op":"shutdown", "id"?:int}
+//   health     := {"op":"health", "id"?:int}        — answered inline,
+//                  never queued behind grooming work
+//   promote    := {"op":"promote", "id"?:int}       — replica → primary
 //   plan       := {"ring_size":int, "k":int,
 //                  "pairs":[[a,b,wavelength,timeslot],...]}
+//
+// Replication stream (follower → primary, over the same NDJSON loop):
+//
+//   repl_handshake := {"op":"repl_handshake", "id"?:int,
+//                      "store_version":int, "fingerprint_version":int,
+//                      "start_seq":int}
+//                  →  {"ok":true, "op":"repl_handshake", "last_seq":int,
+//                      "first_available":int, "mode":"wal"|"snapshot"}
+//   repl_fetch     := {"op":"repl_fetch", "id"?:int, "from_seq":int,
+//                      "max_records"?:int, "ack_seq"?:int}
+//                  →  {"ok":true, "op":"repl_fetch", "last_seq":int,
+//                      "compacted":bool, "incomplete":bool,
+//                      "records":[[seq,type,hexbody],...]}
+//   repl_snapshot  := {"op":"repl_snapshot", "id"?:int}
+//                  →  {"ok":true, "op":"repl_snapshot", "last_seq":int,
+//                      "next_plan_id":int, "plans":[[id,plan],...]}
 //
 //   response   := {"id":int|null, "ok":true, "op":string, ...payload}
 //               | {"id":int|null, "ok":false, "error":code,
 //                  "message":string}
 //   code       := "bad_request" | "overloaded" | "shutting_down"
-//               | "deadline_exceeded" | "store_incompatible" | "internal"
+//               | "deadline_exceeded" | "store_incompatible"
+//               | "read_only" | "internal"
 //
 // The serializers here are shared with the CLI's `--format json` output,
 // so scripted pipelines and service clients parse one format.
@@ -51,7 +73,18 @@ namespace tgroom {
 class JsonValue;
 class JsonWriter;
 
-enum class ServiceOp { kGroom, kProvision, kRelease, kStats, kShutdown };
+enum class ServiceOp {
+  kGroom,
+  kProvision,
+  kRelease,
+  kStats,
+  kShutdown,
+  kHealth,         // cheap liveness/role probe, answered inline
+  kPromote,        // flip a caught-up replica to primary
+  kReplHandshake,  // replication stream: version + start-seq negotiation
+  kReplFetch,      // replication stream: a batch of framed WAL records
+  kReplSnapshot,   // replication stream: full-table bootstrap
+};
 const char* service_op_name(ServiceOp op);
 
 enum class ServiceError {
@@ -60,6 +93,7 @@ enum class ServiceError {
   kShuttingDown,
   kDeadlineExceeded,
   kStoreIncompatible,  // durable store written by a different format version
+  kReadOnly,           // mutation sent to a replica; message names the primary
   kInternal,
 };
 const char* service_error_name(ServiceError code);
@@ -89,6 +123,14 @@ struct ServiceRequest {
   std::vector<DemandPair> remove;      // circuits to release
   bool release_all = false;            // drop the whole held plan
   bool repair = true;                  // local repair after release
+
+  // replication fields (repl_handshake / repl_fetch)
+  std::int64_t repl_store_version = -1;        // handshake: kStoreFormatVersion
+  std::int64_t repl_fingerprint_version = -1;  // handshake
+  std::uint64_t repl_start_seq = 0;   // handshake: follower resumes after this
+  std::uint64_t repl_from_seq = 0;    // fetch: records with seq > from_seq
+  std::int64_t repl_max_records = 0;  // fetch: 0 = server default
+  std::uint64_t repl_ack_seq = 0;     // fetch: follower's applied high-water
 
   // lifecycle (stamped by the server at admission)
   std::int64_t deadline_ms = 0;  // 0 = no deadline

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <exception>
+#include <filesystem>
 #include <future>
 #include <istream>
 #include <memory>
@@ -110,27 +111,51 @@ void GroomingService::execute_into(ServiceRequest& request,
   w.clear();
   const AllocCounter allocs_before = thread_alloc_counter();
   try {
-    switch (request.op) {
-      case ServiceOp::kGroom:
-        handle_groom(request, workspace, w);
-        break;
-      case ServiceOp::kProvision:
-        handle_provision(request, w);
-        break;
-      case ServiceOp::kRelease:
-        handle_release(request, w);
-        break;
-      case ServiceOp::kStats:
-        handle_stats(request, w);
-        break;
-      case ServiceOp::kShutdown:
-        // run() intercepts shutdown before dispatch; a direct execute()
-        // (tests) gets a structured refusal instead of silence.
-        metrics_.increment(ServiceMetrics::Counter::kError);
-        write_error_response(w, request.id, request.has_id,
-                             ServiceError::kBadRequest,
-                             "shutdown is handled by the server");
-        break;
+    if (is_mutating(request) && is_replica()) {
+      metrics_.increment(ServiceMetrics::Counter::kError);
+      metrics_.increment(ServiceMetrics::Counter::kReadOnlyRejected);
+      write_error_response(
+          w, request.id, request.has_id, ServiceError::kReadOnly,
+          "read-only replica of " + config_.replica_of +
+              "; send mutations to the primary or promote this node");
+    } else {
+      switch (request.op) {
+        case ServiceOp::kGroom:
+          handle_groom(request, workspace, w);
+          break;
+        case ServiceOp::kProvision:
+          handle_provision(request, w);
+          break;
+        case ServiceOp::kRelease:
+          handle_release(request, w);
+          break;
+        case ServiceOp::kStats:
+          handle_stats(request, w);
+          break;
+        case ServiceOp::kHealth:
+          handle_health(request, w);
+          break;
+        case ServiceOp::kPromote:
+          handle_promote(request, w);
+          break;
+        case ServiceOp::kReplHandshake:
+          handle_repl_handshake(request, w);
+          break;
+        case ServiceOp::kReplFetch:
+          handle_repl_fetch(request, w);
+          break;
+        case ServiceOp::kReplSnapshot:
+          handle_repl_snapshot(request, w);
+          break;
+        case ServiceOp::kShutdown:
+          // run() intercepts shutdown before dispatch; a direct execute()
+          // (tests) gets a structured refusal instead of silence.
+          metrics_.increment(ServiceMetrics::Counter::kError);
+          write_error_response(w, request.id, request.has_id,
+                               ServiceError::kBadRequest,
+                               "shutdown is handled by the server");
+          break;
+      }
     }
   } catch (const std::exception& e) {
     w.clear();
@@ -389,6 +414,21 @@ void GroomingService::handle_stats(const ServiceRequest& request,
   w.kv("held_plans", static_cast<long long>(held_plan_count()));
   w.key("cache");
   write_cache_stats(w);
+  w.key("replication");
+  w.begin_object();
+  const bool replica = is_replica();
+  w.kv("role", replica ? "replica" : "primary");
+  if (replica) {
+    w.kv("primary", config_.replica_of);
+    if (replica_link_ != nullptr) {
+      // connected / applied_seq / primary_last_seq / lag / reconnects /
+      // snapshot_bootstraps / last_error — the replication-lag surface.
+      replica_link_->write_status_json(w);
+    }
+  } else {
+    w.kv("acked_seq", repl_acked_seq_.load(std::memory_order_relaxed));
+  }
+  w.end_object();
   w.key("metrics");
   metrics_.write_json(w);
   if (store_ != nullptr) {
@@ -397,6 +437,330 @@ void GroomingService::handle_stats(const ServiceRequest& request,
   }
   w.end_object();
   metrics_.increment(ServiceMetrics::Counter::kOk);
+}
+
+bool GroomingService::is_mutating(const ServiceRequest& request) {
+  switch (request.op) {
+    case ServiceOp::kGroom:
+      return request.hold;  // a plain groom only reads (and warms) the cache
+    case ServiceOp::kProvision:
+    case ServiceOp::kRelease:
+      // Inline-plan requests are stateless transforms of the caller's own
+      // plan; only held-plan references touch the table.
+      return !request.plan.has_value();
+    default:
+      return false;
+  }
+}
+
+std::uint64_t GroomingService::applied_seq() const {
+  return store_ != nullptr ? store_->last_seq() : 0;
+}
+
+void GroomingService::handle_health(const ServiceRequest& request,
+                                    JsonWriter& w) {
+  // Deliberately cheap: no plans_mutex_, no store scan — safe to answer
+  // inline from the event loop ahead of any queued grooming work.
+  begin_ok_response(w, request.id, request.has_id, ServiceOp::kHealth);
+  const bool replica = is_replica();
+  w.kv("role", replica ? "replica" : "primary");
+  w.kv("last_seq", applied_seq());
+  if (replica) {
+    w.kv("primary", config_.replica_of);
+    if (replica_link_ != nullptr) {
+      const std::uint64_t applied = replica_link_->applied_seq();
+      const std::uint64_t primary_last = replica_link_->primary_last_seq();
+      w.kv("applied_seq", applied);
+      w.kv("primary_last_seq", primary_last);
+      w.kv("lag", primary_last > applied ? primary_last - applied : 0);
+    }
+  }
+  w.kv("uptime_s",
+       static_cast<long long>(std::chrono::duration_cast<std::chrono::seconds>(
+                                  std::chrono::steady_clock::now() - started_)
+                                  .count()));
+  w.end_object();
+  metrics_.increment(ServiceMetrics::Counter::kOk);
+}
+
+void GroomingService::handle_promote(const ServiceRequest& request,
+                                     JsonWriter& w) {
+  std::lock_guard<std::mutex> lock(promote_mutex_);
+  if (!is_replica()) {
+    metrics_.increment(ServiceMetrics::Counter::kError);
+    return write_error_response(w, request.id, request.has_id,
+                                ServiceError::kBadRequest,
+                                "promote: this node is already the primary");
+  }
+  // Drain: the stream client finishes applying the batch it already
+  // holds, then stops — no shipped record is half-applied.  Then make
+  // everything applied durable before accepting new mutations.
+  if (replica_link_ != nullptr) replica_link_->stop_and_drain();
+  if (store_ != nullptr) store_->flush();
+  role_.store(ServiceRole::kPrimary, std::memory_order_release);
+  begin_ok_response(w, request.id, request.has_id, ServiceOp::kPromote);
+  w.kv("role", "primary");
+  w.kv("last_seq", applied_seq());
+  w.kv("was_replica_of", config_.replica_of);
+  w.end_object();
+  metrics_.increment(ServiceMetrics::Counter::kOk);
+}
+
+namespace {
+
+void append_hex(std::string& out, std::string_view bytes) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (const char c : bytes) {
+    const auto b = static_cast<unsigned char>(c);
+    out.push_back(kHex[b >> 4]);
+    out.push_back(kHex[b & 15]);
+  }
+}
+
+}  // namespace
+
+void GroomingService::handle_repl_handshake(const ServiceRequest& request,
+                                            JsonWriter& w) {
+  if (store_ == nullptr) {
+    metrics_.increment(ServiceMetrics::Counter::kError);
+    return write_error_response(
+        w, request.id, request.has_id, ServiceError::kBadRequest,
+        "replication requires a durable store (--data-dir)");
+  }
+  if (request.repl_store_version !=
+      static_cast<std::int64_t>(kStoreFormatVersion)) {
+    metrics_.increment(ServiceMetrics::Counter::kError);
+    return write_error_response(
+        w, request.id, request.has_id, ServiceError::kStoreIncompatible,
+        "replica store format v" +
+            std::to_string(request.repl_store_version) +
+            " does not match primary v" + std::to_string(kStoreFormatVersion));
+  }
+  if (request.repl_fingerprint_version !=
+      static_cast<std::int64_t>(kFingerprintFormatVersion)) {
+    metrics_.increment(ServiceMetrics::Counter::kError);
+    return write_error_response(
+        w, request.id, request.has_id, ServiceError::kStoreIncompatible,
+        "replica fingerprint format v" +
+            std::to_string(request.repl_fingerprint_version) +
+            " does not match primary v" +
+            std::to_string(kFingerprintFormatVersion));
+  }
+  const std::uint64_t last = store_->last_seq();
+  if (request.repl_start_seq > last) {
+    metrics_.increment(ServiceMetrics::Counter::kError);
+    return write_error_response(
+        w, request.id, request.has_id, ServiceError::kBadRequest,
+        "replica is ahead of this primary (start_seq " +
+            std::to_string(request.repl_start_seq) + " > last_seq " +
+            std::to_string(last) + ")");
+  }
+  std::uint64_t first_available = 0;
+  const std::vector<std::string> segments = list_wal_segments(store_->dir());
+  if (!segments.empty()) {
+    first_available = wal_segment_first_seq(segments.front());
+  }
+  // Snapshot bootstrap when the records right after start_seq are gone
+  // (compacted away) — the WAL can only resume a follower whose cursor
+  // still lands inside it.
+  const bool snapshot_mode =
+      first_available == 0 || first_available > request.repl_start_seq + 1;
+  begin_ok_response(w, request.id, request.has_id, ServiceOp::kReplHandshake);
+  w.kv("last_seq", last);
+  w.kv("first_available", first_available);
+  w.kv("mode", snapshot_mode ? "snapshot" : "wal");
+  w.end_object();
+  metrics_.increment(ServiceMetrics::Counter::kOk);
+}
+
+void GroomingService::handle_repl_fetch(const ServiceRequest& request,
+                                        JsonWriter& w) {
+  if (store_ == nullptr) {
+    metrics_.increment(ServiceMetrics::Counter::kError);
+    return write_error_response(
+        w, request.id, request.has_id, ServiceError::kBadRequest,
+        "replication requires a durable store (--data-dir)");
+  }
+  // Record the follower's applied high-water (monotonic max across
+  // followers) before serving — the periodic commit-seq ack.
+  if (request.repl_ack_seq > 0) {
+    std::uint64_t prev = repl_acked_seq_.load(std::memory_order_relaxed);
+    while (request.repl_ack_seq > prev &&
+           !repl_acked_seq_.compare_exchange_weak(prev, request.repl_ack_seq,
+                                                  std::memory_order_relaxed)) {
+    }
+  }
+  constexpr std::int64_t kDefaultBatch = 256;
+  constexpr std::int64_t kMaxBatch = 4096;
+  const std::size_t max_records = static_cast<std::size_t>(
+      request.repl_max_records == 0
+          ? kDefaultBatch
+          : std::min(request.repl_max_records, kMaxBatch));
+  // Push stdio-buffered appends to the OS so the tail sees every record
+  // the service has acked, whatever the fsync policy.
+  store_->flush_os();
+  struct ShippedRecord {
+    std::uint64_t seq;
+    std::uint8_t type;
+    std::string hex;
+  };
+  std::vector<ShippedRecord> records;
+  const WalTailStats stats = tail_wal(
+      store_->dir(), request.repl_from_seq, max_records,
+      [&records](std::uint64_t seq, WalRecordType type,
+                 std::string_view body) {
+        ShippedRecord rec;
+        rec.seq = seq;
+        rec.type = static_cast<std::uint8_t>(type);
+        rec.hex.reserve(body.size() * 2);
+        append_hex(rec.hex, body);
+        records.push_back(std::move(rec));
+      });
+  begin_ok_response(w, request.id, request.has_id, ServiceOp::kReplFetch);
+  w.kv("last_seq", store_->last_seq());
+  w.kv("compacted", stats.compacted);
+  w.kv("incomplete", stats.incomplete);
+  w.key("records").begin_array();
+  for (const ShippedRecord& rec : records) {
+    w.begin_array()
+        .value(static_cast<long long>(rec.seq))
+        .value(static_cast<long long>(rec.type))
+        .value(rec.hex)
+        .end_array();
+  }
+  w.end_array();
+  w.end_object();
+  metrics_.increment(ServiceMetrics::Counter::kOk);
+  metrics_.increment(ServiceMetrics::Counter::kReplFetches);
+  if (!records.empty()) {
+    metrics_.increment(ServiceMetrics::Counter::kReplRecordsShipped,
+                       static_cast<long long>(records.size()));
+  }
+}
+
+void GroomingService::handle_repl_snapshot(const ServiceRequest& request,
+                                           JsonWriter& w) {
+  if (store_ == nullptr) {
+    metrics_.increment(ServiceMetrics::Counter::kError);
+    return write_error_response(
+        w, request.id, request.has_id, ServiceError::kBadRequest,
+        "replication requires a durable store (--data-dir)");
+  }
+  SnapshotData snap;
+  {
+    // Same invariant as snapshot_store: appends happen under
+    // plans_mutex_, so last_seq taken here covers exactly this table.
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    snap.last_seq = store_->last_seq();
+    snap.next_plan_id = next_plan_id_;
+    snap.plans.reserve(plans_.size());
+    for (const auto& [id, plan] : plans_) snap.plans.emplace_back(id, plan);
+  }
+  std::sort(snap.plans.begin(), snap.plans.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  begin_ok_response(w, request.id, request.has_id, ServiceOp::kReplSnapshot);
+  w.kv("last_seq", snap.last_seq);
+  w.kv("next_plan_id", static_cast<long long>(snap.next_plan_id));
+  w.key("plans").begin_array();
+  for (const auto& [id, plan] : snap.plans) {
+    w.begin_array().value(static_cast<long long>(id));
+    write_plan_json(w, plan);
+    w.end_array();
+  }
+  w.end_array();
+  w.end_object();
+  metrics_.increment(ServiceMetrics::Counter::kOk);
+}
+
+void GroomingService::apply_replication_record(std::uint64_t seq,
+                                               WalRecordType type,
+                                               std::string_view body) {
+  DecodedWalRecord rec = decode_wal_record(seq, type, body);
+  if (rec.type == WalRecordType::kHoldPlan && rec.has_cache_entry &&
+      config_.prewarm_cache) {
+    cache_.put(rec.cache_key, std::make_shared<const GroomCacheValue>(
+                                  std::move(rec.cache_value)));
+  }
+  std::uint64_t appended = 0;
+  {
+    std::lock_guard<std::mutex> lock(plans_mutex_);
+    TGROOM_CHECK_MSG(store_ != nullptr,
+                     "replication apply requires an open store");
+    const std::uint64_t expected = store_->last_seq() + 1;
+    TGROOM_CHECK_MSG(seq == expected,
+                     "replication stream gap: shipped seq " +
+                         std::to_string(seq) + ", expected " +
+                         std::to_string(expected));
+    switch (rec.type) {
+      case WalRecordType::kHoldPlan: {
+        plans_[rec.plan_id] = std::move(rec.plan);
+        next_plan_id_ = std::max(next_plan_id_, rec.plan_id + 1);
+        break;
+      }
+      case WalRecordType::kProvision: {
+        auto it = plans_.find(rec.plan_id);
+        TGROOM_CHECK_MSG(it != plans_.end(),
+                         "replicated provision for unknown plan " +
+                             std::to_string(rec.plan_id));
+        extend_plan_incremental(it->second, rec.pairs);
+        break;
+      }
+      case WalRecordType::kRelease: {
+        auto it = plans_.find(rec.plan_id);
+        TGROOM_CHECK_MSG(it != plans_.end(),
+                         "replicated release for unknown plan " +
+                             std::to_string(rec.plan_id));
+        if (rec.drop_all) {
+          plans_.erase(it);
+        } else {
+          release_demands(it->second, rec.pairs, rec.repair);
+        }
+        break;
+      }
+    }
+    // Persist the primary's exact bytes before reporting the seq applied
+    // (append under the table lock, fsync off it — the same append-
+    // before-ack discipline as the primary's own mutations).
+    appended = store_->append_raw(type, body);
+    TGROOM_CHECK_MSG(appended == seq,
+                     "replica WAL diverged: local seq " +
+                         std::to_string(appended) + " for shipped seq " +
+                         std::to_string(seq));
+  }
+  store_->sync(appended);
+  metrics_.increment(ServiceMetrics::Counter::kStoreAppends);
+  metrics_.increment(ServiceMetrics::Counter::kReplRecordsApplied);
+  snapshot_store(false);
+}
+
+void GroomingService::install_replication_snapshot(const SnapshotData& snap) {
+  std::lock_guard<std::mutex> lock(plans_mutex_);
+  if (store_ != nullptr) {
+    // Replace the on-disk store wholesale: whatever partial history this
+    // replica had is unreachable from the primary's WAL (that is what
+    // forced the snapshot bootstrap), so it cannot be extended — wipe it,
+    // persist the snapshot, and reopen with the WAL at last_seq + 1.
+    const std::string dir = store_->dir();
+    store_.reset();
+    std::error_code ec;
+    for (const std::string& path : list_snapshot_files(dir)) {
+      std::filesystem::remove(path, ec);
+    }
+    for (const std::string& path : list_wal_segments(dir)) {
+      std::filesystem::remove(path, ec);
+    }
+    write_snapshot_file(dir, snap);
+    DurableStoreOptions options;
+    options.dir = dir;
+    options.fsync = config_.fsync;
+    options.snapshot_every = config_.snapshot_every;
+    store_ = std::make_unique<DurableStore>(options);
+    (void)store_->take_recovered();  // == snap; the table is set below
+  }
+  plans_.clear();
+  plans_.reserve(snap.plans.size());
+  for (const auto& [id, plan] : snap.plans) plans_[id] = plan;
+  next_plan_id_ = snap.next_plan_id;
 }
 
 int GroomingService::run(std::istream& in, std::ostream& out) {
@@ -463,6 +827,13 @@ int GroomingService::run(std::istream& in, std::ostream& out) {
       shutdown_id = request.id;
       shutdown_has_id = request.has_id;
       break;
+    }
+    if (request.op == ServiceOp::kHealth) {
+      // Health never queues behind grooming work: answer inline on the
+      // reader thread (the handler touches only atomics and last_seq).
+      execute_into(request, inline_workspace, inline_writer);
+      emit(inline_writer.str());
+      continue;
     }
     if (config_.workers == 0) {
       execute_into(request, inline_workspace, inline_writer);

@@ -25,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
@@ -42,6 +43,28 @@ namespace tgroom {
 
 struct GroomingWorkspace;
 
+/// Which side of the replication stream this service is on.  A replica
+/// serves read-only traffic (stateless groom/provision/release, stats,
+/// health) and rejects mutations with a structured `read_only` error; a
+/// `promote` op flips a caught-up replica to primary at runtime.
+enum class ServiceRole { kPrimary, kReplica };
+
+/// Follower-side stream client, implemented in src/replication/ (an
+/// abstract hook so service/ never depends on replication/).  The service
+/// uses it for stats/health reporting and for the promotion drain.
+class ReplicaLink {
+ public:
+  virtual ~ReplicaLink() = default;
+  /// Stops the tailing thread after it finishes applying the batch it is
+  /// in the middle of (the promotion "drain").  Idempotent; joins.
+  virtual void stop_and_drain() = 0;
+  /// Emits status keys (connected, applied_seq, primary_last_seq, lag,
+  /// reconnects, snapshot_bootstraps, last_error) into an open object.
+  virtual void write_status_json(JsonWriter& w) const = 0;
+  virtual std::uint64_t applied_seq() const = 0;
+  virtual std::uint64_t primary_last_seq() const = 0;
+};
+
 struct ServiceConfig {
   std::size_t workers = 0;        // 0 = inline, in-order execution
   std::size_t queue_capacity = 256;  // admission bound (workers > 0)
@@ -55,13 +78,22 @@ struct ServiceConfig {
   FsyncPolicy fsync = FsyncPolicy::kBatch;
   std::uint64_t snapshot_every = 1024;  // records per snapshot; 0 disables
   bool prewarm_cache = true;  // seed the PlanCache from recovered WAL holds
+
+  // Replication: non-empty = start as a read-only replica tailing this
+  // primary ("host:port").  The stream client itself lives in
+  // src/replication/ and is wired in via set_replica_link().
+  std::string replica_of;
 };
 
 class GroomingService {
  public:
   explicit GroomingService(const ServiceConfig& config)
       : config_(config),
-        cache_(config.cache_capacity, config.cache_shards) {}
+        cache_(config.cache_capacity, config.cache_shards) {
+    if (!config_.replica_of.empty()) {
+      role_.store(ServiceRole::kReplica, std::memory_order_relaxed);
+    }
+  }
 
   /// Serves one NDJSON session until EOF, a `shutdown` request, or
   /// request_stop().  Always returns 0; protocol failures are responses,
@@ -118,6 +150,34 @@ class GroomingService {
   static void clear_stop() { stop_flag().store(false); }
   static bool stop_requested() { return stop_flag().load(); }
 
+  // ---- Replication ------------------------------------------------------
+
+  ServiceRole role() const { return role_.load(std::memory_order_acquire); }
+  bool is_replica() const { return role() == ServiceRole::kReplica; }
+
+  /// Wires the follower-side stream client in (replica mode).  Called
+  /// once, before the service starts serving; the pointer must outlive
+  /// every run()/event-loop session.
+  void set_replica_link(ReplicaLink* link) { replica_link_ = link; }
+
+  /// Follower apply path: decodes one shipped WAL record, applies it to
+  /// the live held-plan table under the plans lock (prewarming the cache
+  /// from hold records), and persists the identical bytes into this
+  /// node's own store via append_raw — asserting the assigned local seq
+  /// equals the primary's, so the two WALs stay record-for-record equal.
+  /// Called from the replication client's thread.
+  void apply_replication_record(std::uint64_t seq, WalRecordType type,
+                                std::string_view body);
+
+  /// Snapshot bootstrap: replaces the held-plan table (and, when a store
+  /// is open, its on-disk content — old snapshots/WAL wiped, `snap`
+  /// written, store reopened so the WAL resumes at snap.last_seq + 1).
+  void install_replication_snapshot(const SnapshotData& snap);
+
+  /// The seq this node has fully applied and persisted (replica
+  /// catch-up probe; equals store last_seq when a store is open).
+  std::uint64_t applied_seq() const;
+
  private:
   static std::atomic<bool>& stop_flag();
 
@@ -126,6 +186,15 @@ class GroomingService {
   void handle_provision(ServiceRequest& request, JsonWriter& w);
   void handle_release(ServiceRequest& request, JsonWriter& w);
   void handle_stats(const ServiceRequest& request, JsonWriter& w);
+  void handle_health(const ServiceRequest& request, JsonWriter& w);
+  void handle_promote(const ServiceRequest& request, JsonWriter& w);
+  void handle_repl_handshake(const ServiceRequest& request, JsonWriter& w);
+  void handle_repl_fetch(const ServiceRequest& request, JsonWriter& w);
+  void handle_repl_snapshot(const ServiceRequest& request, JsonWriter& w);
+  /// True for requests that would mutate server-side state (held-plan
+  /// holds, held-plan provisions/releases) — exactly what a replica
+  /// rejects with `read_only`.
+  static bool is_mutating(const ServiceRequest& request);
   void write_cache_stats(JsonWriter& w) const;
   bool deadline_expired(const ServiceRequest& request) const;
   void deadline_response(const ServiceRequest& request, JsonWriter& w);
@@ -145,6 +214,13 @@ class GroomingService {
   std::int64_t next_plan_id_ = 1;
   std::unique_ptr<DurableStore> store_;
   bool shutdown_ = false;
+
+  std::atomic<ServiceRole> role_{ServiceRole::kPrimary};
+  ReplicaLink* replica_link_ = nullptr;  // non-null only in replica mode
+  std::mutex promote_mutex_;             // serializes promote requests
+  std::atomic<std::uint64_t> repl_acked_seq_{0};  // followers' ack high-water
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
 };
 
 /// Serves loopback TCP on 127.0.0.1:`port`.  On linux this runs the

@@ -14,56 +14,77 @@ namespace {
 
 void apply_record(RecoveredState& state, std::uint64_t seq,
                   WalRecordType type, std::string_view body) {
-  ByteReader r(body);
-  switch (type) {
+  DecodedWalRecord rec = decode_wal_record(seq, type, body);
+  switch (rec.type) {
     case WalRecordType::kHoldPlan: {
-      const std::int64_t plan_id = r.i64();
-      GroomingPlan plan = decode_plan(r);
-      const bool has_cache_entry = r.u8() != 0;
-      if (has_cache_entry) {
-        GroomCacheKey key;
-        GroomCacheValue value;
-        decode_cache_entry(r, key, value);
+      if (rec.has_cache_entry) {
         state.prewarm.push_back(PrewarmEntry{
-            key, std::make_shared<const GroomCacheValue>(std::move(value))});
+            rec.cache_key, std::make_shared<const GroomCacheValue>(
+                               std::move(rec.cache_value))});
       }
-      state.plans[plan_id] = std::move(plan);
-      state.next_plan_id = std::max(state.next_plan_id, plan_id + 1);
+      state.plans[rec.plan_id] = std::move(rec.plan);
+      state.next_plan_id = std::max(state.next_plan_id, rec.plan_id + 1);
       break;
     }
     case WalRecordType::kProvision: {
-      const std::int64_t plan_id = r.i64();
-      const std::vector<DemandPair> pairs = decode_demand_pairs(r);
-      auto it = state.plans.find(plan_id);
+      auto it = state.plans.find(rec.plan_id);
       if (it == state.plans.end()) {
         throw StoreCorruptError(
             "WAL record " + std::to_string(seq) +
-            " provisions unknown plan " + std::to_string(plan_id));
+            " provisions unknown plan " + std::to_string(rec.plan_id));
       }
       // Deterministic recomputation — replaying the added pairs through
       // the same placement logic reproduces the live table exactly.
-      extend_plan_incremental(it->second, pairs);
+      extend_plan_incremental(it->second, rec.pairs);
       break;
     }
     case WalRecordType::kRelease: {
-      const std::int64_t plan_id = r.i64();
-      const std::uint8_t flags = r.u8();
-      const bool drop_all = (flags & 1u) != 0;
-      const bool repair = (flags & 2u) != 0;
-      const std::vector<DemandPair> pairs = decode_demand_pairs(r);
-      auto it = state.plans.find(plan_id);
+      auto it = state.plans.find(rec.plan_id);
       if (it == state.plans.end()) {
         throw StoreCorruptError(
             "WAL record " + std::to_string(seq) +
-            " releases unknown plan " + std::to_string(plan_id));
+            " releases unknown plan " + std::to_string(rec.plan_id));
       }
-      if (drop_all) {
+      if (rec.drop_all) {
         state.plans.erase(it);
       } else {
         // Same deterministic-replay contract as provisions: the record
         // logs the released pairs, release_demands recomputes the repair.
-        release_demands(it->second, pairs, repair);
+        release_demands(it->second, rec.pairs, rec.repair);
       }
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+DecodedWalRecord decode_wal_record(std::uint64_t seq, WalRecordType type,
+                                   std::string_view body) {
+  DecodedWalRecord rec;
+  rec.type = type;
+  ByteReader r(body);
+  switch (type) {
+    case WalRecordType::kHoldPlan: {
+      rec.plan_id = r.i64();
+      rec.plan = decode_plan(r);
+      rec.has_cache_entry = r.u8() != 0;
+      if (rec.has_cache_entry) {
+        decode_cache_entry(r, rec.cache_key, rec.cache_value);
+      }
+      break;
+    }
+    case WalRecordType::kProvision: {
+      rec.plan_id = r.i64();
+      rec.pairs = decode_demand_pairs(r);
+      break;
+    }
+    case WalRecordType::kRelease: {
+      rec.plan_id = r.i64();
+      const std::uint8_t flags = r.u8();
+      rec.drop_all = (flags & 1u) != 0;
+      rec.repair = (flags & 2u) != 0;
+      rec.pairs = decode_demand_pairs(r);
       break;
     }
   }
@@ -71,9 +92,40 @@ void apply_record(RecoveredState& state, std::uint64_t seq,
     throw StoreCorruptError("WAL record " + std::to_string(seq) +
                             " has trailing bytes");
   }
+  return rec;
 }
 
-}  // namespace
+void write_store_meta(const std::string& dir, FsyncPolicy fsync) {
+  JsonWriter w;
+  w.begin_object();
+  w.kv("store_version", static_cast<long long>(kStoreFormatVersion));
+  w.kv("fsync_policy", fsync_policy_name(fsync));
+  w.end_object();
+  const std::string text = w.str() + "\n";
+  // Best-effort informational sidecar: recovery never reads it, so a
+  // torn write here can at worst make store-dump print "unknown".
+  std::FILE* f = std::fopen((dir + "/store-meta.json").c_str(), "wb");
+  if (f == nullptr) return;
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+}
+
+std::string read_store_meta_fsync(const std::string& dir) {
+  std::FILE* f = std::fopen((dir + "/store-meta.json").c_str(), "rb");
+  if (f == nullptr) return "";
+  std::string text(256, '\0');
+  const std::size_t got = std::fread(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  text.resize(got);
+  try {
+    const JsonValue doc = parse_json(text);
+    const JsonValue* policy = doc.find("fsync_policy");
+    if (policy != nullptr && policy->is_string()) return policy->string;
+  } catch (const CheckError&) {
+    // Fall through: unreadable sidecar reads as unknown.
+  }
+  return "";
+}
 
 RecoveredState recover_store_state(const std::string& dir,
                                    StoreRecovery* recovery, bool repair) {
@@ -108,6 +160,7 @@ RecoveredState recover_store_state(const std::string& dir,
   rec.wal_records_replayed = stats.records;
   rec.wal_records_skipped = stats.records_skipped;
   rec.torn_truncated = stats.torn_truncated;
+  rec.wal_first_seq = stats.first_seq;
   rec.last_seq = std::max(after_seq, stats.last_seq);
   if (recovery != nullptr) *recovery = rec;
   return state;
@@ -129,6 +182,7 @@ DurableStore::DurableStore(DurableStoreOptions options)
   // trigger, so a crash loop cannot grow the WAL without bound.
   records_appended_.store(recovery_.last_seq - recovery_.snapshot_seq,
                           std::memory_order_relaxed);
+  write_store_meta(options_.dir, options_.fsync);
 }
 
 std::uint64_t DurableStore::append_hold(std::int64_t plan_id,
@@ -171,6 +225,13 @@ std::uint64_t DurableStore::append_release(
   encode_demand_pairs(body_, drop_all ? kNone : pairs);
   const std::uint64_t seq =
       wal_->append(WalRecordType::kRelease, body_.str());
+  records_appended_.fetch_add(1, std::memory_order_relaxed);
+  return seq;
+}
+
+std::uint64_t DurableStore::append_raw(WalRecordType type,
+                                       std::string_view body) {
+  const std::uint64_t seq = wal_->append(type, body);
   records_appended_.fetch_add(1, std::memory_order_relaxed);
   return seq;
 }
@@ -253,6 +314,7 @@ void DurableStore::write_json(JsonWriter& w) const {
   w.kv("release_records",
        static_cast<std::uint64_t>(recovery_.release_records));
   w.kv("torn_truncated", recovery_.torn_truncated);
+  w.kv("wal_first_seq", recovery_.wal_first_seq);
   w.kv("last_seq", recovery_.last_seq);
   w.end_object();
   w.end_object();

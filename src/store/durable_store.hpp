@@ -59,7 +59,8 @@ struct StoreRecovery {
   std::size_t provision_records = 0;
   std::size_t release_records = 0;
   bool torn_truncated = false;
-  std::uint64_t last_seq = 0;  // the WAL resumes at last_seq + 1
+  std::uint64_t wal_first_seq = 0;  // first record seq on disk (0 = none)
+  std::uint64_t last_seq = 0;       // the WAL resumes at last_seq + 1
 };
 
 /// A groom-cache entry recovered from a WAL hold record, for pre-warming
@@ -82,6 +83,33 @@ struct RecoveredState {
 /// store-dump` uses that to inspect a live or dead store read-only.
 RecoveredState recover_store_state(const std::string& dir,
                                    StoreRecovery* recovery, bool repair);
+
+/// One WAL record decoded but not yet applied.  The replication follower
+/// decodes each shipped record once, applies it to the live held-plan
+/// table under the service's plans lock, and persists the original bytes
+/// verbatim via DurableStore::append_raw — so replica WAL == primary WAL.
+struct DecodedWalRecord {
+  WalRecordType type = WalRecordType::kHoldPlan;
+  std::int64_t plan_id = 0;
+  GroomingPlan plan;             // kHoldPlan
+  bool has_cache_entry = false;  // kHoldPlan: prewarm payload present
+  GroomCacheKey cache_key;
+  GroomCacheValue cache_value;
+  std::vector<DemandPair> pairs;  // kProvision / kRelease
+  bool drop_all = false;          // kRelease
+  bool repair = false;            // kRelease
+};
+
+/// Decodes a record body (the part after [seq][type]).  Throws
+/// StoreCorruptError on trailing bytes, like recovery replay does.
+DecodedWalRecord decode_wal_record(std::uint64_t seq, WalRecordType type,
+                                   std::string_view body);
+
+/// Best-effort sidecar (`store-meta.json`) recording the active fsync
+/// policy of the most recent writer; `store-dump` reports it without a
+/// store-format version bump.  Reading a dir without one yields "".
+void write_store_meta(const std::string& dir, FsyncPolicy fsync);
+std::string read_store_meta_fsync(const std::string& dir);
 
 class DurableStore {
  public:
@@ -110,12 +138,20 @@ class DurableStore {
   std::uint64_t append_release(std::int64_t plan_id,
                                const std::vector<DemandPair>& pairs,
                                bool drop_all, bool repair);
+  /// Appends an already-encoded record body verbatim — the replication
+  /// follower persists exactly the bytes the primary shipped, so the two
+  /// stores stay byte-comparable record for record.
+  std::uint64_t append_raw(WalRecordType type, std::string_view body);
 
   void sync(std::uint64_t seq) { wal_->sync(seq); }
   /// Forces all appended records durable (drain / shutdown path).
   void flush() { wal_->flush(); }
+  /// fflush without fsync — makes appended records visible to tail_wal
+  /// (replication shipping) without paying for durability.
+  void flush_os() { wal_->flush_to_os(); }
 
   std::uint64_t last_seq() const { return wal_->last_appended_seq(); }
+  const std::string& dir() const { return options_.dir; }
 
   /// True once snapshot_every records have been appended since the last
   /// snapshot (callers then build a SnapshotData and call

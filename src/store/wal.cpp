@@ -289,6 +289,14 @@ void WalWriter::flush() {
   }
 }
 
+void WalWriter::flush_to_os() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Holding the mutex keeps file_ from being closed by a roll; stdio
+  // streams are internally locked, so a concurrent group-commit leader
+  // fflushing the same FILE* outside our mutex is safe.
+  if (file_ != nullptr) std::fflush(file_);
+}
+
 std::uint64_t WalWriter::last_appended_seq() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return written_seq_;
@@ -406,6 +414,7 @@ WalReplayStats replay_wal(
       }
       next_expected = seq + 1;
       records_in_segment += 1;
+      if (stats.first_seq == 0) stats.first_seq = seq;
       stats.last_seq = seq;
       if (seq <= after_seq) {
         stats.records_skipped += 1;
@@ -417,6 +426,131 @@ WalReplayStats replay_wal(
       }
     }
     if (torn_here) break;
+  }
+  return stats;
+}
+
+WalTailStats tail_wal(
+    const std::string& dir, std::uint64_t after_seq, std::size_t max_records,
+    const std::function<void(std::uint64_t seq, WalRecordType type,
+                             std::string_view body)>& callback) {
+  WalTailStats stats;
+  stats.last_seq = after_seq;
+  const std::vector<std::string> segments = list_wal_segments(dir);
+  if (segments.empty()) return stats;
+  stats.first_available = wal_segment_first_seq(segments.front());
+  if (stats.first_available > after_seq + 1) {
+    // Every record the caller still needs sat in a segment compaction has
+    // already retired: no amount of polling will produce seq after_seq+1.
+    stats.compacted = true;
+    return stats;
+  }
+  // Skip segments wholly covered by after_seq: records > after_seq start
+  // in the last segment whose first_seq <= after_seq + 1.
+  std::size_t start = 0;
+  for (std::size_t si = 1; si < segments.size(); ++si) {
+    if (wal_segment_first_seq(segments[si]) <= after_seq + 1) start = si;
+  }
+  std::uint64_t next_expected = 0;
+  for (std::size_t si = start; si < segments.size(); ++si) {
+    const std::string& path = segments[si];
+    const bool final_segment = (si + 1 == segments.size());
+    std::string data;
+    {
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+      if (f == nullptr) {
+        // Listed a moment ago but gone now: compaction retired it while
+        // we were tailing.  The records it held were <= a snapshot seq;
+        // re-polling resolves to either fresh segments or `compacted`.
+        stats.incomplete = true;
+        return stats;
+      }
+      std::fseek(f, 0, SEEK_END);
+      const long size = std::ftell(f);
+      std::fseek(f, 0, SEEK_SET);
+      data.resize(static_cast<std::size_t>(size));
+      const std::size_t got = std::fread(data.data(), 1, data.size(), f);
+      std::fclose(f);
+      TGROOM_CHECK_MSG(got == data.size(),
+                       "short read from WAL segment: " + path);
+    }
+    if (data.size() < kSegmentHeaderBytes) {
+      // The writer is still inside its first buffered flush of a fresh
+      // segment.  Mid-log that would be corruption; at the live end it
+      // just means "not yet".
+      if (!final_segment) {
+        throw StoreCorruptError(path + ": truncated segment header");
+      }
+      stats.incomplete = true;
+      return stats;
+    }
+    ByteReader header(std::string_view(data).substr(0, kSegmentHeaderBytes));
+    check_file_header(header, "TGROOMWL", path);
+    const std::uint64_t first_seq = header.u64();
+    if (first_seq != wal_segment_first_seq(path)) {
+      throw StoreCorruptError(path + ": filename does not match header seq");
+    }
+    if (next_expected != 0 && first_seq != next_expected) {
+      throw StoreCorruptError(path + ": sequence gap (expected " +
+                              std::to_string(next_expected) + ", segment " +
+                              "starts at " + std::to_string(first_seq) + ")");
+    }
+    if (next_expected == 0) next_expected = first_seq;
+    std::size_t pos = kSegmentHeaderBytes;
+    while (pos < data.size()) {
+      const std::size_t record_start = pos;
+      const std::size_t avail = data.size() - pos;
+      std::uint32_t len = 0;
+      std::uint32_t crc = 0;
+      bool whole = avail >= kRecordPrefixBytes;
+      if (whole) {
+        len = read_u32le(data.data() + pos);
+        crc = read_u32le(data.data() + pos + 4);
+        whole = len >= kPayloadMinBytes && len <= kMaxPayloadBytes &&
+                avail - kRecordPrefixBytes >= len;
+      }
+      std::string_view payload;
+      if (whole) {
+        payload =
+            std::string_view(data).substr(pos + kRecordPrefixBytes, len);
+        whole = crc32c(payload.data(), payload.size()) == crc;
+      }
+      if (!whole) {
+        if (!final_segment) {
+          throw StoreCorruptError(path + ": damaged record at offset " +
+                                  std::to_string(record_start) +
+                                  " in a non-final segment");
+        }
+        // The live writer is mid-append (or the bytes are still in its
+        // stdio buffer).  Never truncate a file we don't own: report
+        // incomplete and let the caller poll again.
+        stats.incomplete = true;
+        return stats;
+      }
+      pos += kRecordPrefixBytes + len;
+      ByteReader r(payload);
+      const std::uint64_t seq = r.u64();
+      const std::uint8_t type_byte = r.u8();
+      if (seq != next_expected) {
+        throw StoreCorruptError(path + ": sequence gap (expected " +
+                                std::to_string(next_expected) + ", record " +
+                                "has " + std::to_string(seq) + ")");
+      }
+      if (type_byte != static_cast<std::uint8_t>(WalRecordType::kHoldPlan) &&
+          type_byte != static_cast<std::uint8_t>(WalRecordType::kProvision) &&
+          type_byte != static_cast<std::uint8_t>(WalRecordType::kRelease)) {
+        throw StoreCorruptError(path + ": unknown record type " +
+                                std::to_string(type_byte));
+      }
+      next_expected = seq + 1;
+      if (seq > after_seq) {
+        callback(seq, static_cast<WalRecordType>(type_byte),
+                 std::string_view(payload).substr(kPayloadMinBytes));
+        stats.records += 1;
+        stats.last_seq = seq;
+        if (max_records != 0 && stats.records >= max_records) return stats;
+      }
+    }
   }
   return stats;
 }

@@ -103,6 +103,13 @@ class WalWriter {
   /// unless the policy is kNone).  Used at snapshot, drain, and shutdown.
   void flush();
 
+  /// Pushes stdio-buffered appends into the OS page cache (fflush only,
+  /// no fsync, no durability bookkeeping).  The replication shipper calls
+  /// this before tailing the live segment so tail_wal sees every acked
+  /// record even under fsync=batch/none; it deliberately does not count
+  /// as a sync for the fsync policy.
+  void flush_to_os();
+
   std::uint64_t last_appended_seq() const;
   /// Segment files written by this writer, oldest first (for compaction).
   std::vector<std::string> segment_paths() const;
@@ -141,7 +148,8 @@ struct WalReplayStats {
   std::size_t records_skipped = 0;  // seq <= after_seq (covered by snapshot)
   std::uint64_t bytes = 0;
   bool torn_truncated = false;
-  std::uint64_t last_seq = 0;  // 0 if nothing replayed or skipped
+  std::uint64_t first_seq = 0;  // first record seq present on disk (0 = none)
+  std::uint64_t last_seq = 0;   // 0 if nothing replayed or skipped
 };
 
 /// Replays every record with seq > after_seq from the segments in `dir`,
@@ -160,8 +168,35 @@ WalReplayStats replay_wal(
                              std::string_view body)>& callback,
     bool repair);
 
+struct WalTailStats {
+  std::size_t records = 0;            // delivered to the callback
+  std::uint64_t last_seq = 0;         // cursor after the call (>= after_seq)
+  bool incomplete = false;            // live tail mid-append: poll again
+  std::uint64_t first_available = 0;  // first seq on disk (0 = no segments)
+  bool compacted = false;  // after_seq predates first_available: the caller
+                           // needs a snapshot bootstrap, not more records
+};
+
+/// Read-only tail of a *live* log: delivers up to `max_records` whole
+/// records with seq > after_seq, in order, into `callback(seq, type,
+/// body)` and never mutates any file.  Where replay_wal treats a short or
+/// CRC-failing record at the end of the final segment as a torn write to
+/// truncate, a live log reaches that exact byte state on every append the
+/// writer has started but not finished — so tail_wal reports it as
+/// `incomplete` (re-poll once the writer flushes more bytes).  A segment
+/// that vanishes between listing and open (compaction race) is also just
+/// `incomplete`.  Damage in a non-final segment, sequence gaps, and bad
+/// headers raise StoreCorruptError exactly like replay; foreign format
+/// versions raise StoreIncompatibleError.  `max_records == 0` means
+/// unlimited.  Segments wholly covered by after_seq are skipped without
+/// being read.
+WalTailStats tail_wal(
+    const std::string& dir, std::uint64_t after_seq, std::size_t max_records,
+    const std::function<void(std::uint64_t seq, WalRecordType type,
+                             std::string_view body)>& callback);
+
 /// Segment paths in `dir`, sorted by first sequence number (filename
-/// order).  Shared by replay and compaction.
+/// order).  Shared by replay, tailing, and compaction.
 std::vector<std::string> list_wal_segments(const std::string& dir);
 
 /// First sequence number encoded in a segment filename, or 0 if the name

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <iostream>
 #include <iterator>
+#include <memory>
 #include <sstream>
 
 #include "algorithms/algorithm.hpp"
@@ -14,6 +15,7 @@
 #include "grooming/incremental.hpp"
 #include "grooming/plan.hpp"
 #include "nphard/gadget.hpp"
+#include "replication/replica.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "sim/simulator.hpp"
@@ -379,11 +381,14 @@ std::string usage() {
       "             ephemeral port, announced on stderr); ops groom,\n"
       "             provision, stats, shutdown — see DESIGN.md 10/12/14;\n"
       "             --data-dir makes held plans survive crashes (WAL +\n"
-      "             snapshots, recovered on restart)\n"
+      "             snapshots, recovered on restart); --replica-of H:P\n"
+      "             tails that primary's WAL and serves read-only until a\n"
+      "             `promote` op flips it to primary (DESIGN.md 15)\n"
       "  store-dump --data-dir PATH  read-only recovery: prints the\n"
       "             held-plan table a restarted daemon would serve; a\n"
-      "             summary with the store format version and per-record-\n"
-      "             type counts goes to stderr\n"
+      "             summary with the store format version, WAL first/last\n"
+      "             seq, per-record-type counts, and the store's fsync\n"
+      "             policy goes to stderr\n"
       "\n"
       "algorithms: Algo1-Goldschmidt, Algo2-Brauner, Algo3-WangGu,\n"
       "            SpanT_Euler, Regular_Euler, CliquePack (aliases: algo1,\n"
@@ -739,6 +744,7 @@ int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
   config.snapshot_every =
       static_cast<std::uint64_t>(args.get_int("snapshot-every", 1024));
   config.prewarm_cache = args.get_bool("prewarm-cache", true);
+  config.replica_of = args.get("replica-of", "");
   try {
     config.fsync = parse_fsync_policy(args.get("fsync", "batch"));
   } catch (const CheckError& e) {
@@ -747,6 +753,11 @@ int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
   }
   if (config.queue_capacity == 0) {
     err << "--queue must be >= 1\n";
+    return 2;
+  }
+  if (!config.replica_of.empty() && config.data_dir.empty()) {
+    err << "--replica-of needs --data-dir (the replica persists the "
+           "shipped WAL into its own store)\n";
     return 2;
   }
 #if defined(__unix__)
@@ -778,14 +789,31 @@ int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
     err << e.what() << "\n";
     return 1;
   }
+  // Replica mode: start the stream client tailing the primary before
+  // accepting any request, and keep it alive for the whole serve session
+  // (stop_and_drain on the way out unless `promote` already did it).
+  std::unique_ptr<ReplicationClient> replica_link;
+  if (!config.replica_of.empty()) {
+    ReplicationClientConfig link_config;
+    link_config.primary = config.replica_of;
+    replica_link = std::make_unique<ReplicationClient>(service, link_config);
+    service.set_replica_link(replica_link.get());
+    err << "tgroom serve: replica of " << config.replica_of
+        << " (read-only until promoted)\n";
+    replica_link->start();
+  }
   // --port present selects TCP mode; --port 0 binds an ephemeral port
   // (the chosen port is announced on the "listening on" log line, which
   // is how tests and smoke scripts avoid port collisions).
+  int rc;
   if (args.has("port")) {
     const int port = static_cast<int>(args.get_int("port", 0));
-    return serve_tcp(service, port, err);
+    rc = serve_tcp(service, port, err);
+  } else {
+    rc = service.run(in, out);
   }
-  return service.run(in, out);
+  if (replica_link != nullptr) replica_link->stop_and_drain();
+  return rc;
 }
 
 int cmd_store_dump(const CliArgs& args, std::ostream& out,
@@ -808,13 +836,18 @@ int cmd_store_dump(const CliArgs& args, std::ostream& out,
               [](const auto& a, const auto& b) { return a.first < b.first; });
     // Recovery details go to stderr so stdout is a pure function of the
     // recovered state (the crash harness diffs stdout across runs).
+    const std::string fsync_policy = read_store_meta_fsync(dir);
     err << "store-dump: version=" << kStoreFormatVersion
         << " snapshot_seq=" << recovery.snapshot_seq
+        << " wal_first_seq=" << recovery.wal_first_seq
+        << " wal_last_seq=" << recovery.last_seq
         << " wal_records=" << recovery.wal_records_replayed
         << " torn=" << (recovery.torn_truncated ? 1 : 0)
         << " hold=" << recovery.hold_records
         << " provision=" << recovery.provision_records
-        << " release=" << recovery.release_records << "\n";
+        << " release=" << recovery.release_records
+        << " fsync=" << (fsync_policy.empty() ? "unknown" : fsync_policy)
+        << "\n";
     out << "# tgroom store: last_seq=" << recovery.last_seq
         << " plans=" << plans.size() << " next_plan_id=" << state.next_plan_id
         << "\n";

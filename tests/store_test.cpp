@@ -304,6 +304,120 @@ TEST(StoreWal, TornTailTruncatedAtEveryByteOffset) {
   }
 }
 
+TEST(StoreWal, TailWalIncompleteAtEveryByteOffsetAndResumes) {
+  // The live-tail counterpart of TornTailTruncatedAtEveryByteOffset: a
+  // replication shipper polls a log whose final record is still being
+  // written.  At every possible byte prefix, tail_wal must deliver
+  // exactly the wholly-present records, flag a mid-record cut as
+  // `incomplete` instead of truncating, leave the file byte-identical —
+  // and once the writer's remaining bytes land, a re-poll from the
+  // returned cursor must deliver the rest.
+  TempDir golden;
+  {
+    WalWriter wal(golden.str(), 1, WalOptions{}, nullptr);
+    for (int i = 0; i < 4; ++i) {
+      wal.append(WalRecordType::kProvision, "body-" + std::to_string(i));
+    }
+    wal.flush();
+  }
+  const std::vector<std::string> segs = list_wal_segments(golden.str());
+  ASSERT_EQ(segs.size(), 1u);
+  const std::string full = read_file(segs[0]);
+  constexpr std::size_t kHeader = 24;
+  // Per record: 8 prefix + 8 seq + 1 type + 6 body = 23 bytes.
+  constexpr std::size_t kRecord = 23;
+  ASSERT_EQ(full.size(), kHeader + 4 * kRecord);
+
+  for (std::size_t cut = 0; cut <= full.size(); ++cut) {
+    TempDir dir;
+    const std::string name = fs::path(segs[0]).filename().string();
+    write_file(dir.path / name, full.substr(0, cut));
+    std::size_t delivered = 0;
+    const WalTailStats stats = tail_wal(
+        dir.str(), 0, 0,
+        [&delivered](std::uint64_t seq, WalRecordType type,
+                     std::string_view body) {
+          EXPECT_EQ(type, WalRecordType::kProvision);
+          EXPECT_EQ(body, "body-" + std::to_string(seq - 1));
+          ++delivered;
+        });
+    const std::size_t whole = cut < kHeader ? 0 : (cut - kHeader) / kRecord;
+    const bool at_boundary = cut >= kHeader && (cut - kHeader) % kRecord == 0;
+    EXPECT_EQ(delivered, whole) << "cut=" << cut;
+    EXPECT_EQ(stats.records, whole) << "cut=" << cut;
+    EXPECT_EQ(stats.last_seq, whole) << "cut=" << cut;
+    EXPECT_EQ(stats.incomplete, !at_boundary) << "cut=" << cut;
+    EXPECT_FALSE(stats.compacted) << "cut=" << cut;
+    // Never mutates: the torn bytes are still on disk, untouched.
+    EXPECT_EQ(read_file(dir.path / name), full.substr(0, cut))
+        << "cut=" << cut;
+    // The writer finishes its append: re-polling from the cursor
+    // delivers exactly the records the first poll could not.
+    write_file(dir.path / name, full);
+    std::size_t rest = 0;
+    const WalTailStats resumed = tail_wal(
+        dir.str(), stats.last_seq, 0,
+        [&rest](std::uint64_t, WalRecordType, std::string_view) { ++rest; });
+    EXPECT_EQ(rest, 4 - whole) << "cut=" << cut;
+    EXPECT_EQ(resumed.last_seq, 4u) << "cut=" << cut;
+    EXPECT_FALSE(resumed.incomplete) << "cut=" << cut;
+  }
+}
+
+TEST(StoreWal, TailWalReportsCompactionAndHonorsMaxRecords) {
+  TempDir dir;
+  WalOptions options;
+  options.segment_bytes = 128;  // tiny: force several rolls
+  {
+    WalWriter wal(dir.str(), 1, options, nullptr);
+    for (int i = 0; i < 20; ++i) {
+      wal.append(WalRecordType::kProvision,
+                 "record-body-" + std::to_string(i));
+    }
+    wal.flush();
+  }
+  const std::vector<std::string> segs = list_wal_segments(dir.str());
+  ASSERT_GT(segs.size(), 2u);
+  const std::uint64_t second_first = wal_segment_first_seq(segs[1]);
+
+  // max_records caps the batch and the cursor resumes exactly after it.
+  std::vector<std::uint64_t> seqs;
+  const WalTailStats first = tail_wal(
+      dir.str(), 0, 7,
+      [&seqs](std::uint64_t seq, WalRecordType, std::string_view) {
+        seqs.push_back(seq);
+      });
+  EXPECT_EQ(seqs.size(), 7u);
+  EXPECT_EQ(first.last_seq, 7u);
+  const WalTailStats rest = tail_wal(
+      dir.str(), first.last_seq, 0,
+      [&seqs](std::uint64_t seq, WalRecordType, std::string_view) {
+        seqs.push_back(seq);
+      });
+  EXPECT_EQ(rest.last_seq, 20u);
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(seqs[i], i + 1);
+  }
+
+  // Drop the oldest segment (what snapshot compaction does): a cursor
+  // from before the remaining history must be told to bootstrap, while
+  // a cursor inside it streams normally.
+  fs::remove(segs[0]);
+  const WalTailStats compacted = tail_wal(
+      dir.str(), 0, 0,
+      [](std::uint64_t, WalRecordType, std::string_view) { FAIL(); });
+  EXPECT_TRUE(compacted.compacted);
+  EXPECT_EQ(compacted.first_available, second_first);
+  std::size_t streamed = 0;
+  const WalTailStats inside = tail_wal(
+      dir.str(), second_first - 1, 0,
+      [&streamed](std::uint64_t, WalRecordType, std::string_view) {
+        ++streamed;
+      });
+  EXPECT_FALSE(inside.compacted);
+  EXPECT_EQ(streamed, 20u - (second_first - 1));
+}
+
 TEST(StoreWal, TornEmptySegmentDeletedSoWriterCanReuseName) {
   // Crash after opening a segment but before flushing any record: the
   // file is shorter than its header.  Repair must delete it so a
