@@ -77,13 +77,19 @@ void ReplicationClient::start() {
 }
 
 void ReplicationClient::stop_and_drain() {
-  stop_.store(true, std::memory_order_release);
+  {
+    // stop_ is set under mutex_ so a wait_stop waiter that has checked
+    // the predicate but not yet blocked cannot miss the notification;
+    // the socket shutdown shares the lock with run()'s store/close of
+    // fd_ so it can never hit a recycled descriptor.
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_.store(true, std::memory_order_release);
+    // A recv blocked on a quiet primary returns immediately once the
+    // socket is shut down; records already received keep applying — the
+    // fetch loop only checks the stop flag between batches.
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
   stop_cv_.notify_all();
-  // A recv blocked on a quiet primary returns immediately once the
-  // socket is shut down; records already received keep applying — the
-  // fetch loop only checks the stop flag between batches.
-  const int fd = fd_.load(std::memory_order_acquire);
-  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
   if (thread_.joinable()) thread_.join();
 }
 
@@ -209,7 +215,10 @@ void ReplicationClient::run() {
       backoff = std::min(backoff * 2, config_.backoff_max_ms);
       continue;
     }
-    fd_.store(fd, std::memory_order_release);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      fd_ = fd;
+    }
     connected_.store(true, std::memory_order_relaxed);
     recv_buffer_.clear();
     backoff = config_.backoff_initial_ms;
@@ -217,8 +226,14 @@ void ReplicationClient::run() {
     const bool clean = stream_session(fd);
 
     connected_.store(false, std::memory_order_relaxed);
-    fd_.store(-1, std::memory_order_release);
-    ::close(fd);
+    {
+      // Close under the same lock stop_and_drain shuts down under: once
+      // fd_ is -1 and the descriptor closed, no late shutdown() can
+      // reach a recycled fd.
+      std::lock_guard<std::mutex> lock(mutex_);
+      fd_ = -1;
+      ::close(fd);
+    }
     if (clean || fatal_.load(std::memory_order_relaxed)) break;
     reconnects_.fetch_add(1, std::memory_order_relaxed);
     if (wait_stop(backoff)) break;
@@ -234,7 +249,16 @@ bool ReplicationClient::handshake(int fd, std::string& mode) {
   w.kv("store_version", static_cast<long long>(kStoreFormatVersion));
   w.kv("fingerprint_version",
        static_cast<long long>(kFingerprintFormatVersion));
-  w.kv("start_seq", applied_.load(std::memory_order_relaxed));
+  const std::uint64_t start = applied_.load(std::memory_order_relaxed);
+  w.kv("start_seq", start);
+  std::uint32_t crc = 0;
+  if (start > 0 && service_.wal_crc_at(start, crc)) {
+    // History-identity probe: lets the primary verify its record at our
+    // cursor is byte-identical to ours.  A mismatch (diverged history
+    // after a failover) comes back as mode "snapshot", wiping our fork
+    // instead of silently appending past it.
+    w.kv("last_crc", static_cast<long long>(crc));
+  }
   w.end_object();
   if (!send_line(fd, w.str())) return false;
   std::string line;

@@ -93,16 +93,20 @@ class ReplicationClient : public ReplicaLink {
   ReplicationClientConfig config_;
   std::thread thread_;
 
-  std::atomic<bool> stop_{false};
+  std::atomic<bool> stop_{false};  // always *set* under mutex_, so a
+                                   // wait_stop waiter cannot miss the wakeup
   std::atomic<bool> fatal_{false};
   std::atomic<bool> connected_{false};
-  std::atomic<int> fd_{-1};  // live socket, for shutdown() on stop
   std::atomic<std::uint64_t> applied_{0};
   std::atomic<std::uint64_t> primary_last_{0};
   std::atomic<long long> reconnects_{0};
   std::atomic<long long> snapshot_bootstraps_{0};
 
-  mutable std::mutex mutex_;  // guards last_error_ and stop/join handoff
+  mutable std::mutex mutex_;  // guards last_error_, fd_, and the
+                              // stop_/stop_cv_ handoff
+  int fd_ = -1;  // live socket, for shutdown() on stop; store/close (run)
+                 // and load/shutdown (stop_and_drain) all under mutex_ so
+                 // a recycled descriptor can never be shut down
   std::condition_variable stop_cv_;
   std::string last_error_;
   std::string recv_buffer_;  // carry-over bytes between recv_line calls

@@ -777,6 +777,13 @@ RequestParse parse_request(std::string_view line) {
       const std::int64_t start = int_field(doc, "start_seq", 0);
       TGROOM_CHECK_MSG(start >= 0, "\"start_seq\" must be >= 0");
       request.repl_start_seq = static_cast<std::uint64_t>(start);
+      const std::int64_t crc = int_field(doc, "last_crc", -1);
+      if (crc >= 0) {
+        TGROOM_CHECK_MSG(crc <= 0xffffffffll,
+                         "\"last_crc\" must fit in 32 bits");
+        request.repl_has_last_crc = true;
+        request.repl_last_crc = static_cast<std::uint32_t>(crc);
+      }
     } else if (request.op == ServiceOp::kReplFetch) {
       const std::int64_t from = int_field(doc, "from_seq", -1);
       TGROOM_CHECK_MSG(from >= 0,

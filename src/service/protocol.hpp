@@ -32,9 +32,14 @@
 //
 //   repl_handshake := {"op":"repl_handshake", "id"?:int,
 //                      "store_version":int, "fingerprint_version":int,
-//                      "start_seq":int}
+//                      "start_seq":int, "last_crc"?:int}
 //                  →  {"ok":true, "op":"repl_handshake", "last_seq":int,
-//                      "first_available":int, "mode":"wal"|"snapshot"}
+//                      "first_available":int, "mode":"wal"|"snapshot",
+//                      "diverged"?:true}
+//   ("last_crc" is the CRC32C of the follower's WAL record at start_seq;
+//   a mismatch against the primary's record means the histories forked —
+//   the primary answers mode "snapshot" with "diverged":true so the
+//   follower re-bootstraps instead of appending past the fork.)
 //   repl_fetch     := {"op":"repl_fetch", "id"?:int, "from_seq":int,
 //                      "max_records"?:int, "ack_seq"?:int}
 //                  →  {"ok":true, "op":"repl_fetch", "last_seq":int,
@@ -128,6 +133,9 @@ struct ServiceRequest {
   std::int64_t repl_store_version = -1;        // handshake: kStoreFormatVersion
   std::int64_t repl_fingerprint_version = -1;  // handshake
   std::uint64_t repl_start_seq = 0;   // handshake: follower resumes after this
+  bool repl_has_last_crc = false;     // handshake: "last_crc" was present
+  std::uint32_t repl_last_crc = 0;    // handshake: CRC32C of the follower's
+                                      // WAL record at start_seq
   std::uint64_t repl_from_seq = 0;    // fetch: records with seq > from_seq
   std::int64_t repl_max_records = 0;  // fetch: 0 = server default
   std::uint64_t repl_ack_seq = 0;     // fetch: follower's applied high-water

@@ -47,12 +47,12 @@ std::size_t GroomingService::held_plan_count() const {
 }
 
 void GroomingService::open_store() {
-  if (config_.data_dir.empty() || store_ != nullptr) return;
+  if (config_.data_dir.empty() || store_ref() != nullptr) return;
   DurableStoreOptions options;
   options.dir = config_.data_dir;
   options.fsync = config_.fsync;
   options.snapshot_every = config_.snapshot_every;
-  auto store = std::make_unique<DurableStore>(options);
+  auto store = std::make_shared<DurableStore>(options);
   RecoveredState state = store->take_recovered();
   {
     std::lock_guard<std::mutex> lock(plans_mutex_);
@@ -64,25 +64,27 @@ void GroomingService::open_store() {
       cache_.put(entry.key, std::move(entry.value));
     }
   }
+  std::lock_guard<std::mutex> lock(store_ptr_mutex_);
   store_ = std::move(store);
 }
 
 void GroomingService::snapshot_store(bool force) {
-  if (store_ == nullptr) return;
-  if (!force && !store_->snapshot_due()) return;
+  const std::shared_ptr<DurableStore> store = store_ref();
+  if (store == nullptr) return;
+  if (!force && !store->snapshot_due()) return;
   SnapshotData snap;
   {
     // Appends happen under plans_mutex_ too, so last_seq taken here is
     // exactly the sequence number covering this copy of the table.
     std::lock_guard<std::mutex> lock(plans_mutex_);
-    snap.last_seq = store_->last_seq();
+    snap.last_seq = store->last_seq();
     snap.next_plan_id = next_plan_id_;
     snap.plans.reserve(plans_.size());
     for (const auto& [id, plan] : plans_) snap.plans.emplace_back(id, plan);
   }
   std::sort(snap.plans.begin(), snap.plans.end(),
             [](const auto& a, const auto& b) { return a.first < b.first; });
-  if (store_->write_snapshot(snap)) {
+  if (store->write_snapshot(snap)) {
     metrics_.increment(ServiceMetrics::Counter::kStoreSnapshots);
   }
 }
@@ -236,21 +238,22 @@ void GroomingService::handle_groom(ServiceRequest& request,
     GroomingPlan plan = plan_from_partition(
         DemandSet::from_traffic_graph(request.graph), request.graph,
         partition);
+    const std::shared_ptr<DurableStore> store = store_ref();
     std::uint64_t seq = 0;
     {
       std::lock_guard<std::mutex> lock(plans_mutex_);
       held_id = next_plan_id_++;
       auto [it, inserted] = plans_.emplace(held_id, std::move(plan));
       (void)inserted;
-      if (store_ != nullptr) {
+      if (store != nullptr) {
         // Append before ack, under the table lock so WAL order equals
         // table order; the fsync (sync below) happens off the lock.
-        seq = store_->append_hold(held_id, it->second, key, *value);
+        seq = store->append_hold(held_id, it->second, key, *value);
       }
     }
-    if (store_ != nullptr && seq != 0) {
+    if (store != nullptr && seq != 0) {
       metrics_.increment(ServiceMetrics::Counter::kStoreAppends);
-      store_->sync(seq);
+      store->sync(seq);
       snapshot_store(false);
     }
   }
@@ -276,6 +279,7 @@ void GroomingService::handle_provision(ServiceRequest& request,
   if (deadline_expired(request)) return deadline_response(request, w);
 
   IncrementalResult result;
+  const std::shared_ptr<DurableStore> store = store_ref();
   std::uint64_t seq = 0;
   try {
     if (request.plan.has_value()) {
@@ -292,10 +296,10 @@ void GroomingService::handle_provision(ServiceRequest& request,
       }
       result = add_demands_incremental(it->second, request.add);
       it->second = result.plan;
-      if (store_ != nullptr) {
+      if (store != nullptr) {
         // The WAL logs the *input* pairs; replay recomputes the same
         // placement deterministically (extend_plan_incremental).
-        seq = store_->append_provision(request.plan_id, request.add);
+        seq = store->append_provision(request.plan_id, request.add);
       }
     }
   } catch (const CheckError& e) {
@@ -303,9 +307,9 @@ void GroomingService::handle_provision(ServiceRequest& request,
     return write_error_response(w, request.id, request.has_id,
                                 ServiceError::kBadRequest, e.what());
   }
-  if (store_ != nullptr && seq != 0) {
+  if (store != nullptr && seq != 0) {
     metrics_.increment(ServiceMetrics::Counter::kStoreAppends);
-    store_->sync(seq);
+    store->sync(seq);
     snapshot_store(false);
   }
 
@@ -326,6 +330,7 @@ void GroomingService::handle_release(ServiceRequest& request,
   ReleaseStats stats;
   GroomingPlan residual;
   bool dropped = false;
+  const std::shared_ptr<DurableStore> store = store_ref();
   std::uint64_t seq = 0;
   try {
     if (request.plan.has_value()) {
@@ -357,11 +362,11 @@ void GroomingService::handle_release(ServiceRequest& request,
         it->second = updated;
         residual = std::move(updated);
       }
-      if (store_ != nullptr) {
+      if (store != nullptr) {
         // Append before ack, under the table lock so WAL order equals
         // table order; the fsync (sync below) happens off the lock.
-        seq = store_->append_release(request.plan_id, request.remove,
-                                     request.release_all, request.repair);
+        seq = store->append_release(request.plan_id, request.remove,
+                                    request.release_all, request.repair);
       }
     }
   } catch (const CheckError& e) {
@@ -369,9 +374,9 @@ void GroomingService::handle_release(ServiceRequest& request,
     return write_error_response(w, request.id, request.has_id,
                                 ServiceError::kBadRequest, e.what());
   }
-  if (store_ != nullptr && seq != 0) {
+  if (store != nullptr && seq != 0) {
     metrics_.increment(ServiceMetrics::Counter::kStoreAppends);
-    store_->sync(seq);
+    store->sync(seq);
     snapshot_store(false);
   }
 
@@ -431,9 +436,9 @@ void GroomingService::handle_stats(const ServiceRequest& request,
   w.end_object();
   w.key("metrics");
   metrics_.write_json(w);
-  if (store_ != nullptr) {
+  if (const std::shared_ptr<DurableStore> store = store_ref()) {
     w.key("store");
-    store_->write_json(w);
+    store->write_json(w);
   }
   w.end_object();
   metrics_.increment(ServiceMetrics::Counter::kOk);
@@ -454,7 +459,17 @@ bool GroomingService::is_mutating(const ServiceRequest& request) {
 }
 
 std::uint64_t GroomingService::applied_seq() const {
-  return store_ != nullptr ? store_->last_seq() : 0;
+  const std::shared_ptr<DurableStore> store = store_ref();
+  return store != nullptr ? store->last_seq() : 0;
+}
+
+bool GroomingService::wal_crc_at(std::uint64_t seq, std::uint32_t& crc) const {
+  const std::shared_ptr<DurableStore> store = store_ref();
+  if (store == nullptr || seq == 0) return false;
+  // Push stdio-buffered appends to the OS first: the record to checksum
+  // may have been appended (and acked) without crossing an fsync batch.
+  store->flush_os();
+  return wal_record_crc(store->dir(), seq, crc);
 }
 
 void GroomingService::handle_health(const ServiceRequest& request,
@@ -496,7 +511,7 @@ void GroomingService::handle_promote(const ServiceRequest& request,
   // holds, then stops — no shipped record is half-applied.  Then make
   // everything applied durable before accepting new mutations.
   if (replica_link_ != nullptr) replica_link_->stop_and_drain();
-  if (store_ != nullptr) store_->flush();
+  if (const std::shared_ptr<DurableStore> store = store_ref()) store->flush();
   role_.store(ServiceRole::kPrimary, std::memory_order_release);
   begin_ok_response(w, request.id, request.has_id, ServiceOp::kPromote);
   w.kv("role", "primary");
@@ -521,7 +536,8 @@ void append_hex(std::string& out, std::string_view bytes) {
 
 void GroomingService::handle_repl_handshake(const ServiceRequest& request,
                                             JsonWriter& w) {
-  if (store_ == nullptr) {
+  const std::shared_ptr<DurableStore> store = store_ref();
+  if (store == nullptr) {
     metrics_.increment(ServiceMetrics::Counter::kError);
     return write_error_response(
         w, request.id, request.has_id, ServiceError::kBadRequest,
@@ -546,7 +562,7 @@ void GroomingService::handle_repl_handshake(const ServiceRequest& request,
             " does not match primary v" +
             std::to_string(kFingerprintFormatVersion));
   }
-  const std::uint64_t last = store_->last_seq();
+  const std::uint64_t last = store->last_seq();
   if (request.repl_start_seq > last) {
     metrics_.increment(ServiceMetrics::Counter::kError);
     return write_error_response(
@@ -556,26 +572,46 @@ void GroomingService::handle_repl_handshake(const ServiceRequest& request,
             std::to_string(last) + ")");
   }
   std::uint64_t first_available = 0;
-  const std::vector<std::string> segments = list_wal_segments(store_->dir());
+  const std::vector<std::string> segments = list_wal_segments(store->dir());
   if (!segments.empty()) {
     first_available = wal_segment_first_seq(segments.front());
   }
   // Snapshot bootstrap when the records right after start_seq are gone
   // (compacted away) — the WAL can only resume a follower whose cursor
   // still lands inside it.
-  const bool snapshot_mode =
+  bool snapshot_mode =
       first_available == 0 || first_available > request.repl_start_seq + 1;
+  // History-identity check: the follower's last applied record must be
+  // byte-identical to ours at that seq.  After a racing-kill failover an
+  // old primary re-attaching as a replica can hold a *diverged* record at
+  // its cursor (same seq, different bytes — it was written by a different
+  // history); appending our stream after it would silently fork the
+  // stores.  A CRC mismatch forces a snapshot bootstrap, which wipes the
+  // diverged history wholesale.
+  bool diverged = false;
+  if (!snapshot_mode && request.repl_has_last_crc &&
+      request.repl_start_seq >= first_available) {
+    std::uint32_t local_crc = 0;
+    store->flush_os();
+    if (wal_record_crc(store->dir(), request.repl_start_seq, local_crc) &&
+        local_crc != request.repl_last_crc) {
+      diverged = true;
+      snapshot_mode = true;
+    }
+  }
   begin_ok_response(w, request.id, request.has_id, ServiceOp::kReplHandshake);
   w.kv("last_seq", last);
   w.kv("first_available", first_available);
   w.kv("mode", snapshot_mode ? "snapshot" : "wal");
+  if (diverged) w.kv("diverged", true);
   w.end_object();
   metrics_.increment(ServiceMetrics::Counter::kOk);
 }
 
 void GroomingService::handle_repl_fetch(const ServiceRequest& request,
                                         JsonWriter& w) {
-  if (store_ == nullptr) {
+  const std::shared_ptr<DurableStore> store = store_ref();
+  if (store == nullptr) {
     metrics_.increment(ServiceMetrics::Counter::kError);
     return write_error_response(
         w, request.id, request.has_id, ServiceError::kBadRequest,
@@ -598,7 +634,7 @@ void GroomingService::handle_repl_fetch(const ServiceRequest& request,
           : std::min(request.repl_max_records, kMaxBatch));
   // Push stdio-buffered appends to the OS so the tail sees every record
   // the service has acked, whatever the fsync policy.
-  store_->flush_os();
+  store->flush_os();
   struct ShippedRecord {
     std::uint64_t seq;
     std::uint8_t type;
@@ -606,7 +642,7 @@ void GroomingService::handle_repl_fetch(const ServiceRequest& request,
   };
   std::vector<ShippedRecord> records;
   const WalTailStats stats = tail_wal(
-      store_->dir(), request.repl_from_seq, max_records,
+      store->dir(), request.repl_from_seq, max_records,
       [&records](std::uint64_t seq, WalRecordType type,
                  std::string_view body) {
         ShippedRecord rec;
@@ -617,7 +653,7 @@ void GroomingService::handle_repl_fetch(const ServiceRequest& request,
         records.push_back(std::move(rec));
       });
   begin_ok_response(w, request.id, request.has_id, ServiceOp::kReplFetch);
-  w.kv("last_seq", store_->last_seq());
+  w.kv("last_seq", store->last_seq());
   w.kv("compacted", stats.compacted);
   w.kv("incomplete", stats.incomplete);
   w.key("records").begin_array();
@@ -640,7 +676,8 @@ void GroomingService::handle_repl_fetch(const ServiceRequest& request,
 
 void GroomingService::handle_repl_snapshot(const ServiceRequest& request,
                                            JsonWriter& w) {
-  if (store_ == nullptr) {
+  const std::shared_ptr<DurableStore> store = store_ref();
+  if (store == nullptr) {
     metrics_.increment(ServiceMetrics::Counter::kError);
     return write_error_response(
         w, request.id, request.has_id, ServiceError::kBadRequest,
@@ -651,7 +688,7 @@ void GroomingService::handle_repl_snapshot(const ServiceRequest& request,
     // Same invariant as snapshot_store: appends happen under
     // plans_mutex_, so last_seq taken here covers exactly this table.
     std::lock_guard<std::mutex> lock(plans_mutex_);
-    snap.last_seq = store_->last_seq();
+    snap.last_seq = store->last_seq();
     snap.next_plan_id = next_plan_id_;
     snap.plans.reserve(plans_.size());
     for (const auto& [id, plan] : plans_) snap.plans.emplace_back(id, plan);
@@ -681,12 +718,13 @@ void GroomingService::apply_replication_record(std::uint64_t seq,
     cache_.put(rec.cache_key, std::make_shared<const GroomCacheValue>(
                                   std::move(rec.cache_value)));
   }
+  const std::shared_ptr<DurableStore> store = store_ref();
+  TGROOM_CHECK_MSG(store != nullptr,
+                   "replication apply requires an open store");
   std::uint64_t appended = 0;
   {
     std::lock_guard<std::mutex> lock(plans_mutex_);
-    TGROOM_CHECK_MSG(store_ != nullptr,
-                     "replication apply requires an open store");
-    const std::uint64_t expected = store_->last_seq() + 1;
+    const std::uint64_t expected = store->last_seq() + 1;
     TGROOM_CHECK_MSG(seq == expected,
                      "replication stream gap: shipped seq " +
                          std::to_string(seq) + ", expected " +
@@ -721,13 +759,13 @@ void GroomingService::apply_replication_record(std::uint64_t seq,
     // Persist the primary's exact bytes before reporting the seq applied
     // (append under the table lock, fsync off it — the same append-
     // before-ack discipline as the primary's own mutations).
-    appended = store_->append_raw(type, body);
+    appended = store->append_raw(type, body);
     TGROOM_CHECK_MSG(appended == seq,
                      "replica WAL diverged: local seq " +
                          std::to_string(appended) + " for shipped seq " +
                          std::to_string(seq));
   }
-  store_->sync(appended);
+  store->sync(appended);
   metrics_.increment(ServiceMetrics::Counter::kStoreAppends);
   metrics_.increment(ServiceMetrics::Counter::kReplRecordsApplied);
   snapshot_store(false);
@@ -735,13 +773,19 @@ void GroomingService::apply_replication_record(std::uint64_t seq,
 
 void GroomingService::install_replication_snapshot(const SnapshotData& snap) {
   std::lock_guard<std::mutex> lock(plans_mutex_);
-  if (store_ != nullptr) {
+  if (const std::shared_ptr<DurableStore> old = store_ref()) {
     // Replace the on-disk store wholesale: whatever partial history this
     // replica had is unreachable from the primary's WAL (that is what
     // forced the snapshot bootstrap), so it cannot be extended — wipe it,
     // persist the snapshot, and reopen with the WAL at last_seq + 1.
-    const std::string dir = store_->dir();
-    store_.reset();
+    //
+    // The old store object stays alive throughout (and for as long as
+    // any concurrent health/stats reader holds a store_ref() copy):
+    // readers see its in-memory counters and unlinked-but-open files,
+    // never a destroyed object.  Only once the fresh store is fully
+    // recovered does the pointer swap, so store_ref() is never null
+    // mid-bootstrap.
+    const std::string dir = old->dir();
     std::error_code ec;
     for (const std::string& path : list_snapshot_files(dir)) {
       std::filesystem::remove(path, ec);
@@ -754,8 +798,10 @@ void GroomingService::install_replication_snapshot(const SnapshotData& snap) {
     options.dir = dir;
     options.fsync = config_.fsync;
     options.snapshot_every = config_.snapshot_every;
-    store_ = std::make_unique<DurableStore>(options);
-    (void)store_->take_recovered();  // == snap; the table is set below
+    auto fresh = std::make_shared<DurableStore>(options);
+    (void)fresh->take_recovered();  // == snap; the table is set below
+    std::lock_guard<std::mutex> plock(store_ptr_mutex_);
+    store_ = std::move(fresh);
   }
   plans_.clear();
   plans_.reserve(snap.plans.size());
@@ -892,8 +938,9 @@ int GroomingService::run(std::istream& in, std::ostream& out) {
 }
 
 void GroomingService::finalize_store() {
-  if (store_ == nullptr) return;
-  store_->flush();
+  const std::shared_ptr<DurableStore> store = store_ref();
+  if (store == nullptr) return;
+  store->flush();
   snapshot_store(/*force=*/true);
 }
 
@@ -907,9 +954,9 @@ void GroomingService::write_exit_metrics(JsonWriter& w) {
   write_cache_stats(w);
   w.key("metrics");
   metrics_.write_json(w);
-  if (store_ != nullptr) {
+  if (const std::shared_ptr<DurableStore> store = store_ref()) {
     w.key("store");
-    store_->write_json(w);
+    store->write_json(w);
   }
   w.end_object();
 }

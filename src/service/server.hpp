@@ -130,7 +130,11 @@ class GroomingService {
   void open_store();
 
   /// The store, or nullptr when running in-memory (tests, stats).
-  DurableStore* store() { return store_.get(); }
+  /// Returned as a shared_ptr because a replication snapshot bootstrap
+  /// can swap the store out from under concurrent readers (health,
+  /// stats, repl_fetch) — the reference keeps the old object alive until
+  /// the caller drops it.
+  std::shared_ptr<DurableStore> store() const { return store_ref(); }
 
   /// Clean-exit durability: flushes the WAL and forces a snapshot so the
   /// next start replays (almost) nothing.  A no-op without a store.
@@ -178,6 +182,13 @@ class GroomingService {
   /// catch-up probe; equals store last_seq when a store is open).
   std::uint64_t applied_seq() const;
 
+  /// CRC32C of the framed payload of WAL record `seq` in this node's own
+  /// store — the history-identity probe the replication handshake sends
+  /// so the primary can detect a diverged record at the follower's
+  /// cursor.  False when no store is open, seq is 0, or the record has
+  /// been compacted away.
+  bool wal_crc_at(std::uint64_t seq, std::uint32_t& crc) const;
+
  private:
   static std::atomic<bool>& stop_flag();
 
@@ -201,6 +212,15 @@ class GroomingService {
   /// Snapshots the held-plan table into the store; with `force` false
   /// only when the store says one is due.
   void snapshot_store(bool force);
+  /// Thread-safe copy of the store pointer.  Every store access outside
+  /// plans_mutex_ goes through a local copy from here: a replication
+  /// snapshot bootstrap swaps store_ at runtime, and the shared_ptr keeps
+  /// the old store alive for readers mid-call.  store_ptr_mutex_ is the
+  /// innermost lock — nothing else is ever taken while holding it.
+  std::shared_ptr<DurableStore> store_ref() const {
+    std::lock_guard<std::mutex> lock(store_ptr_mutex_);
+    return store_;
+  }
 
   ServiceConfig config_;
   PlanCache cache_;
@@ -212,7 +232,9 @@ class GroomingService {
                                     // order equals table order
   std::unordered_map<std::int64_t, GroomingPlan> plans_;
   std::int64_t next_plan_id_ = 1;
-  std::unique_ptr<DurableStore> store_;
+  mutable std::mutex store_ptr_mutex_;  // guards the store_ pointer itself
+                                        // (not the store's contents)
+  std::shared_ptr<DurableStore> store_;  // read via store_ref()
   bool shutdown_ = false;
 
   std::atomic<ServiceRole> role_{ServiceRole::kPrimary};

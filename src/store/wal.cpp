@@ -555,4 +555,27 @@ WalTailStats tail_wal(
   return stats;
 }
 
+bool wal_record_crc(const std::string& dir, std::uint64_t seq,
+                    std::uint32_t& crc) {
+  if (seq == 0) return false;
+  bool found = false;
+  std::uint32_t out = 0;
+  tail_wal(dir, seq - 1, 1,
+           [&](std::uint64_t got, WalRecordType type, std::string_view body) {
+             if (got != seq) return;
+             // Re-derive crc32c(payload): the framed payload is
+             // [u64 seq][u8 type][body], encoded little-endian exactly as
+             // ByteWriter lays it out.
+             ByteWriter prefix;
+             prefix.u64(got);
+             prefix.u8(static_cast<std::uint8_t>(type));
+             out = crc32c(prefix.str().data(), prefix.str().size());
+             out = crc32c(body.data(), body.size(), out);
+             found = true;
+           });
+  if (!found) return false;
+  crc = out;
+  return true;
+}
+
 }  // namespace tgroom

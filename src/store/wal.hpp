@@ -195,6 +195,16 @@ WalTailStats tail_wal(
     const std::function<void(std::uint64_t seq, WalRecordType type,
                              std::string_view body)>& callback);
 
+/// CRC32C of the framed payload ([seq][type][body]) of record `seq`,
+/// read from `dir`'s segments — exactly the checksum the writer framed
+/// the record with, so two WALs agree on it iff they hold byte-identical
+/// records at that seq.  Returns false when the record is absent
+/// (compacted away, beyond the tail, or still incomplete on disk).  The
+/// replication handshake compares this across nodes to detect a
+/// diverged history before appending past it.
+bool wal_record_crc(const std::string& dir, std::uint64_t seq,
+                    std::uint32_t& crc);
+
 /// Segment paths in `dir`, sorted by first sequence number (filename
 /// order).  Shared by replay, tailing, and compaction.
 std::vector<std::string> list_wal_segments(const std::string& dir);

@@ -446,6 +446,84 @@ TEST(Replication, SnapshotBootstrapWhenPrimaryCompactedAwayTheLog) {
   }
 }
 
+TEST(Replication, DivergedHistoryForcesSnapshotBootstrapNotAForkedWal) {
+  TempDir primary_dir;
+  TempDir replica_dir;
+  // Two stores that agree on record 1 but hold *different bytes* at
+  // seq 2 — the post-failover shape: an old primary re-attaching as a
+  // replica of the promoted node wrote its own record at a seq the new
+  // primary also assigned.  Appending the stream past it would silently
+  // fork the stores; the handshake CRC check must route this replica
+  // through a snapshot bootstrap instead.
+  GroomCacheKey key;
+  key.fingerprint = 7;
+  GroomCacheValue value;
+  value.sadms = 1;
+  GroomingPlan shared;
+  shared.ring_size = 8;
+  shared.grooming_factor = 4;
+  {
+    DurableStoreOptions options;
+    options.dir = primary_dir.str();
+    DurableStore store(options);
+    store.append_hold(1, shared, key, value);
+    GroomingPlan own = shared;
+    own.ring_size = 10;
+    store.append_hold(2, own, key, value);
+    store.flush();
+  }
+  {
+    DurableStoreOptions options;
+    options.dir = replica_dir.str();
+    DurableStore store(options);
+    store.append_hold(1, shared, key, value);
+    GroomingPlan diverged = shared;
+    diverged.ring_size = 12;  // same seq, different bytes
+    store.append_hold(2, diverged, key, value);
+    store.flush();
+  }
+
+  ServiceConfig primary_config;
+  primary_config.workers = 0;
+  primary_config.data_dir = primary_dir.str();
+  primary_config.metrics_on_exit = false;
+  PrimaryServer primary(primary_config);
+  const int fd = connect_port(primary.port());
+  drive(fd, {groom_hold_request(1, seeded_graph(20), 4)});  // seq 3
+
+  ServiceConfig replica_config;
+  replica_config.data_dir = replica_dir.str();
+  replica_config.replica_of = "127.0.0.1:" + std::to_string(primary.port());
+  replica_config.metrics_on_exit = false;
+  GroomingService replica(replica_config);
+  replica.open_store();
+  ASSERT_EQ(replica.applied_seq(), 2u);  // cursor sits on the diverged record
+
+  ReplicationClientConfig link_config;
+  link_config.primary = replica_config.replica_of;
+  ReplicationClient client(replica, link_config);
+  replica.set_replica_link(&client);
+  client.start();
+  wait_caught_up(client, primary.service.applied_seq());
+
+  // The catch-up must have gone through repl_snapshot (CRC mismatch),
+  // not a plain WAL resume that would have appended past the fork.
+  JsonWriter status;
+  status.begin_object();
+  client.write_status_json(status);
+  status.end_object();
+  EXPECT_NE(status.str().find("\"snapshot_bootstraps\":1"),
+            std::string::npos)
+      << status.str();
+
+  client.stop_and_drain();
+  ::close(fd);
+  primary.stop();
+
+  replica.store()->flush();
+  EXPECT_EQ(dump_store(replica_dir.str()), dump_store(primary_dir.str()));
+}
+
 // ---------------------------------------------------------------- gating
 
 TEST(Replication, HandshakeRejectsForeignFormatVersions) {

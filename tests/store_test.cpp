@@ -226,6 +226,54 @@ TEST(StoreWal, AfterSeqSkipsCoveredRecords) {
   EXPECT_EQ(stats.last_seq, 5u);
 }
 
+TEST(StoreWal, RecordCrcMatchesIdenticalBytesAndCatchesDivergence) {
+  TempDir a;
+  TempDir b;
+  {
+    WalWriter wal(a.str(), 1, WalOptions{}, nullptr);
+    wal.append(WalRecordType::kHoldPlan, "shared");
+    wal.append(WalRecordType::kProvision, "history-a");
+    wal.flush();
+  }
+  {
+    // Same record 1, diverged record 2 (the post-failover shape).
+    WalWriter wal(b.str(), 1, WalOptions{}, nullptr);
+    wal.append(WalRecordType::kHoldPlan, "shared");
+    wal.append(WalRecordType::kProvision, "history-b");
+    wal.flush();
+  }
+  std::uint32_t crc_a1 = 0;
+  std::uint32_t crc_b1 = 0;
+  ASSERT_TRUE(wal_record_crc(a.str(), 1, crc_a1));
+  ASSERT_TRUE(wal_record_crc(b.str(), 1, crc_b1));
+  EXPECT_EQ(crc_a1, crc_b1);  // identical bytes, identical checksum
+
+  std::uint32_t crc_a2 = 0;
+  std::uint32_t crc_b2 = 0;
+  ASSERT_TRUE(wal_record_crc(a.str(), 2, crc_a2));
+  ASSERT_TRUE(wal_record_crc(b.str(), 2, crc_b2));
+  EXPECT_NE(crc_a2, crc_b2);  // diverged bytes at the same seq
+
+  // Same body under a different type diverges too: the checksum covers
+  // the framed payload, not just the body.
+  TempDir c;
+  {
+    WalWriter wal(c.str(), 1, WalOptions{}, nullptr);
+    wal.append(WalRecordType::kRelease, "shared");
+    wal.flush();
+  }
+  std::uint32_t crc_c1 = 0;
+  ASSERT_TRUE(wal_record_crc(c.str(), 1, crc_c1));
+  EXPECT_NE(crc_c1, crc_a1);
+
+  // Absent records: seq 0, past the tail, and an empty dir.
+  std::uint32_t unused = 0;
+  EXPECT_FALSE(wal_record_crc(a.str(), 0, unused));
+  EXPECT_FALSE(wal_record_crc(a.str(), 3, unused));
+  TempDir empty;
+  EXPECT_FALSE(wal_record_crc(empty.str(), 1, unused));
+}
+
 TEST(StoreWal, SegmentsRollAndReplayAcrossFiles) {
   TempDir dir;
   WalOptions options;
