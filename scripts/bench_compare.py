@@ -33,7 +33,8 @@ RATE_SUFFIXES = ("_rps", "_per_sec")
 # with different shapes (workers-keyed vs mode-keyed) both work.
 # "connections"/"pipeline" key the event-loop TCP rows of
 # BENCH_service.json (mode="tcp") by client fan-in and window depth.
-KEY_FIELDS = ("workers", "mode", "threads", "connections", "pipeline")
+# "n" keys the instance-size rows of BENCH_scale.json.
+KEY_FIELDS = ("workers", "mode", "threads", "connections", "pipeline", "n")
 
 
 def run_key(run):

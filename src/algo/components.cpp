@@ -15,28 +15,40 @@ std::vector<std::vector<NodeId>> Components::groups() const {
 }
 
 namespace {
+// Flat-frontier BFS: an append-only array with a read head visits nodes in
+// exactly the order the classic std::queue form does, but touches one
+// contiguous buffer instead of a deque's chunk list.  Labelling (and so
+// every caller's output) is unchanged.
 template <typename G>
-Components bfs_components(const G& g, const std::vector<char>* mask) {
+void bfs_components_into(const G& g, const std::vector<char>* mask,
+                         Components& comp, MonotonicArena* arena) {
   const auto n = static_cast<std::size_t>(g.node_count());
-  Components comp;
+  comp.count = 0;
   comp.label.assign(n, -1);
-  std::queue<NodeId> frontier;
+  ArenaVector<NodeId> frontier{ArenaAllocator<NodeId>(arena)};
+  frontier.reserve(n);
   for (NodeId start = 0; start < g.node_count(); ++start) {
     if (comp.label[static_cast<std::size_t>(start)] != -1) continue;
     int id = comp.count++;
     comp.label[static_cast<std::size_t>(start)] = id;
-    frontier.push(start);
-    while (!frontier.empty()) {
-      NodeId v = frontier.front();
-      frontier.pop();
+    std::size_t head = frontier.size();
+    frontier.push_back(start);
+    while (head < frontier.size()) {
+      NodeId v = frontier[head++];
       for (const Incidence& inc : g.incident(v)) {
         if (mask && !(*mask)[static_cast<std::size_t>(inc.edge)]) continue;
         if (comp.label[static_cast<std::size_t>(inc.neighbor)] != -1) continue;
         comp.label[static_cast<std::size_t>(inc.neighbor)] = id;
-        frontier.push(inc.neighbor);
+        frontier.push_back(inc.neighbor);
       }
     }
   }
+}
+
+template <typename G>
+Components bfs_components(const G& g, const std::vector<char>* mask) {
+  Components comp;
+  bfs_components_into(g, mask, comp, nullptr);
   return comp;
 }
 }  // namespace
@@ -49,6 +61,11 @@ Components connected_components(const CsrGraph& g) {
   return bfs_components(g, nullptr);
 }
 
+void connected_components(const CsrGraph& g, Components& out,
+                          MonotonicArena* arena) {
+  bfs_components_into(g, nullptr, out, arena);
+}
+
 Components connected_components_masked(const Graph& g,
                                        const std::vector<char>& edge_mask) {
   TGROOM_CHECK(edge_mask.size() == static_cast<std::size_t>(g.edge_count()));
@@ -59,6 +76,57 @@ Components connected_components_masked(const CsrGraph& g,
                                        const std::vector<char>& edge_mask) {
   TGROOM_CHECK(edge_mask.size() == static_cast<std::size_t>(g.edge_count()));
   return bfs_components(g, &edge_mask);
+}
+
+ComponentSplit split_components(const CsrGraph& g, const Components& comp) {
+  const auto n = static_cast<std::size_t>(g.node_count());
+  const auto m = static_cast<std::size_t>(g.edge_count());
+  const auto count = static_cast<std::size_t>(comp.count);
+  TGROOM_CHECK(comp.label.size() == n);
+
+  ComponentSplit split;
+  split.node_offset.assign(count + 1, 0);
+  for (NodeId v = 0; v < g.node_count(); ++v) {
+    ++split.node_offset[static_cast<std::size_t>(
+                            comp.label[static_cast<std::size_t>(v)]) +
+                        1];
+  }
+  for (std::size_t c = 0; c < count; ++c) {
+    split.node_offset[c + 1] += split.node_offset[c];
+  }
+  split.nodes.resize(n);
+  split.local_node.assign(n, kInvalidNode);
+  {
+    std::vector<std::size_t> cursor(split.node_offset.begin(),
+                                    split.node_offset.end() - 1);
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      auto c = static_cast<std::size_t>(comp.label[static_cast<std::size_t>(v)]);
+      split.local_node[static_cast<std::size_t>(v)] =
+          static_cast<NodeId>(cursor[c] - split.node_offset[c]);
+      split.nodes[cursor[c]++] = v;
+    }
+  }
+
+  split.edge_offset.assign(count + 1, 0);
+  for (EdgeId e = 0; e < g.edge_count(); ++e) {
+    ++split.edge_offset[static_cast<std::size_t>(comp.label[static_cast<std::size_t>(
+                            g.edge(e).u)]) +
+                        1];
+  }
+  for (std::size_t c = 0; c < count; ++c) {
+    split.edge_offset[c + 1] += split.edge_offset[c];
+  }
+  split.edges.resize(m);
+  {
+    std::vector<std::size_t> cursor(split.edge_offset.begin(),
+                                    split.edge_offset.end() - 1);
+    for (EdgeId e = 0; e < g.edge_count(); ++e) {
+      auto c = static_cast<std::size_t>(
+          comp.label[static_cast<std::size_t>(g.edge(e).u)]);
+      split.edges[cursor[c]++] = e;
+    }
+  }
+  return split;
 }
 
 bool is_connected(const Graph& g) {

@@ -1,10 +1,12 @@
 // Connected components over the whole graph or a masked edge subset.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "graph/csr_graph.hpp"
 #include "graph/graph.hpp"
+#include "util/arena.hpp"
 
 namespace tgroom {
 
@@ -27,6 +29,36 @@ Components connected_components_masked(const Graph& g,
                                        const std::vector<char>& edge_mask);
 Components connected_components_masked(const CsrGraph& g,
                                        const std::vector<char>& edge_mask);
+
+/// In-place overload for the big-graph hot path: labels into `out`
+/// (capacity retained across runs) with traversal scratch drawn from
+/// `arena` (heap fallback when null).  Labelling is identical to
+/// connected_components(g).
+void connected_components(const CsrGraph& g, Components& out,
+                          MonotonicArena* arena);
+
+/// Flat component grouping for per-component task parallelism: the nodes
+/// and edges of each component as contiguous ascending-id runs, plus each
+/// node's rank within its component (the local id rebuild_subgraph uses).
+/// An edge belongs to the component of its endpoints.
+struct ComponentSplit {
+  std::vector<std::size_t> node_offset;  // count + 1 entries
+  std::vector<NodeId> nodes;             // grouped by component, ascending
+  std::vector<std::size_t> edge_offset;  // count + 1 entries
+  std::vector<EdgeId> edges;             // grouped by component, ascending
+  std::vector<NodeId> local_node;        // size n: rank of v within its comp
+
+  std::span<const NodeId> component_nodes(std::size_t c) const {
+    return {nodes.data() + node_offset[c], node_offset[c + 1] - node_offset[c]};
+  }
+  std::span<const EdgeId> component_edges(std::size_t c) const {
+    return {edges.data() + edge_offset[c], edge_offset[c + 1] - edge_offset[c]};
+  }
+};
+
+/// Groups g's nodes and edges by the labelling in `comp` (one counting
+/// sort each; O(n + m), deterministic).
+ComponentSplit split_components(const CsrGraph& g, const Components& comp);
 
 /// True when the whole node set is one component (n <= 1 counts as
 /// connected; isolated nodes make a graph with n >= 2 disconnected).

@@ -85,15 +85,17 @@ Walk euler_walk_from_impl(const G& g, const std::vector<char>& edge_mask,
   return walk;
 }
 
-// The decomposition body, generic over the output walk container.
-// `make_walk` constructs an empty WalkT bound to the right allocator.
-// Component labels are assigned by BFS from the lowest unlabelled node
-// (identical to algo/components.cpp), so walk order matches the heap
-// overloads walk-for-walk.
-template <typename G, typename WalkVec, typename MakeWalk>
-void euler_decomposition_into(const G& g, const std::vector<char>& edge_mask,
-                              MonotonicArena* arena, WalkVec& walks,
-                              MakeWalk make_walk) {
+// The decomposition body, generic over where walks land.  Per component
+// `acquire()` returns a WalkT& to fill and `commit()` runs once it is
+// complete — the materializing overloads append to a list with a no-op
+// commit, the streaming overload hands back one reused buffer and commits
+// by invoking the consumer.  Component labels are assigned by BFS from the
+// lowest unlabelled node (identical to algo/components.cpp), so walk order
+// is the same for every overload.
+template <typename G, typename Acquire, typename Commit>
+void euler_decomposition_visit(const G& g, const std::vector<char>& edge_mask,
+                               MonotonicArena* arena, Acquire acquire,
+                               Commit commit) {
   TGROOM_CHECK(edge_mask.size() == static_cast<std::size_t>(g.edge_count()));
   const auto n = static_cast<std::size_t>(g.node_count());
 
@@ -156,10 +158,10 @@ void euler_decomposition_into(const G& g, const std::vector<char>& edge_mask,
     TGROOM_CHECK_MSG(odd_count[c] == 0 || odd_count[c] == 2,
                      "component has " + std::to_string(odd_count[c]) +
                          " odd-degree nodes; not Eulerian");
-    auto walk = make_walk();
+    auto& walk = acquire();
     euler_walk_into(g, edge_mask, start[c], scratch, walk);
     consumed += walk.edges.size();
-    walks.push_back(std::move(walk));
+    commit();
   }
   // Connected + 0/2 odd degrees per component means every walk consumed its
   // whole component; this guards the invariant without re-validating each
@@ -202,16 +204,26 @@ Walk euler_walk_from(const CsrGraph& g, const std::vector<char>& edge_mask,
 std::vector<Walk> euler_decomposition(const Graph& g,
                                       const std::vector<char>& edge_mask) {
   std::vector<Walk> walks;
-  euler_decomposition_into(g, edge_mask, nullptr, walks,
-                           [] { return Walk{}; });
+  euler_decomposition_visit(
+      g, edge_mask, nullptr,
+      [&walks]() -> Walk& {
+        walks.emplace_back();
+        return walks.back();
+      },
+      [] {});
   return walks;
 }
 
 std::vector<Walk> euler_decomposition(const CsrGraph& g,
                                       const std::vector<char>& edge_mask) {
   std::vector<Walk> walks;
-  euler_decomposition_into(g, edge_mask, nullptr, walks,
-                           [] { return Walk{}; });
+  euler_decomposition_visit(
+      g, edge_mask, nullptr,
+      [&walks]() -> Walk& {
+        walks.emplace_back();
+        return walks.back();
+      },
+      [] {});
   return walks;
 }
 
@@ -219,9 +231,24 @@ ArenaWalkList euler_decomposition(const CsrGraph& g,
                                   const std::vector<char>& edge_mask,
                                   MonotonicArena& arena) {
   ArenaWalkList walks{ArenaAllocator<ArenaWalk>(&arena)};
-  euler_decomposition_into(g, edge_mask, &arena, walks,
-                           [&arena] { return ArenaWalk(&arena); });
+  euler_decomposition_visit(
+      g, edge_mask, &arena,
+      [&walks, &arena]() -> ArenaWalk& {
+        walks.emplace_back(&arena);
+        return walks.back();
+      },
+      [] {});
   return walks;
+}
+
+void euler_decomposition_stream(const CsrGraph& g,
+                                const std::vector<char>& edge_mask,
+                                MonotonicArena& arena,
+                                const WalkConsumer& consume) {
+  ArenaWalk buffer(&arena);
+  euler_decomposition_visit(
+      g, edge_mask, &arena, [&buffer]() -> ArenaWalk& { return buffer; },
+      [&buffer, &consume] { consume(buffer); });
 }
 
 std::vector<Walk> split_walk_on_virtual(const Graph& g, const Walk& walk) {

@@ -6,6 +6,7 @@
 // even, open when a component has exactly two odd-degree nodes.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "graph/csr_graph.hpp"
@@ -65,6 +66,23 @@ using ArenaWalkList = ArenaVector<ArenaWalk>;
 ArenaWalkList euler_decomposition(const CsrGraph& g,
                                   const std::vector<char>& edge_mask,
                                   MonotonicArena& arena);
+
+/// Consumer for euler_decomposition_stream: invoked once per walk, in walk
+/// order.  The walk references a buffer that is REUSED for the next walk,
+/// so the consumer must copy anything it needs to retain.
+using WalkConsumer = std::function<void(const ArenaWalk& walk)>;
+
+/// Streaming decomposition: emits exactly the walks (same content, same
+/// order) the materializing overloads return, but through `consume` with a
+/// single reused buffer instead of a walk list.  Peak arena footprint
+/// drops from O(Σ walk length) = O(m) to O(longest walk) + the O(n + m)
+/// cursor/used scratch — on multi-component instances (many rings) the
+/// walk storage is the dominant term, and this is the memory-bound path
+/// bench_scale measures (DESIGN.md §16).
+void euler_decomposition_stream(const CsrGraph& g,
+                                const std::vector<char>& edge_mask,
+                                MonotonicArena& arena,
+                                const WalkConsumer& consume);
 
 /// Checks walk consistency: edge endpoints match consecutive nodes and no
 /// edge repeats.

@@ -129,6 +129,42 @@ void odd_subtree_edges_into(const RootedForest& forest,
 
 }  // namespace
 
+void odd_subtree_edges_parity(const CsrGraph& g, const RootedForest& forest,
+                              const std::vector<std::uint64_t>& parity,
+                              std::vector<EdgeId>& out, MonotonicArena* arena) {
+  (void)g;
+  const std::size_t n = forest.parent.size();
+  TGROOM_CHECK(parity.size() >= parity_word_count(n));
+  ArenaVector<std::uint64_t> total(parity.begin(),
+                                   parity.begin() + static_cast<long>(
+                                                        parity_word_count(n)),
+                                   ArenaAllocator<std::uint64_t>(arena));
+  // Same reverse-preorder sweep as the weighted form, with XOR in place of
+  // addition: a subtree's parity is the XOR of its nodes' parities.
+  for (auto it = forest.preorder.rbegin(); it != forest.preorder.rend();
+       ++it) {
+    NodeId v = *it;
+    NodeId p = forest.parent[static_cast<std::size_t>(v)];
+    if (p == kInvalidNode) continue;
+    std::uint64_t bit =
+        (total[static_cast<std::size_t>(v) >> 6] >>
+         (static_cast<std::size_t>(v) & 63)) &
+        1;
+    total[static_cast<std::size_t>(p) >> 6] ^=
+        bit << (static_cast<std::size_t>(p) & 63);
+  }
+  out.clear();
+  for (NodeId v = 0; v < static_cast<NodeId>(n); ++v) {
+    EdgeId pe = forest.parent_edge[static_cast<std::size_t>(v)];
+    if (pe == kInvalidEdge) continue;
+    if ((total[static_cast<std::size_t>(v) >> 6] >>
+         (static_cast<std::size_t>(v) & 63)) &
+        1) {
+      out.push_back(pe);
+    }
+  }
+}
+
 std::vector<EdgeId> odd_subtree_edges(const Graph& g,
                                       const RootedForest& forest,
                                       const std::vector<long long>& weight) {

@@ -53,4 +53,30 @@ void odd_subtree_edges(const CsrGraph& g, const RootedForest& forest,
                        const std::vector<long long>& weight,
                        std::vector<EdgeId>& out, MonotonicArena* arena);
 
+/// Number of 64-bit words a packed per-node parity bitset needs.
+inline std::size_t parity_word_count(std::size_t node_count) {
+  return (node_count + 63) / 64;
+}
+
+inline void parity_flip(std::vector<std::uint64_t>& bits, NodeId v) {
+  bits[static_cast<std::size_t>(v) >> 6] ^=
+      std::uint64_t{1} << (static_cast<std::size_t>(v) & 63);
+}
+
+inline bool parity_test(const std::vector<std::uint64_t>& bits, NodeId v) {
+  return (bits[static_cast<std::size_t>(v) >> 6] >>
+          (static_cast<std::size_t>(v) & 63)) &
+         1;
+}
+
+/// Parity-only form of odd_subtree_edges for the big-graph hot path:
+/// `parity` is a packed bitset (parity_word_count(n) words, bit v set when
+/// node v has odd weight).  Output is identical, in the same edge order,
+/// to the long long overloads with 0/1 weights, at 1/64th the scratch
+/// footprint (the subtree sweep XORs bits instead of summing 64-bit
+/// counters).
+void odd_subtree_edges_parity(const CsrGraph& g, const RootedForest& forest,
+                              const std::vector<std::uint64_t>& parity,
+                              std::vector<EdgeId>& out, MonotonicArena* arena);
+
 }  // namespace tgroom

@@ -76,6 +76,12 @@ EdgePartition run_algorithm(AlgorithmId id, const Graph& traffic_graph, int k,
 EdgePartition run_algorithm(AlgorithmId id, const Graph& traffic_graph, int k,
                             const GroomingOptions& options,
                             GroomingWorkspace* workspace) {
+  return run_algorithm(id, traffic_graph, k, options, workspace, nullptr);
+}
+
+EdgePartition run_algorithm(AlgorithmId id, const Graph& traffic_graph, int k,
+                            const GroomingOptions& options,
+                            GroomingWorkspace* workspace, ThreadPool* pool) {
   EdgePartition partition;
   switch (id) {
     case AlgorithmId::kGoldschmidt:
@@ -88,7 +94,10 @@ EdgePartition run_algorithm(AlgorithmId id, const Graph& traffic_graph, int k,
       partition = wanggu_skeleton_cover(traffic_graph, k, options);
       break;
     case AlgorithmId::kSpanTEuler:
-      partition = spant_euler(traffic_graph, k, options, nullptr, workspace);
+      partition = pool ? spant_euler_parallel(traffic_graph, k, options, pool,
+                                              workspace)
+                       : spant_euler(traffic_graph, k, options, nullptr,
+                                     workspace);
       break;
     case AlgorithmId::kRegularEuler:
       partition = regular_euler(traffic_graph, k, options);

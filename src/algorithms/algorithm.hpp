@@ -62,6 +62,17 @@ EdgePartition run_algorithm(AlgorithmId id, const Graph& traffic_graph, int k,
                             const GroomingOptions& options,
                             GroomingWorkspace* workspace);
 
+class ThreadPool;
+
+/// Same, with a thread pool for per-component parallelism INSIDE the one
+/// run (currently kSpanTEuler only; other algorithms ignore the pool).
+/// Output is bit-identical to the pool-free overloads for every worker
+/// count — see algorithms/spant_euler.hpp.  Pass nullptr to run
+/// sequentially.
+EdgePartition run_algorithm(AlgorithmId id, const Graph& traffic_graph, int k,
+                            const GroomingOptions& options,
+                            GroomingWorkspace* workspace, ThreadPool* pool);
+
 /// The four algorithms of the paper's Figure 4 comparison, in its order.
 std::vector<AlgorithmId> figure4_algorithms();
 

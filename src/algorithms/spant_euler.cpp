@@ -1,6 +1,8 @@
 #include "algorithms/spant_euler.hpp"
 
 #include <algorithm>
+#include <future>
+#include <memory>
 #include <utility>
 
 #include "algo/components.hpp"
@@ -10,18 +12,22 @@
 #include "graph/properties.hpp"
 #include "partition/cover_transform.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace tgroom {
 
-EdgePartition spant_euler(const Graph& g, int k,
-                          const GroomingOptions& options,
-                          SpanTEulerTrace* trace,
-                          GroomingWorkspace* workspace) {
-  check_algorithm_input(g, k);
+namespace {
 
-  GroomingWorkspace local;
-  GroomingWorkspace& ws = workspace ? *workspace : local;
-  ws.prepare(g);
+// Steps 1-4 of the pipeline on the workspace's CURRENT CSR snapshot
+// (whole graph, or one rank-renumbered component in the parallel driver):
+// spanning forest, Lemma 4 parity, G'' Euler decomposition, branch
+// attachment.  The returned cover lives on ws.arena in the canonical
+// sequential order: Euler-walk skeletons first, emitted in ascending order
+// of the minimum node id of their masked G'' component, then singleton
+// skeletons in ascending order of the branch edge that created them.  The
+// parallel merge in spant_euler_parallel relies on exactly that order.
+ArenaSkeletonCover build_cover(GroomingWorkspace& ws,
+                               const GroomingOptions& options) {
   const CsrGraph& csr = ws.csr;
   MonotonicArena& arena = ws.arena;
 
@@ -29,9 +35,9 @@ EdgePartition spant_euler(const Graph& g, int k,
   spanning_forest(csr, options.tree_policy, &rng, ws.tree, &arena);
   for (EdgeId e : ws.tree) ws.in_tree[static_cast<std::size_t>(e)] = 1;
 
-  // G\T mask and the parity of each node's degree in it (the odd/even
-  // status is all Lemma 4 needs, so the full degree array never
-  // materializes).
+  // G\T mask and the parity of each node's degree in it, kept as a packed
+  // bitset (the odd/even status is all Lemma 4 needs, so neither the full
+  // degree array nor a per-node counter ever materializes).
   for (EdgeId e = 0; e < csr.edge_count(); ++e) {
     ws.cotree[static_cast<std::size_t>(e)] =
         ws.in_tree[static_cast<std::size_t>(e)] ? 0 : 1;
@@ -39,13 +45,13 @@ EdgePartition spant_euler(const Graph& g, int k,
   for (EdgeId e = 0; e < csr.edge_count(); ++e) {
     if (!ws.cotree[static_cast<std::size_t>(e)]) continue;
     const Edge& edge = csr.edge(e);
-    ws.odd_weight[static_cast<std::size_t>(edge.u)] ^= 1;
-    ws.odd_weight[static_cast<std::size_t>(edge.v)] ^= 1;
+    parity_flip(ws.odd_parity, edge.u);
+    parity_flip(ws.odd_parity, edge.v);
   }
 
   // E_odd: tree edges with odd V_odd count below (Lemma 4, pairing-free).
   root_forest(csr, ws.tree, ws.forest, &arena);
-  odd_subtree_edges(csr, ws.forest, ws.odd_weight, ws.e_odd, &arena);
+  odd_subtree_edges_parity(csr, ws.forest, ws.odd_parity, ws.e_odd, &arena);
 
   // G'' = E_odd ∪ (E \ T): all degrees even by the Lemma 4 parity argument.
   std::copy(ws.cotree.begin(), ws.cotree.end(), ws.g2_mask.begin());
@@ -113,17 +119,211 @@ EdgePartition spant_euler(const Graph& g, int k,
     const Site& s = ws.site[static_cast<std::size_t>(anchor)];
     cover[s.skeleton].add_branch(s.position, e);
   }
+  return cover;
+}
+
+}  // namespace
+
+EdgePartition spant_euler(const Graph& g, int k,
+                          const GroomingOptions& options,
+                          SpanTEulerTrace* trace,
+                          GroomingWorkspace* workspace) {
+  check_algorithm_input(g, k);
+
+  GroomingWorkspace local;
+  GroomingWorkspace& ws = workspace ? *workspace : local;
+  ws.prepare(g);
+
+  ArenaSkeletonCover cover = build_cover(ws, options);
 
   if (trace) {
     trace->tree = ws.tree;
     trace->e_odd = ws.e_odd;
     trace->g2_component_count =
-        connected_components_masked(csr, ws.cotree).count;
+        connected_components_masked(ws.csr, ws.cotree).count;
+    trace->cover_size = cover.size();
     trace->cover.clear();
-    trace->cover.reserve(cover.size());
-    for (const ArenaSkeleton& s : cover) trace->cover.push_back(s.to_skeleton());
+    if (trace->want_cover) {
+      trace->cover.reserve(cover.size());
+      for (const ArenaSkeleton& s : cover) {
+        trace->cover.push_back(s.to_skeleton());
+      }
+    }
   }
-  return partition_from_cover(g, cover, k, arena);
+  return partition_from_cover(g, cover, k, ws.arena);
+}
+
+namespace {
+
+// One skeleton's canonical edge order translated to global ids, plus its
+// position in the sequential cover order.  phase 0 = Euler-walk skeleton
+// keyed by the minimum global node id on its walk (= the minimum node of
+// its masked G'' component, which fixes its euler_decomposition emission
+// rank); phase 1 = singleton skeleton keyed by the global id of the branch
+// edge that created it (the branch loop scans edges in ascending id order,
+// and a singleton's creating edge is the first entry of its canonical
+// order).  Keys are unique across components — node and edge sets are
+// disjoint — so sorting by (phase, key) reconstructs the sequential cover
+// order exactly, for any chunking.
+struct MergeSeq {
+  int phase = 0;
+  long long key = 0;
+  ArenaVector<EdgeId> edges;
+};
+
+// Per-chunk state: a private workspace (rewound per component) plus a
+// second arena for the merge sequences, which must stay alive across
+// component rewinds until the final merge consumes them.
+struct ChunkState {
+  GroomingWorkspace ws;
+  MonotonicArena out_arena;
+  std::vector<MergeSeq> seqs;
+};
+
+void run_component_chunk(const CsrGraph& csr, const ComponentSplit& split,
+                         std::size_t c_begin, std::size_t c_end,
+                         const GroomingOptions& options, ChunkState& chunk) {
+  for (std::size_t c = c_begin; c < c_end; ++c) {
+    auto comp_nodes = split.component_nodes(c);
+    auto comp_edges = split.component_edges(c);
+    if (comp_edges.empty()) continue;  // isolated nodes cover no edges
+    chunk.ws.reset();
+    chunk.ws.csr.rebuild_subgraph(csr, comp_nodes, comp_edges,
+                                  split.local_node);
+    chunk.ws.prepare_for_csr();
+    ArenaSkeletonCover cover = build_cover(chunk.ws, options);
+    for (const ArenaSkeleton& s : cover) {
+      MergeSeq seq;
+      seq.edges = ArenaVector<EdgeId>(
+          ArenaAllocator<EdgeId>(&chunk.out_arena));
+      {
+        ArenaVector<EdgeId> local{ArenaAllocator<EdgeId>(&chunk.ws.arena)};
+        s.append_canonical_order(local);
+        seq.edges.reserve(local.size());
+        for (EdgeId e : local) {
+          seq.edges.push_back(comp_edges[static_cast<std::size_t>(e)]);
+        }
+      }
+      if (s.walk_edges().empty()) {
+        seq.phase = 1;
+        seq.key = seq.edges.front();
+      } else {
+        NodeId local_min = s.walk_nodes().front();
+        for (NodeId v : s.walk_nodes()) local_min = std::min(local_min, v);
+        seq.phase = 0;
+        seq.key = comp_nodes[static_cast<std::size_t>(local_min)];
+      }
+      chunk.seqs.push_back(std::move(seq));
+    }
+  }
+}
+
+}  // namespace
+
+EdgePartition spant_euler_parallel(const Graph& g, int k,
+                                   const GroomingOptions& options,
+                                   ThreadPool* pool,
+                                   GroomingWorkspace* workspace) {
+  // Only component-local tree policies reproduce the sequential forest on
+  // a renumbered component; kRandom draws one global edge shuffle and
+  // kMinMaxDegree's local search sees the whole graph.
+  const bool component_local =
+      options.tree_policy == TreePolicy::kBfs ||
+      options.tree_policy == TreePolicy::kDfs;
+  if (pool == nullptr || !component_local) {
+    return spant_euler(g, k, options, nullptr, workspace);
+  }
+
+  check_algorithm_input(g, k);
+  GroomingWorkspace local;
+  GroomingWorkspace& ws = workspace ? *workspace : local;
+  ws.prepare(g);
+  const CsrGraph& csr = ws.csr;
+
+  Components comp;
+  connected_components(csr, comp, &ws.arena);
+  if (comp.count <= 1) {
+    ArenaSkeletonCover cover = build_cover(ws, options);
+    return partition_from_cover(g, cover, k, ws.arena);
+  }
+
+  const ComponentSplit split = split_components(csr, comp);
+  const auto count = static_cast<std::size_t>(comp.count);
+
+  // Contiguous component ranges balanced by edge count (≈4 chunks per
+  // worker so a giant component does not serialize the tail).  The output
+  // does not depend on the chunking; only load balance does.
+  const std::size_t workers = pool->worker_count();
+  const std::size_t num_chunks =
+      workers == 0 ? 1 : std::min(count, workers * 4);
+  const auto m = static_cast<std::size_t>(csr.edge_count());
+  const std::size_t target = (m + num_chunks - 1) / num_chunks;
+  std::vector<std::pair<std::size_t, std::size_t>> ranges;
+  std::size_t begin = 0;
+  std::size_t acc = 0;
+  for (std::size_t c = 0; c < count; ++c) {
+    acc += split.edge_offset[c + 1] - split.edge_offset[c];
+    if (acc >= target && c + 1 < count) {
+      ranges.emplace_back(begin, c + 1);
+      begin = c + 1;
+      acc = 0;
+    }
+  }
+  ranges.emplace_back(begin, count);
+
+  std::vector<std::unique_ptr<ChunkState>> chunks;
+  chunks.reserve(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    chunks.push_back(std::make_unique<ChunkState>());
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(ranges.size());
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    ChunkState* chunk = chunks[i].get();
+    auto range = ranges[i];
+    futures.push_back(pool->submit([&csr, &split, &options, chunk, range] {
+      run_component_chunk(csr, split, range.first, range.second, options,
+                          *chunk);
+    }));
+  }
+  // Wait for EVERY chunk before rethrowing so no task still references
+  // stack state when an exception unwinds (same pattern as the batch
+  // engine).
+  for (auto& f : futures) f.wait();
+  for (auto& f : futures) f.get();
+
+  std::vector<const MergeSeq*> order;
+  std::size_t total = 0;
+  for (const auto& chunk : chunks) {
+    for (const MergeSeq& seq : chunk->seqs) {
+      order.push_back(&seq);
+      total += seq.edges.size();
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const MergeSeq* a, const MergeSeq* b) {
+              return a->phase != b->phase ? a->phase < b->phase
+                                          : a->key < b->key;
+            });
+
+  EdgePartition partition;
+  partition.k = k;
+  partition.parts.reserve((total + static_cast<std::size_t>(k) - 1) /
+                          static_cast<std::size_t>(k));
+  std::vector<EdgeId> part;
+  part.reserve(static_cast<std::size_t>(k));
+  for (const MergeSeq* seq : order) {
+    for (EdgeId e : seq->edges) {
+      part.push_back(e);
+      if (part.size() == static_cast<std::size_t>(k)) {
+        partition.parts.push_back(std::move(part));
+        part = {};
+        part.reserve(static_cast<std::size_t>(k));
+      }
+    }
+  }
+  if (!part.empty()) partition.parts.push_back(std::move(part));
+  return partition;
 }
 
 long long spant_euler_cost_bound(long long real_edges, int k,

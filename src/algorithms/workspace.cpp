@@ -5,12 +5,16 @@ namespace tgroom {
 void GroomingWorkspace::prepare(const Graph& g) {
   reset();
   csr.rebuild(g);
+  prepare_for_csr();
+}
+
+void GroomingWorkspace::prepare_for_csr() {
   const auto n = static_cast<std::size_t>(csr.node_count());
   const auto m = static_cast<std::size_t>(csr.edge_count());
   in_tree.assign(m, 0);
   cotree.assign(m, 0);
   g2_mask.assign(m, 0);
-  odd_weight.assign(n, 0);
+  odd_parity.assign(parity_word_count(n), 0);
   branch_degree.assign(n, 0);
   on_backbone.assign(n, 0);
   site.assign(n, Site{});

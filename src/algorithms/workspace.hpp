@@ -27,6 +27,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "algo/rooted_tree.hpp"
@@ -49,8 +50,10 @@ struct GroomingWorkspace {
   std::vector<char> cotree;
   std::vector<char> g2_mask;
 
-  // Node-indexed scratch.
-  std::vector<long long> odd_weight;
+  // Node-indexed scratch.  odd_parity is a packed bitset (bit v set when
+  // node v has odd degree in G\T) — parity_word_count(n) words, 1/64th the
+  // footprint of the old per-node counter array at n = 10^6.
+  std::vector<std::uint64_t> odd_parity;
   std::vector<NodeId> branch_degree;
   std::vector<char> on_backbone;
   std::vector<Site> site;
@@ -68,6 +71,11 @@ struct GroomingWorkspace {
   /// Re-snapshots `g` into `csr`, sizes-and-clears every buffer, and
   /// rewinds the arena.
   void prepare(const Graph& g);
+
+  /// Sizes-and-clears every buffer from the CURRENT `csr` contents without
+  /// re-snapshotting.  The per-component parallel driver fills `csr` via
+  /// CsrGraph::rebuild_subgraph and then calls this to ready the scratch.
+  void prepare_for_csr();
 
   /// Rewinds the arena and clears per-run result buffers without touching
   /// the CSR snapshot (the service calls this between requests; the next

@@ -2,9 +2,47 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <set>
 
 namespace tgroom {
+
+namespace {
+
+// Open-addressing insert-only set of 64-bit keys (linear probing, load
+// factor <= 1/2, ~0 reserved as empty).  The big-graph generators use it
+// in place of std::set: same membership semantics, O(1) expected insert,
+// one flat allocation.
+class FlatKeySet {
+ public:
+  explicit FlatKeySet(std::size_t expected) {
+    std::size_t cap = 16;
+    while (cap < 2 * expected + 1) cap <<= 1;
+    table_.assign(cap, kEmpty);
+  }
+
+  /// True when newly inserted; false when already present.
+  bool insert(std::uint64_t key) {
+    // splitmix64 finalizer scrambles the sequentially-structured pair keys.
+    std::uint64_t h = key + 0x9e3779b97f4a7c15ull;
+    h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9ull;
+    h = (h ^ (h >> 27)) * 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    std::size_t i = static_cast<std::size_t>(h) & (table_.size() - 1);
+    while (table_[i] != kEmpty) {
+      if (table_[i] == key) return false;
+      i = (i + 1) & (table_.size() - 1);
+    }
+    table_[i] = key;
+    return true;
+  }
+
+ private:
+  static constexpr std::uint64_t kEmpty = ~std::uint64_t{0};
+  std::vector<std::uint64_t> table_;
+};
+
+}  // namespace
 
 Graph random_gnm(NodeId n, long long m, Rng& rng) {
   TGROOM_CHECK(n >= 0);
@@ -53,6 +91,97 @@ long long edges_for_dense_ratio(NodeId n, double dense_ratio) {
 
 Graph random_dense_ratio(NodeId n, double dense_ratio, Rng& rng) {
   return random_gnm(n, edges_for_dense_ratio(n, dense_ratio), rng);
+}
+
+Graph random_gnm_big(NodeId n, long long m, Rng& rng) {
+  TGROOM_CHECK(n >= 0);
+  const long long max_edges = static_cast<long long>(n) * (n - 1) / 2;
+  TGROOM_CHECK_MSG(m >= 0 && m <= max_edges,
+                   "edge count out of range for simple graph");
+  TGROOM_CHECK_MSG(m * 3 < max_edges || m == 0,
+                   "random_gnm_big requires the sparse regime (3m < max)");
+  Graph g(n);
+  if (m == 0) return g;
+  g.reserve_edges(static_cast<EdgeId>(m));
+
+  // Identical draw sequence to random_gnm's sparse path (sample, reject
+  // self-loops and duplicates), so for the same rng state the two produce
+  // the same graph; only the dedup structure differs.
+  FlatKeySet seen(static_cast<std::size_t>(m));
+  std::vector<std::uint64_t> keys;
+  keys.reserve(static_cast<std::size_t>(m));
+  while (static_cast<long long>(keys.size()) < m) {
+    auto u = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    auto v = static_cast<NodeId>(rng.below(static_cast<std::uint64_t>(n)));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    // 64-bit pair key: u*n+v never overflows for int32 node counts.
+    std::uint64_t key = static_cast<std::uint64_t>(u) *
+                            static_cast<std::uint64_t>(n) +
+                        static_cast<std::uint64_t>(v);
+    if (seen.insert(key)) keys.push_back(key);
+  }
+  std::sort(keys.begin(), keys.end());  // = std::set's (u, v) order
+  for (std::uint64_t key : keys) {
+    g.add_edge(static_cast<NodeId>(key / static_cast<std::uint64_t>(n)),
+               static_cast<NodeId>(key % static_cast<std::uint64_t>(n)));
+  }
+  return g;
+}
+
+Graph ring_cluster_graph(NodeId n, int rings, long long chords, Rng& rng) {
+  TGROOM_CHECK(rings >= 1);
+  TGROOM_CHECK_MSG(n >= static_cast<long long>(rings) * 3,
+                   "every ring needs at least 3 nodes");
+  TGROOM_CHECK(chords >= 0);
+
+  const NodeId base = n / rings;
+  const NodeId rem = n % rings;
+  Graph g(n);
+  g.reserve_edges(static_cast<EdgeId>(static_cast<long long>(n) + chords));
+
+  NodeId off = 0;
+  for (int r = 0; r < rings; ++r) {
+    const NodeId size = base + (r < rem ? 1 : 0);
+    const long long share =
+        chords / rings + (r < static_cast<int>(chords % rings) ? 1 : 0);
+    // Non-adjacent in-ring pairs: all pairs minus the cycle edges.
+    const long long free_pairs =
+        static_cast<long long>(size) * (size - 1) / 2 - size;
+    TGROOM_CHECK_MSG(share <= free_pairs,
+                     "too many chords for the ring size");
+
+    for (NodeId i = 0; i < size; ++i) {
+      g.add_edge(off + i, off + (i + 1) % size);
+    }
+    if (share > 0) {
+      FlatKeySet seen(static_cast<std::size_t>(share));
+      std::vector<std::uint64_t> keys;
+      keys.reserve(static_cast<std::size_t>(share));
+      while (static_cast<long long>(keys.size()) < share) {
+        auto a = static_cast<NodeId>(
+            rng.below(static_cast<std::uint64_t>(size)));
+        auto b = static_cast<NodeId>(
+            rng.below(static_cast<std::uint64_t>(size)));
+        if (a == b) continue;
+        if (a > b) std::swap(a, b);
+        if (b - a == 1 || b - a == size - 1) continue;  // cycle edge
+        std::uint64_t key = static_cast<std::uint64_t>(a) *
+                                static_cast<std::uint64_t>(size) +
+                            static_cast<std::uint64_t>(b);
+        if (seen.insert(key)) keys.push_back(key);
+      }
+      std::sort(keys.begin(), keys.end());
+      for (std::uint64_t key : keys) {
+        g.add_edge(off + static_cast<NodeId>(
+                             key / static_cast<std::uint64_t>(size)),
+                   off + static_cast<NodeId>(
+                             key % static_cast<std::uint64_t>(size)));
+      }
+    }
+    off += size;
+  }
+  return g;
 }
 
 }  // namespace tgroom

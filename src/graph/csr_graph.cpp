@@ -2,12 +2,8 @@
 
 namespace tgroom {
 
-void CsrGraph::rebuild(const Graph& g) {
-  node_count_ = g.node_count();
-  real_edges_ = g.real_edge_count();
+void CsrGraph::rebuild_index() {
   const auto n = static_cast<std::size_t>(node_count_);
-
-  edges_.assign(g.edges().begin(), g.edges().end());
 
   offsets_.assign(n + 1, 0);
   for (const Edge& e : edges_) {
@@ -26,6 +22,33 @@ void CsrGraph::rebuild(const Graph& g) {
     incidences_[static_cast<std::size_t>(
         fill_cursor_[static_cast<std::size_t>(e.v)]++)] = Incidence{e.u, id};
   }
+}
+
+void CsrGraph::rebuild(const Graph& g) {
+  node_count_ = g.node_count();
+  real_edges_ = g.real_edge_count();
+  edges_.assign(g.edges().begin(), g.edges().end());
+  rebuild_index();
+}
+
+void CsrGraph::rebuild_subgraph(const CsrGraph& parent,
+                                std::span<const NodeId> nodes,
+                                std::span<const EdgeId> edges,
+                                std::span<const NodeId> local_node) {
+  node_count_ = static_cast<NodeId>(nodes.size());
+  real_edges_ = 0;
+  edges_.clear();
+  edges_.reserve(edges.size());
+  for (EdgeId ge : edges) {
+    const Edge& e = parent.edge(ge);
+    TGROOM_DCHECK(local_node[static_cast<std::size_t>(e.u)] != kInvalidNode &&
+                  local_node[static_cast<std::size_t>(e.v)] != kInvalidNode);
+    edges_.push_back(Edge{local_node[static_cast<std::size_t>(e.u)],
+                          local_node[static_cast<std::size_t>(e.v)],
+                          e.is_virtual});
+    if (!e.is_virtual) ++real_edges_;
+  }
+  rebuild_index();
 }
 
 }  // namespace tgroom

@@ -31,6 +31,20 @@ class CsrGraph {
   /// Re-snapshots `g`, reusing existing capacity.
   void rebuild(const Graph& g);
 
+  /// Rebuilds this snapshot as the subgraph of `parent` induced by `nodes`
+  /// and `edges` (every edge's endpoints must be listed in `nodes`),
+  /// renumbered to local ids 0..nodes.size()-1 / 0..edges.size()-1 by list
+  /// position.  `local_node[v]` gives the local id of a listed global node
+  /// (entries for unlisted ids are ignored).  Both lists must be
+  /// ascending; because the renumbering is then rank-preserving, every
+  /// traversal kernel run on the local snapshot visits nodes and edges in
+  /// the same relative order as on `parent` — the property the
+  /// per-component parallel SpanT_Euler path relies on for bit-identical
+  /// output.  Reuses existing capacity like rebuild().
+  void rebuild_subgraph(const CsrGraph& parent, std::span<const NodeId> nodes,
+                        std::span<const EdgeId> edges,
+                        std::span<const NodeId> local_node);
+
   NodeId node_count() const { return node_count_; }
   EdgeId edge_count() const { return static_cast<EdgeId>(edges_.size()); }
 
@@ -63,6 +77,9 @@ class CsrGraph {
   bool valid_node(NodeId v) const { return v >= 0 && v < node_count_; }
 
  private:
+  /// Rebuilds offsets_/incidences_ from the current edges_ / node_count_.
+  void rebuild_index();
+
   NodeId node_count_ = 0;
   EdgeId real_edges_ = 0;
   std::vector<EdgeId> offsets_;        // node_count_ + 1 entries

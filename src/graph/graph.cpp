@@ -17,6 +17,8 @@ void Graph::resize_nodes(NodeId node_count) {
 EdgeId Graph::add_edge(NodeId u, NodeId v, bool is_virtual) {
   TGROOM_CHECK_MSG(valid_node(u) && valid_node(v), "edge endpoint out of range");
   TGROOM_CHECK_MSG(u != v, "self-loops are not allowed");
+  TGROOM_CHECK_MSG(edge_count() < kMaxEdgeCount,
+                   "edge count would exceed kMaxEdgeCount");
   EdgeId id = edge_count();
   edges_.push_back(Edge{u, v, is_virtual});
   adj_[static_cast<std::size_t>(u)].push_back(Incidence{v, id});
@@ -27,6 +29,8 @@ EdgeId Graph::add_edge(NodeId u, NodeId v, bool is_virtual) {
 
 void Graph::reserve_edges(EdgeId edge_count) {
   TGROOM_CHECK(edge_count >= 0);
+  TGROOM_CHECK_MSG(edge_count <= kMaxEdgeCount,
+                   "reserve_edges: edge count exceeds kMaxEdgeCount");
   edges_.reserve(static_cast<std::size_t>(edge_count));
 }
 

@@ -26,6 +26,14 @@ using EdgeId = std::int32_t;
 inline constexpr NodeId kInvalidNode = -1;
 inline constexpr EdgeId kInvalidEdge = -1;
 
+/// Largest representable edge count.  CSR snapshots store 2*m incidence
+/// offsets in EdgeId arithmetic, so m is capped at 2^30 - 1 to keep every
+/// derived index (2*m, m+1) inside int32; the n=10^6 / m≈4*10^6 scale
+/// target sits ~250x below the cap.  add_edge/reserve_edges enforce it so
+/// an overflow surfaces as a CheckError at construction, not as a
+/// wrapped-negative offset deep inside a traversal kernel.
+inline constexpr EdgeId kMaxEdgeCount = (EdgeId{1} << 30) - 1;
+
 /// An undirected edge; `is_virtual` marks helper edges added by algorithms
 /// that must never appear in an output partition.
 struct Edge {

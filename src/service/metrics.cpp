@@ -59,6 +59,14 @@ void ServiceMetrics::observe_allocations(long long count) {
   }
 }
 
+void ServiceMetrics::observe_arena_peak(std::size_t peak_bytes) {
+  auto peak = static_cast<long long>(peak_bytes);
+  long long seen = arena_peak_bytes_.load(std::memory_order_relaxed);
+  while (peak > seen && !arena_peak_bytes_.compare_exchange_weak(
+                            seen, peak, std::memory_order_relaxed)) {
+  }
+}
+
 void ServiceMetrics::write_json(JsonWriter& w) const {
   w.begin_object();
   w.key("counters").begin_object();
@@ -87,6 +95,9 @@ void ServiceMetrics::write_json(JsonWriter& w) const {
   w.kv("requests", alloc_requests_.load(std::memory_order_relaxed));
   w.kv("total", alloc_total_.load(std::memory_order_relaxed));
   w.kv("max", alloc_max_.load(std::memory_order_relaxed));
+  w.end_object();
+  w.key("arena").begin_object();
+  w.kv("peak_bytes", arena_peak_bytes_.load(std::memory_order_relaxed));
   w.end_object();
   w.end_object();
 }

@@ -60,8 +60,14 @@ class ServiceMetrics {
   /// cache-warm service shows max == 0 over the cached traffic.
   void observe_allocations(long long count);
 
+  /// Records a worker workspace's arena high-water mark after a request
+  /// (MonotonicArena::peak_bytes()).  The published value is the max over
+  /// workers — the per-worker bound on irregular-scratch memory, the
+  /// big-graph observable bench_scale tracks (DESIGN.md §16).
+  void observe_arena_peak(std::size_t peak_bytes);
+
   /// Emits {"counters":{...},"latency":{...},"allocations":
-  /// {requests,total,max}}.
+  /// {requests,total,max},"arena":{"peak_bytes":...}}.
   void write_json(JsonWriter& w) const;
   std::string to_json() const;
 
@@ -74,6 +80,7 @@ class ServiceMetrics {
   std::atomic<long long> alloc_requests_{0};
   std::atomic<long long> alloc_total_{0};
   std::atomic<long long> alloc_max_{0};
+  std::atomic<long long> arena_peak_bytes_{0};
 };
 
 }  // namespace tgroom

@@ -167,6 +167,7 @@ void GroomingService::execute_into(ServiceRequest& request,
   }
   metrics_.observe_allocations(thread_alloc_counter().count -
                                allocs_before.count);
+  metrics_.observe_arena_peak(workspace.arena.peak_bytes());
   metrics_.observe_latency(std::chrono::steady_clock::now() -
                            request.admitted);
 }

@@ -53,6 +53,7 @@ class MonotonicArena {
   /// Rewinds to empty but keeps every block for reuse.  All memory handed
   /// out so far becomes invalid.
   void reset() {
+    if (used_ > peak_) peak_ = used_;
     block_index_ = 0;
     used_ = 0;
     if (blocks_.empty()) {
@@ -71,6 +72,12 @@ class MonotonicArena {
 
   /// Bytes handed out since the last reset (excludes alignment padding).
   std::size_t bytes_used() const { return used_; }
+
+  /// High-water mark of bytes_used() over the arena's whole lifetime (all
+  /// reset() cycles included) — the memory-bound observable exported into
+  /// service stats and bench JSON.  Maintained only at reset()/query time,
+  /// so allocate() stays a pure bump.
+  std::size_t peak_bytes() const { return used_ > peak_ ? used_ : peak_; }
 
   std::size_t block_count() const { return blocks_.size(); }
 
@@ -104,6 +111,7 @@ class MonotonicArena {
   std::uintptr_t cursor_ = 0;
   std::uintptr_t limit_ = 0;
   std::size_t used_ = 0;
+  std::size_t peak_ = 0;
   std::size_t next_block_size_;
 };
 
