@@ -33,8 +33,10 @@ RATE_SUFFIXES = ("_rps", "_per_sec")
 # with different shapes (workers-keyed vs mode-keyed) both work.
 # "connections"/"pipeline" key the event-loop TCP rows of
 # BENCH_service.json (mode="tcp") by client fan-in and window depth.
-# "n" keys the instance-size rows of BENCH_scale.json.
-KEY_FIELDS = ("workers", "mode", "threads", "connections", "pipeline", "n")
+# "n" keys the instance-size rows of BENCH_scale.json.  "shards" keys the
+# BENCH_cluster.json rows by shard-group count behind the router.
+KEY_FIELDS = ("workers", "mode", "threads", "connections", "pipeline", "n",
+              "shards")
 
 
 def run_key(run):

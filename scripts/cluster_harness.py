@@ -1,0 +1,367 @@
+#!/usr/bin/env python3
+"""Cluster failover harness: SIGKILL a shard primary under a routed
+workload and assert the router fails over and no acked mutation is lost.
+
+Topology per cycle (five processes, all on ephemeral ports):
+
+    router (`tgroom route --shards p0,r0;p1,r1`)
+      shard 0: primary + replica (`--replica-of`), durable data dirs
+      shard 1: primary + replica, durable data dirs
+
+Each cycle:
+  1. Feeds the first half of a deterministic mixed workload (held grooms,
+     provisions, releases — every mutation pinned by route_key — plus
+     stateless grooms) through the router in lockstep, requiring every
+     ack ok.
+  2. Polls shard 0's primary directly until its health replicas[] table
+     shows the replica's acked_seq caught up to last_seq (the ISSUE 9
+     lag surface), then SIGKILLs that primary.  The sync means every
+     acked mutation is on the replica, so after failover *nothing* may
+     be missing; killing between lockstep acks means nothing is in
+     flight, so client-side retries cannot double-apply.
+  3. Feeds the second half.  Mutations answered `shard_down` (the
+     owning shard is mid-failover) are retried with backoff until the
+     router promotes the replica; the cycle fails if the shard never
+     comes back.
+  4. Asserts the router's stats fan-out now reports a failover and that
+     shard 0's surviving member answers as a primary.
+  5. Shuts down through the router (which drains every shard), then
+     byte-diffs each surviving store — shard 0's promoted replica,
+     shard 1's primary — against a clean single-node replay of exactly
+     the ok-acked mutating lines the harness routed to that shard
+     (route_mix in Python mirrors src/cluster/cluster_map.hpp; shard
+     nodes ignore route_key, so the routed lines replay verbatim).
+
+stdlib-only; exits non-zero on the first violated invariant.
+
+Usage:
+    cluster_harness.py --binary build/examples/tgroom \\
+        [--cycles 10] [--ops 120] [--seed 1]
+"""
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import socket
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+from crash_recovery_harness import reference_dump, store_dump
+
+SHARDS = 2
+MASK = (1 << 64) - 1
+
+
+def route_mix(key):
+    """splitmix64 finalizer — must match cluster_map.hpp's route_mix."""
+    z = (key + 0x9E3779B97F4A7C15) & MASK
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & MASK
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & MASK
+    return z ^ (z >> 31)
+
+
+def shard_for_key(key):
+    return ((route_mix(key) >> 48) * SHARDS) >> 16
+
+
+def start_node(binary, data_dir, shard_index, node_id, replica_of=None):
+    """One shard node with durable store and cluster identity."""
+    port_file = data_dir.rstrip("/") + ".port"
+    cmd = [
+        binary, "serve",
+        "--data-dir", data_dir,
+        "--fsync", "always",
+        "--workers", "0",
+        "--exit-metrics", "false",
+        "--port", "0",
+        "--port-file", port_file,
+        "--node-id", node_id,
+        "--shard-index", str(shard_index),
+        "--shard-count", str(SHARDS),
+    ]
+    if replica_of:
+        cmd += ["--replica-of", replica_of]
+    return launch(cmd, port_file, node_id)
+
+
+def start_router(binary, shards_spec, tmp):
+    port_file = os.path.join(tmp, "router.port")
+    cmd = [
+        binary, "route",
+        "--shards", shards_spec,
+        "--workers", "4",
+        "--port", "0",
+        "--port-file", port_file,
+        "--exit-metrics", "false",
+        "--probe-ms", "100",
+    ]
+    return launch(cmd, port_file, "router")
+
+
+def launch(cmd, port_file, what):
+    if os.path.exists(port_file):
+        os.unlink(port_file)
+    proc = subprocess.Popen(
+        cmd, stdin=subprocess.DEVNULL, stdout=subprocess.DEVNULL,
+        stderr=subprocess.PIPE, text=True,
+    )
+    deadline = time.monotonic() + 15
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            sys.exit(f"{what} exited {proc.returncode} before binding:\n"
+                     + proc.stderr.read())
+        try:
+            with open(port_file, encoding="ascii") as f:
+                text = f.read().strip()
+            if text:
+                return proc, int(text)
+        except (FileNotFoundError, ValueError):
+            pass
+        time.sleep(0.02)
+    proc.kill()
+    sys.exit(f"{what} never wrote its port file")
+
+
+def connect(port):
+    sock = socket.create_connection(("127.0.0.1", port), timeout=30)
+    sock.settimeout(30)
+    return sock, sock.makefile("r", encoding="utf-8", newline="\n")
+
+
+def request(sock, reader, obj):
+    sock.sendall((json.dumps(obj, separators=(",", ":")) + "\n").encode())
+    line = reader.readline()
+    if not line:
+        sys.exit(f"connection closed answering {obj!r}")
+    return json.loads(line)
+
+
+def send_line(sock, reader, line):
+    sock.sendall((line + "\n").encode())
+    reply = reader.readline()
+    if not reply:
+        sys.exit(f"connection closed answering {line!r}")
+    return json.loads(reply)
+
+
+def workload(ops):
+    """Deterministic mixed stream.  Returns a list of steps
+    {line, mutating, shard, kind}; provisions/releases carry the literal
+    plan_id the cycle's holds will produce (each shard node numbers its
+    own holds 1,2,3,... in arrival order, which the harness mirrors
+    per shard)."""
+    steps = []
+    held = []            # (route_key, plan_id) with a live held plan
+    next_plan = [1] * SHARDS  # per-shard plan-id counters
+    for i in range(ops):
+        kind = i % 5
+        if kind == 3 and held:
+            rk, pid = held[(i // 5) % len(held)]
+            line = (f'{{"op":"provision","id":{i},"route_key":{rk},'
+                    f'"plan_id":{pid},"add":[[0,{2 + i % 2}]]}}')
+            steps.append({"line": line, "mutating": True,
+                          "shard": shard_for_key(rk), "kind": "provision"})
+        elif kind == 4 and len(held) > 3:
+            rk, pid = held.pop(0)
+            line = (f'{{"op":"release","id":{i},"route_key":{rk},'
+                    f'"plan_id":{pid},"all":true}}')
+            steps.append({"line": line, "mutating": True,
+                          "shard": shard_for_key(rk), "kind": "release"})
+        elif kind == 2:
+            rk = 1000 + i
+            shard = shard_for_key(rk)
+            pid = next_plan[shard]
+            next_plan[shard] += 1
+            held.append((rk, pid))
+            n = 4 + i % 6
+            edges = [[u, (u + 1) % n] for u in range(n)]
+            line = (f'{{"op":"groom","id":{i},"route_key":{rk},'
+                    f'"hold":true,"graph":{{"n":{n},'
+                    f'"edges":{json.dumps(edges)}}},"k":4}}')
+            steps.append({"line": line, "mutating": True,
+                          "shard": shard, "kind": "hold"})
+        else:
+            n = 4 + i % 6
+            edges = [[u, (u + 1) % n] for u in range(n)]
+            line = (f'{{"op":"groom","id":{i},"graph":{{"n":{n},'
+                    f'"edges":{json.dumps(edges)}}},"k":4}}')
+            steps.append({"line": line, "mutating": False,
+                          "shard": None, "kind": "groom"})
+    return steps
+
+
+def drive(sock, reader, steps, applied, retry_shard_down=False):
+    """Lockstep-runs `steps`; ok-acked mutations land in applied[shard].
+    With retry_shard_down, a shard_down answer (shard mid-failover) is
+    retried with backoff for up to 20s; anything else non-ok is fatal."""
+    retried = 0
+    for step in steps:
+        deadline = time.monotonic() + 20
+        while True:
+            reply = send_line(sock, reader, step["line"])
+            if reply.get("ok"):
+                break
+            if (retry_shard_down and reply.get("error") == "shard_down"
+                    and time.monotonic() < deadline):
+                retried += 1
+                time.sleep(0.05)
+                continue
+            sys.exit(f"request failed: {step['line']!r} -> {reply!r}")
+        if step["mutating"]:
+            if step["kind"] == "hold" and "plan_id" not in reply:
+                sys.exit(f"hold ack without plan_id: {reply!r}")
+            applied[step["shard"]].append(step["line"])
+    return retried
+
+
+def wait_replica_caught_up(port, what):
+    """Polls a primary's health until every connected replica's acked_seq
+    matches last_seq (the per-replica lag table from ISSUE 9)."""
+    sock, reader = connect(port)
+    try:
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            health = request(sock, reader, {"op": "health"})
+            replicas = health.get("replicas", [])
+            if replicas and all(r["acked_seq"] == health["last_seq"]
+                                for r in replicas):
+                return health["last_seq"]
+            time.sleep(0.02)
+        sys.exit(f"{what}: replica never caught up: {health!r}")
+    finally:
+        sock.close()
+
+
+def wait_shard_primary(router_port, shard, what):
+    """Polls the router's health until `shard` reports a healthy
+    primary again (failover complete)."""
+    sock, reader = connect(router_port)
+    try:
+        deadline = time.monotonic() + 20
+        while time.monotonic() < deadline:
+            health = request(sock, reader, {"op": "health"})
+            entry = health["shards"][shard]
+            if entry.get("primary_healthy"):
+                return entry["primary"]
+            time.sleep(0.05)
+        sys.exit(f"{what}: shard {shard} never recovered: {health!r}")
+    finally:
+        sock.close()
+
+
+def run_cycle(args, cycle, root):
+    tmp = os.path.join(root, f"cycle{cycle}")
+    os.makedirs(tmp)
+    dirs = {}
+    for s in range(SHARDS):
+        for role in ("primary", "replica"):
+            path = os.path.join(tmp, f"s{s}_{role}")
+            os.makedirs(path)
+            dirs[(s, role)] = path
+
+    procs = []
+    try:
+        members = {}
+        for s in range(SHARDS):
+            proc, port = start_node(args.binary, dirs[(s, "primary")], s,
+                                    f"s{s}p")
+            procs.append(proc)
+            members[(s, "primary")] = (proc, port)
+            proc, rport = start_node(args.binary, dirs[(s, "replica")], s,
+                                     f"s{s}r",
+                                     replica_of=f"127.0.0.1:{port}")
+            procs.append(proc)
+            members[(s, "replica")] = (proc, rport)
+        spec = ";".join(
+            f"127.0.0.1:{members[(s, 'primary')][1]},"
+            f"127.0.0.1:{members[(s, 'replica')][1]}"
+            for s in range(SHARDS))
+        router, router_port = start_router(args.binary, spec, tmp)
+        procs.append(router)
+
+        steps = workload(args.ops)
+        half = len(steps) // 2
+        applied = [[] for _ in range(SHARDS)]
+
+        sock, reader = connect(router_port)
+        drive(sock, reader, steps[:half], applied)
+
+        # Sync point: every acked shard-0 mutation is on the replica, so
+        # after the kill nothing acked may be missing.
+        victim_proc, victim_port = members[(0, "primary")]
+        wait_replica_caught_up(victim_port, f"cycle {cycle}")
+        victim_proc.send_signal(signal.SIGKILL)
+        victim_proc.wait()
+
+        retried = drive(sock, reader, steps[half:], applied,
+                        retry_shard_down=True)
+        promoted_to = wait_shard_primary(router_port, 0, f"cycle {cycle}")
+
+        stats = request(sock, reader, {"op": "stats"})
+        failovers = stats["router"]["counters"]["failovers"]
+        if failovers < 1:
+            sys.exit(f"cycle {cycle}: primary killed but router counted "
+                     f"{failovers} failovers")
+
+        request(sock, reader, {"op": "shutdown"})
+        sock.close()
+        router.wait(timeout=30)
+        for s in range(SHARDS):
+            for role in ("primary", "replica"):
+                proc = members[(s, role)][0]
+                if proc.poll() is None:
+                    proc.wait(timeout=30)
+
+        # The acceptance diff: each surviving store against a clean
+        # replay of exactly the lines the router applied to that shard.
+        survivors = {0: dirs[(0, "replica")], 1: dirs[(1, "primary")]}
+        for s, store_dir in survivors.items():
+            ref_dir = os.path.join(tmp, f"ref{s}")
+            os.makedirs(ref_dir)
+            _, got = store_dump(args.binary, store_dir)
+            _, want = reference_dump(args.binary, ref_dir, applied[s])
+            if got != want:
+                sys.stderr.write(f"--- shard {s} survivor ---\n{got}\n"
+                                 f"--- clean replay ---\n{want}\n")
+                sys.exit(f"cycle {cycle}: shard {s} store diverges from "
+                         f"replay of {len(applied[s])} mutations")
+
+        print(f"cycle {cycle:3d}: {len(steps)} requests, "
+              f"{retried} shard_down retries, failover -> {promoted_to}, "
+              f"both stores exact")
+    finally:
+        for proc in procs:
+            if proc.poll() is None:
+                proc.kill()
+                proc.wait()
+    shutil.rmtree(tmp)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--binary", required=True,
+                        help="path to the tgroom tool binary")
+    parser.add_argument("--cycles", type=int, default=10)
+    parser.add_argument("--ops", type=int, default=120)
+    parser.add_argument("--seed", type=int, default=1)  # reserved
+    args = parser.parse_args()
+
+    root = tempfile.mkdtemp(prefix="tgroom_cluster_harness_")
+    try:
+        for cycle in range(args.cycles):
+            run_cycle(args, cycle, root)
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    print(f"OK: {args.cycles} kill/failover cycles, every surviving "
+          f"store bit-identical to its clean replay")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

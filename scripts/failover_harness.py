@@ -9,7 +9,7 @@ Each trial:
   1. Starts a primary (`tgroom serve --data-dir ... --fsync always
      --workers 0 --port 0`) and a replica (`--replica-of 127.0.0.1:PORT`)
      on fresh data dirs, both on ephemeral ports parsed from the
-     "listening on" stderr line.
+     atomically-written --port-file.
   2. Feeds the primary the deterministic NDJSON workload over TCP.
      Even trials are *synchronized*: each request's ack is read, the
      replica is polled (health op) until it has applied every acked
@@ -36,7 +36,6 @@ import argparse
 import json
 import os
 import random
-import re
 import shutil
 import signal
 import socket
@@ -48,11 +47,13 @@ import time
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 from crash_recovery_harness import reference_dump, store_dump, workload
 
-LISTEN_RE = re.compile(r"listening on 127\.0\.0\.1:(\d+)")
-
-
 def start_server(binary, data_dir, replica_of=None):
-    """Launches `tgroom serve --port 0` and returns (proc, port)."""
+    """Launches `tgroom serve --port 0 --port-file ...` and returns
+    (proc, port) once the atomically-written port file appears."""
+    # Next to, not inside, the data dir: the store owns that directory.
+    port_file = data_dir.rstrip("/") + ".port"
+    if os.path.exists(port_file):
+        os.unlink(port_file)
     cmd = [
         binary, "serve",
         "--data-dir", data_dir,
@@ -60,6 +61,7 @@ def start_server(binary, data_dir, replica_of=None):
         "--workers", "0",
         "--exit-metrics", "false",
         "--port", "0",
+        "--port-file", port_file,
     ]
     if replica_of:
         cmd += ["--replica-of", replica_of]
@@ -68,15 +70,21 @@ def start_server(binary, data_dir, replica_of=None):
         stderr=subprocess.PIPE, text=True,
     )
     deadline = time.monotonic() + 10
-    for line in proc.stderr:
-        match = LISTEN_RE.search(line)
-        if match:
-            return proc, int(match.group(1))
-        if time.monotonic() > deadline:
-            break
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            sys.exit(f"server on {data_dir} exited {proc.returncode} "
+                     f"before binding")
+        try:
+            with open(port_file, encoding="ascii") as f:
+                text = f.read().strip()
+            if text:
+                return proc, int(text)
+        except (FileNotFoundError, ValueError):
+            pass
+        time.sleep(0.02)
     proc.kill()
     proc.wait()
-    sys.exit(f"server on {data_dir} never announced its port")
+    sys.exit(f"server on {data_dir} never wrote its port file")
 
 
 def connect(port):

@@ -1,8 +1,8 @@
 #!/usr/bin/env python3
 """Multi-connection smoke test for the epoll event-loop service.
 
-Launches `tgroom serve --port 0` (ephemeral port, announced on stderr),
-drives N concurrent client connections each pipelining a burst of groom
+Launches `tgroom serve --port 0 --port-file ...` (ephemeral port, read
+back from the port file), drives N concurrent client connections each pipelining a burst of groom
 and stats requests, checks every request gets exactly one well-formed
 JSON response with the right id, then sends `shutdown` and asserts a
 clean drain (EOF to the surviving clients, exit code 0).
@@ -19,11 +19,31 @@ Usage:
 
 import argparse
 import json
-import re
+import os
 import socket
 import subprocess
 import sys
+import tempfile
 import threading
+import time
+
+
+def read_port_file(path, proc, timeout=30.0):
+    """Waits for `path` to appear (written atomically by --port-file) and
+    returns the port in it.  Bails early if the server process dies."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            sys.exit(f"server exited {proc.returncode} before binding")
+        try:
+            with open(path, encoding="ascii") as f:
+                text = f.read().strip()
+            if text:
+                return int(text)
+        except (FileNotFoundError, ValueError):
+            pass
+        time.sleep(0.02)
+    sys.exit(f"no port file at {path} after {timeout}s")
 
 
 def build_burst(client, requests):
@@ -84,20 +104,17 @@ def main():
     parser.add_argument("--workers", type=int, default=2)
     args = parser.parse_args()
 
+    port_file = os.path.join(tempfile.mkdtemp(prefix="tgroom_smoke_"),
+                             "port")
     proc = subprocess.Popen(
-        [args.binary, "serve", "--port", "0",
+        [args.binary, "serve", "--port", "0", "--port-file", port_file,
          "--workers", str(args.workers)],
         stdout=subprocess.PIPE,
         stderr=subprocess.PIPE,
         text=True,
     )
     try:
-        line = proc.stderr.readline()
-        match = re.search(r"listening on 127\.0\.0\.1:(\d+)", line)
-        if not match:
-            proc.kill()
-            sys.exit(f"no listening line from server, got: {line!r}")
-        port = int(match.group(1))
+        port = read_port_file(port_file, proc)
         print(f"server on port {port}, "
               f"{args.connections} connections x {args.requests} requests")
 

@@ -1,0 +1,122 @@
+// One pooled, pipelined connection from the router to one backend node.
+//
+// The router multiplexes every client's traffic for a given backend over
+// a single persistent TCP connection: each forwarded line carries a
+// channel-assigned internal id, and because backends answer in completion
+// order (the event loop's workers deliver as they finish), responses are
+// matched back to callers through an id-keyed in-flight table, not a
+// FIFO.  call() is synchronous for the caller — a router worker blocks on
+// its waiter's condition variable — but many workers pipeline through the
+// same socket concurrently, which is what makes one connection enough.
+//
+// Connection lifecycle is owned by a single reader thread: it connects
+// (with exponential backoff), reads response lines, completes waiters,
+// and on any error fails every in-flight call with kConnectionLost and
+// reconnects.  Senders never open or close the socket; they take a short
+// lease on the fd (a counter under the state mutex) so the reader can
+// shutdown() a dead socket immediately — unblocking any sender mid-
+// write() — but close() the descriptor only after the last lease drops,
+// which is what makes fd reuse races impossible.
+//
+// Failure taxonomy (the router's retry policy is built on it):
+//   kNoConnection    nothing sent — always safe to retry anywhere
+//   kSendFailed      write() failed mid-line: the backend can never see a
+//                    complete line, so the request did not execute —
+//                    safe to retry
+//   kConnectionLost  the full line was sent, the connection died before
+//                    the response — the request MAY have executed;
+//                    idempotent reads retry, mutations must not
+//   kTimedOut        same ambiguity as kConnectionLost, by deadline
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+
+#include "cluster/cluster_map.hpp"
+
+namespace tgroom::cluster {
+
+struct BackendChannelConfig {
+  int connect_timeout_ms = 1000;
+  int backoff_initial_ms = 50;  // reconnect backoff: initial...
+  int backoff_max_ms = 1000;    // ...doubling up to this cap
+};
+
+class BackendChannel {
+ public:
+  enum class SendStatus {
+    kOk,
+    kNoConnection,
+    kSendFailed,
+    kConnectionLost,
+    kTimedOut,
+  };
+  static const char* status_name(SendStatus s);
+
+  BackendChannel(BackendAddress address, BackendChannelConfig config);
+  ~BackendChannel();
+
+  BackendChannel(const BackendChannel&) = delete;
+  BackendChannel& operator=(const BackendChannel&) = delete;
+
+  /// Starts the reader thread (which owns connecting).  Call once.
+  void start();
+  /// Fails in-flight calls, closes the socket, joins the reader.
+  void stop();
+
+  /// One round trip: `stripped` is a request line WITHOUT a top-level id
+  /// (strip_top_level_id output, no trailing newline); the channel
+  /// injects its internal id, sends, and waits up to `timeout_ms` for
+  /// the matching response line, returned in `response` verbatim (the
+  /// caller splices the client id back).  Thread-safe; concurrent calls
+  /// pipeline over the one socket.
+  SendStatus call(std::string_view stripped, int timeout_ms,
+                  std::string& response);
+
+  /// Best-effort fire-and-forget (the shutdown fan-out): sends and
+  /// returns without waiting for a response.
+  void send_one_way(std::string_view stripped);
+
+  bool connected() const;
+  const BackendAddress& address() const { return address_; }
+
+  /// Waits until connected or `timeout_ms` elapsed (startup validation).
+  bool wait_connected(int timeout_ms);
+
+ private:
+  struct Waiter {
+    std::string response;
+    bool done = false;
+    bool lost = false;
+    std::condition_variable cv;
+  };
+
+  void reader_loop();
+  int connect_once();
+  /// Registers a waiter (when `waiter` is non-null) and writes the line.
+  SendStatus send_line(const std::string& line, std::int64_t id,
+                       Waiter* waiter);
+  void fail_inflight_locked();
+
+  const BackendAddress address_;
+  const BackendChannelConfig config_;
+
+  mutable std::mutex state_mutex_;  // guards everything below
+  std::condition_variable state_cv_;
+  int fd_ = -1;
+  bool stopping_ = false;
+  int senders_inflight_ = 0;  // fd leases held by senders mid-write
+  std::int64_t next_id_ = 1;
+  std::map<std::int64_t, Waiter*> waiters_;
+
+  std::mutex write_mutex_;  // serializes whole-line writes on the socket
+
+  std::thread reader_;
+};
+
+}  // namespace tgroom::cluster

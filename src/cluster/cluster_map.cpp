@@ -1,0 +1,256 @@
+#include "cluster/cluster_map.hpp"
+
+#include <cctype>
+
+#include "grooming/demand.hpp"
+
+namespace tgroom::cluster {
+
+namespace {
+
+bool parse_address(std::string_view token, BackendAddress& addr,
+                   std::string& error) {
+  const std::size_t colon = token.rfind(':');
+  if (colon == std::string_view::npos || colon == 0 ||
+      colon + 1 == token.size()) {
+    error = "expected host:port, got '" + std::string(token) + "'";
+    return false;
+  }
+  long port = 0;
+  for (std::size_t i = colon + 1; i < token.size(); ++i) {
+    const char c = token[i];
+    if (c < '0' || c > '9') {
+      error = "non-numeric port in '" + std::string(token) + "'";
+      return false;
+    }
+    port = port * 10 + (c - '0');
+    if (port > 65535) {
+      error = "port out of range in '" + std::string(token) + "'";
+      return false;
+    }
+  }
+  if (port == 0) {
+    error = "port 0 in '" + std::string(token) +
+            "' (the map needs concrete ports; use --port-file on the "
+            "backends to learn ephemeral ones)";
+    return false;
+  }
+  addr.host = std::string(token.substr(0, colon));
+  addr.port = static_cast<int>(port);
+  return true;
+}
+
+}  // namespace
+
+bool parse_cluster_map(const std::string& spec, ClusterMap& map,
+                       std::string& error) {
+  map.shards.clear();
+  if (spec.empty()) {
+    error = "empty cluster map";
+    return false;
+  }
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string_view group(spec.data() + start, end - start);
+    ShardSpec shard;
+    std::size_t mstart = 0;
+    while (mstart <= group.size()) {
+      std::size_t mend = group.find(',', mstart);
+      if (mend == std::string_view::npos) mend = group.size();
+      const std::string_view token = group.substr(mstart, mend - mstart);
+      if (token.empty()) {
+        error = "empty member in shard group " +
+                std::to_string(map.shards.size());
+        return false;
+      }
+      BackendAddress addr;
+      if (!parse_address(token, addr, error)) return false;
+      shard.members.push_back(std::move(addr));
+      if (mend == group.size()) break;
+      mstart = mend + 1;
+    }
+    if (shard.members.empty()) {
+      error = "empty shard group " + std::to_string(map.shards.size());
+      return false;
+    }
+    map.shards.push_back(std::move(shard));
+    if (end == spec.size()) break;
+    start = end + 1;
+  }
+  if (map.shards.size() > 65536) {
+    error = "too many shard groups (max 65536)";
+    return false;
+  }
+  // One address serving two positions is always a misconfiguration: the
+  // router would route distinct keys to the same store.
+  for (std::size_t i = 0; i < map.shards.size(); ++i) {
+    for (std::size_t j = 0; j < map.shards[i].members.size(); ++j) {
+      for (std::size_t k = 0; k < map.shards.size(); ++k) {
+        for (std::size_t l = 0; l < map.shards[k].members.size(); ++l) {
+          if ((i != k || j != l) &&
+              map.shards[i].members[j] == map.shards[k].members[l]) {
+            error = "duplicate address " + map.shards[i].members[j].str() +
+                    " in cluster map";
+            return false;
+          }
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::uint64_t pairs_route_key(const std::vector<DemandPair>& pairs) {
+  // A splitmix sponge over (a, b) in request order.  The constant seed
+  // keeps inline provision/release keys disjoint from graph fingerprints
+  // in expectation; exactness doesn't matter — any stable function of
+  // the request works, it only has to agree with itself.
+  std::uint64_t h = 0x7067726f6f6d6b65ULL;  // "pgroomke"
+  for (const DemandPair& p : pairs) {
+    h = route_mix(h ^ (static_cast<std::uint64_t>(p.a) << 32 |
+                       static_cast<std::uint64_t>(p.b)));
+  }
+  return h;
+}
+
+namespace {
+
+/// Advances past one JSON value starting at `i`; returns one past its
+/// last byte, or npos on malformed input.  Only the structure needed to
+/// find member boundaries: strings honor escapes, containers balance.
+std::size_t skip_value(std::string_view s, std::size_t i) {
+  const std::size_t n = s.size();
+  while (i < n && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  if (i >= n) return std::string_view::npos;
+  const char c = s[i];
+  if (c == '"') {
+    ++i;
+    while (i < n) {
+      if (s[i] == '\\') {
+        i += 2;
+      } else if (s[i] == '"') {
+        return i + 1;
+      } else {
+        ++i;
+      }
+    }
+    return std::string_view::npos;
+  }
+  if (c == '{' || c == '[') {
+    int depth = 0;
+    while (i < n) {
+      const char d = s[i];
+      if (d == '"') {
+        i = skip_value(s, i);
+        if (i == std::string_view::npos) return i;
+        continue;
+      }
+      if (d == '{' || d == '[') ++depth;
+      if (d == '}' || d == ']') {
+        --depth;
+        if (depth == 0) return i + 1;
+      }
+      ++i;
+    }
+    return std::string_view::npos;
+  }
+  // Scalar: number / true / false / null — runs to the next delimiter.
+  while (i < n && s[i] != ',' && s[i] != '}' && s[i] != ']' &&
+         !std::isspace(static_cast<unsigned char>(s[i]))) {
+    ++i;
+  }
+  return i;
+}
+
+std::size_t skip_ws(std::string_view s, std::size_t i) {
+  while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  return i;
+}
+
+}  // namespace
+
+std::string strip_top_level_id(std::string_view line) {
+  std::size_t i = skip_ws(line, 0);
+  if (i >= line.size() || line[i] != '{') return std::string(line);
+  std::size_t pos = i + 1;  // first byte after '{'
+  bool first = true;
+  while (true) {
+    std::size_t member_start = skip_ws(line, pos);
+    if (member_start >= line.size() || line[member_start] == '}') break;
+    if (!first) {
+      // member_start sits on the ',' separating members.
+      if (line[member_start] != ',') break;
+      member_start = skip_ws(line, member_start + 1);
+    }
+    if (member_start >= line.size() || line[member_start] != '"') break;
+    const std::size_t key_end = skip_value(line, member_start);
+    if (key_end == std::string_view::npos) break;
+    const std::string_view key =
+        line.substr(member_start + 1, key_end - member_start - 2);
+    std::size_t colon = skip_ws(line, key_end);
+    if (colon >= line.size() || line[colon] != ':') break;
+    const std::size_t value_end = skip_value(line, colon + 1);
+    if (value_end == std::string_view::npos) break;
+    if (key == "id") {
+      // Remove the member plus one adjacent comma: the leading one when
+      // this is not the first member, the trailing one otherwise.
+      std::size_t cut_begin = first ? member_start : pos;
+      std::size_t cut_end = value_end;
+      if (first) {
+        const std::size_t after = skip_ws(line, value_end);
+        if (after < line.size() && line[after] == ',') cut_end = after + 1;
+      }
+      std::string out;
+      out.reserve(line.size());
+      out.append(line.substr(0, cut_begin));
+      out.append(line.substr(cut_end));
+      return out;
+    }
+    pos = value_end;
+    first = false;
+  }
+  return std::string(line);
+}
+
+std::string compose_with_id(std::string_view stripped,
+                            std::int64_t internal_id) {
+  const std::size_t open = skip_ws(stripped, 0);
+  std::string out;
+  out.reserve(stripped.size() + 24);
+  if (open >= stripped.size() || stripped[open] != '{') {
+    // Not an object (cannot happen for a parsed request); pass through.
+    return std::string(stripped);
+  }
+  const std::size_t next = skip_ws(stripped, open + 1);
+  out.append("{\"id\":").append(std::to_string(internal_id));
+  if (next < stripped.size() && stripped[next] != '}') out.push_back(',');
+  out.append(stripped.substr(open + 1));
+  return out;
+}
+
+bool restore_response_id(std::string_view response, bool client_has_id,
+                         std::int64_t client_id, std::string& out) {
+  out.clear();
+  constexpr std::string_view kPrefix = "{\"id\":";
+  if (response.substr(0, kPrefix.size()) != kPrefix) return false;
+  std::size_t i = kPrefix.size();
+  // The id value is an integer or null — it ends at the ',' before the
+  // next member or the '}' of an (improbable) id-only object.
+  while (i < response.size() && response[i] != ',' && response[i] != '}') {
+    ++i;
+  }
+  if (i >= response.size()) return false;
+  out.reserve(response.size() + 8);
+  out.append(kPrefix);
+  if (client_has_id) {
+    out.append(std::to_string(client_id));
+  } else {
+    out.append("null");
+  }
+  out.append(response.substr(i));
+  return true;
+}
+
+}  // namespace tgroom::cluster

@@ -1,0 +1,184 @@
+// The cluster front-end: a stateless NDJSON router over N shard groups.
+//
+// ClusterRouter implements EventLoopHandler, so `tgroom route` serves the
+// exact same epoll front-end as `tgroom serve` — connections, pipelining,
+// admission control, drain — but execute_into() forwards instead of
+// grooming: it picks the owning shard from the request's routing key
+// (cluster_map.hpp), picks a member by the read/mutation split, and
+// relays the original request bytes over that member's BackendChannel,
+// splicing the client's id back into the response (the router owns no
+// grooming state — every byte of payload is the backend's).
+//
+// Member selection:
+//  - mutations (held grooms, held-plan provision/release — the same
+//    GroomingService::is_mutating rule replicas enforce) go to the
+//    shard's active primary; retried only while nothing reached the wire
+//    (kNoConnection/kSendFailed) or on a `read_only` answer from a
+//    just-demoted target, so a mutation can never execute twice.
+//  - reads (stateless groom/provision/release) prefer healthy replicas
+//    and fall back to the primary; they are idempotent, so every failure
+//    mode retries across the member list.
+//  - stats fans out to every shard primary and merges; health is
+//    answered inline by the router itself from probed state (never
+//    blocks on a backend); shutdown drains the router, then every shard.
+//
+// Failover: a prober thread health-checks every member each
+// probe_interval_ms.  When the active primary misses two consecutive
+// probes, the router adopts an externally-promoted member if one answers
+// as primary, otherwise promotes the healthy replica with the highest
+// applied seq and switches to it.  Requests that race the dead window
+// get a structured `shard_down` error — clients retry until failover
+// lands (scripts/cluster_harness.py exercises exactly this).
+//
+// Startup: start() connects every channel and validates each reachable
+// backend's health echo against the compiled format versions and the
+// static map (shard_index/shard_count).  A *mismatch* is fatal — a wrong
+// build or a misplaced node must never serve a key — while an
+// *unreachable* backend is only marked down (the prober keeps trying, so
+// a cluster can start before all of its shards).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/backend.hpp"
+#include "cluster/cluster_map.hpp"
+#include "service/handler.hpp"
+#include "service/metrics.hpp"
+
+namespace tgroom {
+
+struct ServiceRequest;
+struct GroomingWorkspace;
+class JsonWriter;
+
+namespace cluster {
+
+struct RouterConfig {
+  ClusterMap map;
+
+  // Front-end admission (same knobs as ServiceConfig; workers block on
+  // backend round trips, so more workers = more useful pipelining).
+  std::size_t workers = 8;
+  std::size_t queue_capacity = 256;
+  std::int64_t default_deadline_ms = 0;
+  bool metrics_on_exit = true;
+
+  int probe_interval_ms = 200;   // prober cadence per full sweep
+  int probe_timeout_ms = 1000;   // per-member health round trip
+  int connect_wait_ms = 2000;    // startup wait for each channel
+  int backend_timeout_ms = 10000;  // forwarded request round trip
+  int promote_timeout_ms = 5000;   // failover promote round trip
+  int retry_backoff_ms = 25;     // between forward attempts
+  int mutation_attempts = 4;     // bounded by never-reached-the-wire rule
+};
+
+class ClusterRouter : public EventLoopHandler {
+ public:
+  explicit ClusterRouter(RouterConfig config);
+  ~ClusterRouter() override;
+
+  ClusterRouter(const ClusterRouter&) = delete;
+  ClusterRouter& operator=(const ClusterRouter&) = delete;
+
+  /// Connects and validates every backend, then starts the prober.
+  /// False (with `error` set) on a fatal handshake mismatch; unreachable
+  /// backends only log to `log` and stay down until the prober finds
+  /// them.
+  bool start(std::ostream& log, std::string& error);
+
+  /// Stops the prober and every channel.  Idempotent; finalize() calls
+  /// it after the shutdown fan-out.
+  void stop_backends();
+
+  // ---- EventLoopHandler --------------------------------------------------
+  ServiceMetrics& metrics() override { return metrics_; }
+  std::size_t worker_count() const override { return config_.workers; }
+  std::size_t handler_queue_capacity() const override {
+    return config_.queue_capacity;
+  }
+  std::int64_t handler_default_deadline_ms() const override {
+    return config_.default_deadline_ms;
+  }
+  bool metrics_on_exit() const override { return config_.metrics_on_exit; }
+  bool drain_requested() const override;
+  bool wants_raw_line() const override { return true; }
+  const char* log_name() const override { return "tgroom route"; }
+  void execute_into(ServiceRequest& request, GroomingWorkspace& workspace,
+                    JsonWriter& w) override;
+  void on_drain_begin() override;
+  void finalize() override;
+  void write_exit_metrics(JsonWriter& w) override;
+
+  /// The routing decision alone (exposed for tests): the shard index
+  /// execute_into would forward this request to, or -1 with `error` set
+  /// when the request cannot be routed (held-plan op without route_key
+  /// in a multi-shard map).
+  int shard_for_request(const ServiceRequest& request,
+                        std::string& error) const;
+
+ private:
+  struct Member {
+    BackendAddress address;
+    std::unique_ptr<BackendChannel> channel;
+    std::atomic<bool> healthy{false};
+    std::atomic<int> probe_failures{0};
+    std::atomic<bool> is_primary{false};
+    std::atomic<std::uint64_t> applied_seq{0};
+  };
+  struct Shard {
+    std::vector<std::unique_ptr<Member>> members;
+    std::atomic<std::size_t> active_primary{0};
+  };
+
+  void forward(ServiceRequest& request, JsonWriter& w);
+  void forward_read(ServiceRequest& request, Shard& shard, JsonWriter& w);
+  void forward_mutation(ServiceRequest& request, Shard& shard, JsonWriter& w);
+  /// Emits the backend's response with the client id spliced back in,
+  /// and counts it (kOk unless the payload says "ok":false).
+  void emit_forwarded(const ServiceRequest& request,
+                      const std::string& response, JsonWriter& w);
+  void shard_down_response(const ServiceRequest& request,
+                           std::size_t shard_index, const std::string& detail,
+                           JsonWriter& w);
+  void bad_request_response(const ServiceRequest& request,
+                            const std::string& message, JsonWriter& w);
+  int forward_timeout_ms(const ServiceRequest& request) const;
+
+  void handle_health(const ServiceRequest& request, JsonWriter& w);
+  void handle_stats(ServiceRequest& request, JsonWriter& w);
+
+  void prober_loop();
+  /// One health round trip; updates the member's probed state.
+  void probe_member(Member& member);
+  /// Re-elects shard.active_primary after the current one went dark.
+  void resolve_primary(std::size_t shard_index, Shard& shard);
+  /// Startup handshake check for one reachable member; false = fatal.
+  bool validate_member(std::size_t shard_index, Member& member,
+                       std::string& error);
+
+  RouterConfig config_;
+  ServiceMetrics metrics_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> backends_stopped_{false};
+  std::mutex prober_mutex_;
+  std::condition_variable prober_cv_;
+  bool prober_stop_ = false;
+  std::thread prober_;
+
+  const std::chrono::steady_clock::time_point started_ =
+      std::chrono::steady_clock::now();
+};
+
+}  // namespace cluster
+}  // namespace tgroom

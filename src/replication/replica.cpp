@@ -345,6 +345,9 @@ bool ReplicationClient::stream_session(int fd) {
         JsonWriter w;
         w.begin_object();
         w.kv("op", "repl_fetch");
+        if (!config_.follower_id.empty()) {
+          w.kv("follower", config_.follower_id);
+        }
         w.kv("from_seq", from);
         w.kv("ack_seq", from);
         w.kv("max_records", static_cast<long long>(config_.batch_records));

@@ -40,6 +40,8 @@ namespace tgroom {
 
 struct ReplicationClientConfig {
   std::string primary;          // "host:port" of the primary's TCP service
+  std::string follower_id;      // sent as `follower` in repl_fetch so the
+                                // primary can report per-replica ack lag
   std::size_t batch_records = 512;  // max_records per repl_fetch
   int poll_interval_ms = 20;    // caught-up re-poll cadence
   int backoff_initial_ms = 100;  // reconnect backoff: initial...

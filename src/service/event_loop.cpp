@@ -3,7 +3,7 @@
 #include <ostream>
 #include <string>
 
-#include "service/server.hpp"
+#include "service/handler.hpp"
 
 #if defined(__linux__)
 
@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "algorithms/workspace.hpp"
+#include "service/metrics.hpp"
 #include "service/protocol.hpp"
 #include "service/queue.hpp"
 #include "util/arena.hpp"
@@ -125,7 +126,7 @@ void append_bytes(ArenaVector<char>& buf, std::string_view bytes) {
 }  // namespace
 
 struct EventLoopServer::Impl {
-  GroomingService& service;
+  EventLoopHandler& service;
   EventLoopConfig config;
   std::string error;
   int listen_fd = -1;
@@ -165,7 +166,7 @@ struct EventLoopServer::Impl {
   GroomingWorkspace inline_workspace;
   JsonWriter inline_writer;
 
-  Impl(GroomingService& s, const EventLoopConfig& c) : service(s), config(c) {
+  Impl(EventLoopHandler& s, const EventLoopConfig& c) : service(s), config(c) {
     listen_fd = set_nonblocking_listener(c.port, c.backlog, error, bound_port);
   }
 
@@ -494,9 +495,10 @@ struct EventLoopServer::Impl {
     }
     ServiceRequest request = std::move(*parsed.request);
     if (request.deadline_ms == 0) {
-      request.deadline_ms = service.config().default_deadline_ms;
+      request.deadline_ms = service.handler_default_deadline_ms();
     }
     request.admitted = std::chrono::steady_clock::now();
+    if (service.wants_raw_line()) request.raw.assign(line);
     if (request.op == ServiceOp::kShutdown) {
       shutdown_seen = true;
       shutdown_conn = conn;
@@ -513,7 +515,7 @@ struct EventLoopServer::Impl {
       respond_now(conn, inline_writer.str());
       return;
     }
-    if (service.config().workers == 0) {
+    if (service.worker_count() == 0) {
       service.execute_into(request, inline_workspace, inline_writer);
       deliver(conn, inline_writer.str(), /*from_worker=*/false);
       return;  // flushed once per batch by process_lines()
@@ -540,12 +542,12 @@ struct EventLoopServer::Impl {
       }
       service.metrics().increment(ServiceMetrics::Counter::kError);
       service.metrics().increment(ServiceMetrics::Counter::kOverloaded);
-      respond_now(conn,
-                  make_error_response(
-                      id, has_id, ServiceError::kOverloaded,
-                      "admission queue full (capacity " +
-                          std::to_string(service.config().queue_capacity) +
-                          ")"));
+      respond_now(
+          conn,
+          make_error_response(
+              id, has_id, ServiceError::kOverloaded,
+              "admission queue full (capacity " +
+                  std::to_string(service.handler_queue_capacity()) + ")"));
     }
   }
 
@@ -554,6 +556,10 @@ struct EventLoopServer::Impl {
   void begin_drain() {
     if (phase != Phase::kServing) return;
     phase = Phase::kDraining;
+    // Handler hook before any rejection: the cluster router fans the
+    // shutdown out to its shards here, so "drain" means the whole
+    // cluster, not just this front-end.
+    service.on_drain_begin();
     // Stop accepting; pending SYNs get RST when the fd closes at exit.
     ::epoll_ctl(epoll_fd, EPOLL_CTL_DEL, listen_fd, nullptr);
     // Stop reading everywhere: in-flight work finishes, queued work is
@@ -666,10 +672,10 @@ struct EventLoopServer::Impl {
       return 1;
     }
 
-    const std::size_t workers = service.config().workers;
+    const std::size_t workers = service.worker_count();
     if (workers > 0) {
       queue = std::make_unique<BoundedQueue<WorkItem>>(
-          service.config().queue_capacity);
+          service.handler_queue_capacity());
       pool = std::make_unique<ThreadPool>(workers);
       worker_done.reserve(workers);
       for (std::size_t i = 0; i < workers; ++i) {
@@ -686,13 +692,13 @@ struct EventLoopServer::Impl {
       }
     }
 
-    log << "tgroom serve: listening on 127.0.0.1:" << bound_port
+    log << service.log_name() << ": listening on 127.0.0.1:" << bound_port
         << " (event loop, workers=" << workers << ")\n";
 
     std::vector<epoll_event> events(128);
     bool stop_drain_started = false;
     while (true) {
-      if (GroomingService::stop_requested() && !stop_drain_started &&
+      if (service.drain_requested() && !stop_drain_started &&
           phase == Phase::kServing) {
         stop_drain_started = true;
         begin_drain();
@@ -744,8 +750,8 @@ struct EventLoopServer::Impl {
     if (queue != nullptr) queue->close();
     for (auto& done : worker_done) done.get();
 
-    service.finalize_store();
-    if (service.config().metrics_on_exit) {
+    service.finalize();
+    if (service.metrics_on_exit()) {
       JsonWriter w;
       service.write_exit_metrics(w);
       log << w.str() << "\n";
@@ -754,9 +760,9 @@ struct EventLoopServer::Impl {
   }
 };
 
-EventLoopServer::EventLoopServer(GroomingService& service,
+EventLoopServer::EventLoopServer(EventLoopHandler& handler,
                                  const EventLoopConfig& config)
-    : impl_(std::make_unique<Impl>(service, config)) {}
+    : impl_(std::make_unique<Impl>(handler, config)) {}
 
 EventLoopServer::~EventLoopServer() = default;
 
@@ -778,7 +784,7 @@ struct EventLoopServer::Impl {
   std::string error = "epoll event loop requires linux";
 };
 
-EventLoopServer::EventLoopServer(GroomingService&, const EventLoopConfig&)
+EventLoopServer::EventLoopServer(EventLoopHandler&, const EventLoopConfig&)
     : impl_(std::make_unique<Impl>()) {}
 EventLoopServer::~EventLoopServer() = default;
 bool EventLoopServer::valid() const { return false; }

@@ -52,7 +52,7 @@
 
 namespace tgroom {
 
-class GroomingService;
+class EventLoopHandler;
 
 struct EventLoopConfig {
   int port = 0;  // loopback TCP port; 0 picks an ephemeral port (see port())
@@ -72,10 +72,13 @@ struct EventLoopConfig {
 /// One epoll server bound to 127.0.0.1:`config.port`.  The constructor
 /// creates, binds, and listens the socket (so ephemeral ports are known
 /// before run(), which tests and the bench need); run() serves until a
-/// `shutdown` request or GroomingService::request_stop().
+/// `shutdown` request or the handler reports drain_requested() (wired to
+/// GroomingService::request_stop() by both implementations).  The handler
+/// decides what a request *means* — grooming service or cluster router
+/// (service/handler.hpp); the loop is pure network machinery.
 class EventLoopServer {
  public:
-  EventLoopServer(GroomingService& service, const EventLoopConfig& config);
+  EventLoopServer(EventLoopHandler& handler, const EventLoopConfig& config);
   ~EventLoopServer();
 
   EventLoopServer(const EventLoopServer&) = delete;

@@ -18,6 +18,8 @@ constexpr const char* kCounterNames[ServiceMetrics::kCounterCount] = {
     "conn_closed",     "pipelined",
     "read_only_rejected", "repl_fetches",
     "repl_records_shipped", "repl_records_applied",
+    "forwarded",       "forward_retries",
+    "failovers",       "shard_down",
 };
 
 }  // namespace

@@ -43,6 +43,10 @@ class ServiceMetrics {
     kReplFetches,       // repl_fetch batches served (primary side)
     kReplRecordsShipped,  // WAL records shipped to followers
     kReplRecordsApplied,  // shipped records applied locally (replica side)
+    kForwarded,         // router: requests forwarded to a shard backend
+    kForwardRetries,    // router: forward attempts after the first
+    kFailovers,         // router: replica promotions triggered by the prober
+    kShardDownErrors,   // subset of kError: no reachable node for the shard
     kCount_,
   };
   static constexpr std::size_t kCounterCount =

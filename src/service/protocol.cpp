@@ -34,6 +34,7 @@ const char* service_error_name(ServiceError code) {
     case ServiceError::kDeadlineExceeded: return "deadline_exceeded";
     case ServiceError::kStoreIncompatible: return "store_incompatible";
     case ServiceError::kReadOnly: return "read_only";
+    case ServiceError::kShardDown: return "shard_down";
     case ServiceError::kInternal: return "internal";
   }
   return "?";
@@ -489,6 +490,7 @@ bool fast_parse_request(std::string_view line, RequestParse& out) {
   bool have_plan = false, have_plan_id = false, have_add = false;
   bool have_include_plan = false;
   bool have_remove = false, have_all = false, have_repair = false;
+  bool have_route_key = false;
 
   if (!s.peek('}')) {
     do {
@@ -586,6 +588,10 @@ bool fast_parse_request(std::string_view line, RequestParse& out) {
       } else if (key == "repair") {
         if (have_repair || !s.boolean(request.repair)) return false;
         have_repair = true;
+      } else if (key == "route_key") {
+        if (have_route_key || !s.integer(request.route_key)) return false;
+        request.has_route_key = true;
+        have_route_key = true;
       } else {
         return false;  // unknown key → let the generic parser decide
       }
@@ -699,6 +705,10 @@ RequestParse parse_request(std::string_view line) {
     request.deadline_ms = int_field(doc, "deadline_ms", 0);
     TGROOM_CHECK_MSG(request.deadline_ms >= 0,
                      "\"deadline_ms\" must be >= 0");
+    if (doc.find("route_key") != nullptr) {
+      request.route_key = int_field(doc, "route_key", 0);
+      request.has_route_key = true;
+    }
 
     if (request.op == ServiceOp::kGroom) {
       const JsonValue* graph = doc.find("graph");
@@ -795,6 +805,11 @@ RequestParse parse_request(std::string_view line) {
       const std::int64_t ack = int_field(doc, "ack_seq", 0);
       TGROOM_CHECK_MSG(ack >= 0, "\"ack_seq\" must be >= 0");
       request.repl_ack_seq = static_cast<std::uint64_t>(ack);
+      if (const JsonValue* follower = doc.find("follower")) {
+        TGROOM_CHECK_MSG(follower->is_string(),
+                         "\"follower\" must be a string");
+        request.repl_follower = follower->string;
+      }
     }
   } catch (const CheckError& e) {
     out.error = e.what();

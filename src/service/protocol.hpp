@@ -54,7 +54,13 @@
 //                  "message":string}
 //   code       := "bad_request" | "overloaded" | "shutting_down"
 //               | "deadline_exceeded" | "store_incompatible"
-//               | "read_only" | "internal"
+//               | "read_only" | "shard_down" | "internal"
+//
+// Any request may additionally carry "route_key":int — a routing hint
+// for the cluster front-end (`tgroom route`, src/cluster/).  Shard nodes
+// parse and ignore it, so a request stream is byte-for-byte replayable
+// against a single node; the router uses it to pin held-plan operations
+// to the shard that owns the plan (DESIGN.md §17).
 //
 // The serializers here are shared with the CLI's `--format json` output,
 // so scripted pipelines and service clients parse one format.
@@ -99,6 +105,7 @@ enum class ServiceError {
   kDeadlineExceeded,
   kStoreIncompatible,  // durable store written by a different format version
   kReadOnly,           // mutation sent to a replica; message names the primary
+  kShardDown,          // router: the owning shard has no reachable node
   kInternal,
 };
 const char* service_error_name(ServiceError code);
@@ -139,6 +146,19 @@ struct ServiceRequest {
   std::uint64_t repl_from_seq = 0;    // fetch: records with seq > from_seq
   std::int64_t repl_max_records = 0;  // fetch: 0 = server default
   std::uint64_t repl_ack_seq = 0;     // fetch: follower's applied high-water
+  std::string repl_follower;          // fetch: follower's node id (optional;
+                                      // keys the primary's per-replica ack
+                                      // table surfaced in health)
+
+  // cluster routing hint (any op): the router shards by this when
+  // present, by the graph/plan content otherwise.  Shard nodes ignore it.
+  std::int64_t route_key = 0;
+  bool has_route_key = false;
+
+  // The original request line, captured only when the serving front-end
+  // asks for it (EventLoopHandler::wants_raw_line() — the cluster router
+  // forwards these bytes instead of re-serializing).  Empty otherwise.
+  std::string raw;
 
   // lifecycle (stamped by the server at admission)
   std::int64_t deadline_ms = 0;  // 0 = no deadline

@@ -1,8 +1,12 @@
 #include "service/server.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
 #include <exception>
 #include <filesystem>
+#include <fstream>
 #include <future>
 #include <istream>
 #include <memory>
@@ -433,6 +437,22 @@ void GroomingService::handle_stats(const ServiceRequest& request,
     }
   } else {
     w.kv("acked_seq", repl_acked_seq_.load(std::memory_order_relaxed));
+    std::vector<std::pair<std::string, std::uint64_t>> acks;
+    {
+      std::lock_guard<std::mutex> lock(repl_acks_mutex_);
+      acks = repl_follower_acks_;
+    }
+    std::sort(acks.begin(), acks.end());
+    const std::uint64_t last_seq = applied_seq();
+    w.key("replicas").begin_array();
+    for (const auto& [follower, acked] : acks) {
+      w.begin_object();
+      w.kv("follower", follower);
+      w.kv("acked_seq", acked);
+      w.kv("lag", last_seq > acked ? last_seq - acked : 0);
+      w.end_object();
+    }
+    w.end_array();
   }
   w.end_object();
   w.key("metrics");
@@ -480,7 +500,19 @@ void GroomingService::handle_health(const ServiceRequest& request,
   begin_ok_response(w, request.id, request.has_id, ServiceOp::kHealth);
   const bool replica = is_replica();
   w.kv("role", replica ? "replica" : "primary");
-  w.kv("last_seq", applied_seq());
+  // Format + topology echo: the cluster router validates these against
+  // its compiled versions and its static map at connect time, so a node
+  // from the wrong build or the wrong shard is rejected before it serves.
+  w.kv("store_version", static_cast<long long>(kStoreFormatVersion));
+  w.kv("fingerprint_version",
+       static_cast<long long>(kFingerprintFormatVersion));
+  if (!config_.node_id.empty()) w.kv("node_id", config_.node_id);
+  if (config_.shard_count > 0) {
+    w.kv("shard_index", static_cast<long long>(config_.shard_index));
+    w.kv("shard_count", static_cast<long long>(config_.shard_count));
+  }
+  const std::uint64_t last_seq = applied_seq();
+  w.kv("last_seq", last_seq);
   if (replica) {
     w.kv("primary", config_.replica_of);
     if (replica_link_ != nullptr) {
@@ -490,6 +522,26 @@ void GroomingService::handle_health(const ServiceRequest& request,
       w.kv("primary_last_seq", primary_last);
       w.kv("lag", primary_last > applied ? primary_last - applied : 0);
     }
+  } else {
+    // Primary-side replication lag, per connected follower: acked_seq is
+    // the follower's last piggybacked ack, lag its distance from this
+    // node's WAL head.  Sorted by follower id so the output is stable.
+    w.kv("acked_seq", repl_acked_seq_.load(std::memory_order_relaxed));
+    std::vector<std::pair<std::string, std::uint64_t>> acks;
+    {
+      std::lock_guard<std::mutex> lock(repl_acks_mutex_);
+      acks = repl_follower_acks_;
+    }
+    std::sort(acks.begin(), acks.end());
+    w.key("replicas").begin_array();
+    for (const auto& [follower, acked] : acks) {
+      w.begin_object();
+      w.kv("follower", follower);
+      w.kv("acked_seq", acked);
+      w.kv("lag", last_seq > acked ? last_seq - acked : 0);
+      w.end_object();
+    }
+    w.end_array();
   }
   w.kv("uptime_s",
        static_cast<long long>(std::chrono::duration_cast<std::chrono::seconds>(
@@ -625,6 +677,21 @@ void GroomingService::handle_repl_fetch(const ServiceRequest& request,
     while (request.repl_ack_seq > prev &&
            !repl_acked_seq_.compare_exchange_weak(prev, request.repl_ack_seq,
                                                   std::memory_order_relaxed)) {
+    }
+  }
+  // Followers that identify themselves (--node-id on the replica) also
+  // get a per-replica ack entry, surfaced in health so a failover
+  // decision can prefer the most-caught-up replica by name.
+  if (!request.repl_follower.empty()) {
+    std::lock_guard<std::mutex> lock(repl_acks_mutex_);
+    auto it = std::find_if(
+        repl_follower_acks_.begin(), repl_follower_acks_.end(),
+        [&](const auto& entry) { return entry.first == request.repl_follower; });
+    if (it == repl_follower_acks_.end()) {
+      repl_follower_acks_.emplace_back(request.repl_follower,
+                                       request.repl_ack_seq);
+    } else if (request.repl_ack_seq > it->second) {
+      it->second = request.repl_ack_seq;
     }
   }
   constexpr std::int64_t kDefaultBatch = 256;
@@ -962,7 +1029,8 @@ void GroomingService::write_exit_metrics(JsonWriter& w) {
   w.end_object();
 }
 
-int serve_tcp(GroomingService& service, int port, std::ostream& log) {
+int serve_tcp(GroomingService& service, int port, std::ostream& log,
+              const std::string& port_file) {
 #if defined(__linux__)
   EventLoopConfig config;
   config.port = port;
@@ -970,6 +1038,13 @@ int serve_tcp(GroomingService& service, int port, std::ostream& log) {
   if (!server.valid()) {
     log << server.error() << "\n";
     return 1;
+  }
+  if (!port_file.empty()) {
+    std::string error;
+    if (!write_port_file(port_file, server.port(), error)) {
+      log << error << "\n";
+      return 1;
+    }
   }
   return server.run(log);
 #elif defined(__unix__) && defined(__GLIBCXX__)
@@ -997,6 +1072,19 @@ int serve_tcp(GroomingService& service, int port, std::ostream& log) {
         << std::strerror(errno) << "\n";
     ::close(listen_fd);
     return 1;
+  }
+  socklen_t addr_len = sizeof addr;
+  if (::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                    &addr_len) == 0) {
+    port = ntohs(addr.sin_port);
+  }
+  if (!port_file.empty()) {
+    std::string error;
+    if (!write_port_file(port_file, port, error)) {
+      log << error << "\n";
+      ::close(listen_fd);
+      return 1;
+    }
   }
   log << "tgroom serve: listening on 127.0.0.1:" << port << "\n";
   while (!GroomingService::stop_requested() && !service.shutdown_requested()) {
@@ -1028,9 +1116,35 @@ int serve_tcp(GroomingService& service, int port, std::ostream& log) {
 #else
   (void)service;
   (void)port;
+  (void)port_file;
   log << "serve --port requires a unix/libstdc++ build\n";
   return 2;
 #endif
+}
+
+bool write_port_file(const std::string& path, int port, std::string& error) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      error = "port-file: cannot write " + tmp;
+      return false;
+    }
+    out << port << "\n";
+    out.flush();
+    if (!out) {
+      error = "port-file: write to " + tmp + " failed";
+      return false;
+    }
+  }
+  // rename() is atomic within a filesystem: a reader polling `path` sees
+  // either nothing or the complete port, never a torn write.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    error = std::string("port-file: rename to ") + path + ": " +
+            std::strerror(errno);
+    return false;
+  }
+  return true;
 }
 
 }  // namespace tgroom

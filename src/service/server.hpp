@@ -34,6 +34,7 @@
 #include <unordered_map>
 
 #include "service/cache.hpp"
+#include "service/handler.hpp"
 #include "service/metrics.hpp"
 #include "service/protocol.hpp"
 #include "store/durable_store.hpp"
@@ -83,9 +84,19 @@ struct ServiceConfig {
   // primary ("host:port").  The stream client itself lives in
   // src/replication/ and is wired in via set_replica_link().
   std::string replica_of;
+
+  // Cluster identity (all optional; used by `tgroom route`).  node_id is
+  // echoed in health and keys the primary's per-replica ack table; the
+  // shard coordinates are echoed in health so the router can reject a
+  // node whose position disagrees with its cluster map at connect time.
+  std::string node_id;
+  int shard_index = -1;  // < 0 = not part of a sharded cluster
+  int shard_count = 0;   // 0 = not part of a sharded cluster
 };
 
-class GroomingService {
+class GroomingService;
+
+class GroomingService : public EventLoopHandler {
  public:
   explicit GroomingService(const ServiceConfig& config)
       : config_(config),
@@ -110,15 +121,28 @@ class GroomingService {
   /// allocations end to end (DESIGN.md §11), and the per-request
   /// allocation count is recorded into the metrics registry.
   void execute_into(ServiceRequest& request, GroomingWorkspace& workspace,
-                    JsonWriter& w);
+                    JsonWriter& w) override;
 
   /// Convenience wrapper returning a fresh response string (tests, one-off
   /// calls).  `workspace` may be null.
   std::string execute(ServiceRequest& request, GroomingWorkspace* workspace);
 
-  ServiceMetrics& metrics() { return metrics_; }
+  ServiceMetrics& metrics() override { return metrics_; }
   const ServiceConfig& config() const { return config_; }
   std::size_t held_plan_count() const;
+
+  // ---- EventLoopHandler (service/handler.hpp) ----------------------------
+  std::size_t worker_count() const override { return config_.workers; }
+  std::size_t handler_queue_capacity() const override {
+    return config_.queue_capacity;
+  }
+  std::int64_t handler_default_deadline_ms() const override {
+    return config_.default_deadline_ms;
+  }
+  bool metrics_on_exit() const override { return config_.metrics_on_exit; }
+  bool drain_requested() const override { return stop_requested(); }
+  const char* log_name() const override { return "tgroom serve"; }
+  void finalize() override { finalize_store(); }
 
   /// Opens the durable store when `config.data_dir` is set: recovers the
   /// held-plan table (snapshot + WAL replay), optionally pre-warms the
@@ -145,7 +169,7 @@ class GroomingService {
   /// The {"event":"exit",...} metrics document (held plans, cache,
   /// counters, store) shared by run()'s exit line and the event loop's
   /// log output.  `w` is cleared first.
-  void write_exit_metrics(JsonWriter& w);
+  void write_exit_metrics(JsonWriter& w) override;
 
   /// Cooperative stop for signal handlers: the read loop drains and exits
   /// at the next line boundary (the `tgroom serve` command wires SIGTERM
@@ -189,6 +213,12 @@ class GroomingService {
   /// been compacted away.
   bool wal_crc_at(std::uint64_t seq, std::uint32_t& crc) const;
 
+  /// True for requests that would mutate server-side state (held-plan
+  /// holds, held-plan provisions/releases) — exactly what a replica
+  /// rejects with `read_only`.  Public because the cluster router routes
+  /// by the same rule: mutations to the shard primary, reads anywhere.
+  static bool is_mutating(const ServiceRequest& request);
+
  private:
   static std::atomic<bool>& stop_flag();
 
@@ -202,10 +232,6 @@ class GroomingService {
   void handle_repl_handshake(const ServiceRequest& request, JsonWriter& w);
   void handle_repl_fetch(const ServiceRequest& request, JsonWriter& w);
   void handle_repl_snapshot(const ServiceRequest& request, JsonWriter& w);
-  /// True for requests that would mutate server-side state (held-plan
-  /// holds, held-plan provisions/releases) — exactly what a replica
-  /// rejects with `read_only`.
-  static bool is_mutating(const ServiceRequest& request);
   void write_cache_stats(JsonWriter& w) const;
   bool deadline_expired(const ServiceRequest& request) const;
   void deadline_response(const ServiceRequest& request, JsonWriter& w);
@@ -241,6 +267,10 @@ class GroomingService {
   ReplicaLink* replica_link_ = nullptr;  // non-null only in replica mode
   std::mutex promote_mutex_;             // serializes promote requests
   std::atomic<std::uint64_t> repl_acked_seq_{0};  // followers' ack high-water
+  mutable std::mutex repl_acks_mutex_;  // guards repl_follower_acks_ (tiny:
+                                        // one entry per connected follower,
+                                        // touched per fetch and per health)
+  std::vector<std::pair<std::string, std::uint64_t>> repl_follower_acks_;
   const std::chrono::steady_clock::time_point started_ =
       std::chrono::steady_clock::now();
 };
@@ -251,7 +281,14 @@ class GroomingService {
 /// held plans, and metrics are shared across all of them.  Other unix
 /// builds fall back to the historical accept-one-connection loop.
 /// Returns when any connection sends `shutdown` or request_stop() is
-/// set.
-int serve_tcp(GroomingService& service, int port, std::ostream& log);
+/// set.  A non-empty `port_file` gets the bound port written atomically
+/// (write_port_file) once the listener exists — harnesses read that
+/// instead of scraping the stderr announcement.
+int serve_tcp(GroomingService& service, int port, std::ostream& log,
+              const std::string& port_file = std::string());
+
+/// Atomically publishes `port` at `path` (temp file + rename, so a reader
+/// never sees a partial write).  False with `error` set on IO failure.
+bool write_port_file(const std::string& path, int port, std::string& error);
 
 }  // namespace tgroom

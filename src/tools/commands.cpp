@@ -9,6 +9,8 @@
 #include "algorithms/algorithm.hpp"
 #include "algorithms/anneal.hpp"
 #include "bench_support/sweep.hpp"
+#include "cluster/cluster_map.hpp"
+#include "cluster/router.hpp"
 #include "gen/traffic_patterns.hpp"
 #include "graph/io.hpp"
 #include "graph/properties.hpp"
@@ -16,6 +18,7 @@
 #include "grooming/plan.hpp"
 #include "nphard/gadget.hpp"
 #include "replication/replica.hpp"
+#include "service/event_loop.hpp"
 #include "service/protocol.hpp"
 #include "service/server.hpp"
 #include "sim/simulator.hpp"
@@ -383,7 +386,19 @@ std::string usage() {
       "             --data-dir makes held plans survive crashes (WAL +\n"
       "             snapshots, recovered on restart); --replica-of H:P\n"
       "             tails that primary's WAL and serves read-only until a\n"
-      "             `promote` op flips it to primary (DESIGN.md 15)\n"
+      "             `promote` op flips it to primary (DESIGN.md 15);\n"
+      "             --node-id NAME --shard-index I --shard-count N name\n"
+      "             this node's place in a sharded cluster (echoed in\n"
+      "             health, validated by `route`); --port-file PATH\n"
+      "             writes the bound port atomically once listening\n"
+      "  route      --shards host:port[,replica:port...];host:port;...\n"
+      "             [--port P] [--port-file PATH] [--workers W]\n"
+      "             [--queue Q] [--deadline-ms D] [--probe-ms MS]\n"
+      "             [--timeout-ms MS] [--connect-wait-ms MS]\n"
+      "             cluster front-end: fingerprint-routes requests across\n"
+      "             the shard groups (',' separates a group's primary and\n"
+      "             replicas, ';' separates groups), fails over to a\n"
+      "             promoted replica when a primary dies (DESIGN.md 17)\n"
       "  store-dump --data-dir PATH  read-only recovery: prints the\n"
       "             held-plan table a restarted daemon would serve; a\n"
       "             summary with the store format version, WAL first/last\n"
@@ -745,6 +760,9 @@ int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
       static_cast<std::uint64_t>(args.get_int("snapshot-every", 1024));
   config.prewarm_cache = args.get_bool("prewarm-cache", true);
   config.replica_of = args.get("replica-of", "");
+  config.node_id = args.get("node-id", "");
+  config.shard_index = static_cast<int>(args.get_int("shard-index", -1));
+  config.shard_count = static_cast<int>(args.get_int("shard-count", 0));
   try {
     config.fsync = parse_fsync_policy(args.get("fsync", "batch"));
   } catch (const CheckError& e) {
@@ -758,6 +776,11 @@ int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
   if (!config.replica_of.empty() && config.data_dir.empty()) {
     err << "--replica-of needs --data-dir (the replica persists the "
            "shipped WAL into its own store)\n";
+    return 2;
+  }
+  if (config.shard_count > 0 &&
+      (config.shard_index < 0 || config.shard_index >= config.shard_count)) {
+    err << "--shard-index must be in [0, --shard-count)\n";
     return 2;
   }
 #if defined(__unix__)
@@ -796,6 +819,7 @@ int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
   if (!config.replica_of.empty()) {
     ReplicationClientConfig link_config;
     link_config.primary = config.replica_of;
+    link_config.follower_id = config.node_id;
     replica_link = std::make_unique<ReplicationClient>(service, link_config);
     service.set_replica_link(replica_link.get());
     err << "tgroom serve: replica of " << config.replica_of
@@ -808,12 +832,80 @@ int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
   int rc;
   if (args.has("port")) {
     const int port = static_cast<int>(args.get_int("port", 0));
-    rc = serve_tcp(service, port, err);
+    rc = serve_tcp(service, port, err, args.get("port-file", ""));
   } else {
     rc = service.run(in, out);
   }
   if (replica_link != nullptr) replica_link->stop_and_drain();
   return rc;
+}
+
+int cmd_route(const CliArgs& args, std::ostream& out, std::ostream& err) {
+  (void)out;  // the router speaks TCP only; logs go to stderr
+  const std::string spec = args.get("shards", "");
+  if (spec.empty()) {
+    err << "route needs --shards "
+           "host:port[,replica:port...];host:port[,...];...\n";
+    return 2;
+  }
+  cluster::RouterConfig config;
+  std::string error;
+  if (!cluster::parse_cluster_map(spec, config.map, error)) {
+    err << "route: bad --shards: " << error << "\n";
+    return 2;
+  }
+  config.workers = static_cast<std::size_t>(args.get_int("workers", 8));
+  config.queue_capacity =
+      static_cast<std::size_t>(args.get_int("queue", 256));
+  config.default_deadline_ms = args.get_int("deadline-ms", 0);
+  config.metrics_on_exit = args.get_bool("exit-metrics", true);
+  config.probe_interval_ms =
+      static_cast<int>(args.get_int("probe-ms", 200));
+  config.backend_timeout_ms =
+      static_cast<int>(args.get_int("timeout-ms", 10000));
+  config.connect_wait_ms =
+      static_cast<int>(args.get_int("connect-wait-ms", 2000));
+  if (config.workers == 0) {
+    // Forwarding blocks on backend round trips; inline execution would
+    // block the event loop itself.
+    err << "route needs --workers >= 1\n";
+    return 2;
+  }
+  if (config.queue_capacity == 0) {
+    err << "--queue must be >= 1\n";
+    return 2;
+  }
+#if defined(__unix__)
+  struct sigaction action {};
+  action.sa_handler = [](int) { GroomingService::request_stop(); };
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;
+  sigaction(SIGTERM, &action, nullptr);
+#endif
+  GroomingService::clear_stop();
+  cluster::ClusterRouter router(config);
+  if (!router.start(err, error)) {
+    err << "tgroom route: " << error << "\n";
+    return 1;
+  }
+  EventLoopConfig loop_config;
+  loop_config.port = static_cast<int>(args.get_int("port", 0));
+  EventLoopServer server(router, loop_config);
+  if (!server.valid()) {
+    err << server.error() << "\n";
+    router.stop_backends();
+    return 1;
+  }
+  const std::string port_file = args.get("port-file", "");
+  if (!port_file.empty()) {
+    std::string port_error;
+    if (!write_port_file(port_file, server.port(), port_error)) {
+      err << port_error << "\n";
+      router.stop_backends();
+      return 1;
+    }
+  }
+  return server.run(err);
 }
 
 int cmd_store_dump(const CliArgs& args, std::ostream& out,
@@ -879,6 +971,7 @@ int run_tool(int argc, const char* const* argv, std::istream& in,
   if (command == "gadget") return cmd_gadget(args, in, out, err);
   if (command == "sweep") return cmd_sweep(args, out, err);
   if (command == "serve") return cmd_serve(args, in, out, err);
+  if (command == "route") return cmd_route(args, out, err);
   if (command == "store-dump") return cmd_store_dump(args, out, err);
   if (command == "help" || command == "--help") {
     out << usage();

@@ -17,6 +17,9 @@
 //   serve      long-running NDJSON daemon (stdin/stdout or --port) with
 //              admission control, deadlines, plan cache, metrics, and —
 //              with --data-dir — a durable store (WAL + snapshots)
+//   route      cluster front-end: routes NDJSON requests across the
+//              shard groups named by --shards (src/cluster/), owning no
+//              grooming state of its own
 //   store-dump read-only recovery of a --data-dir: prints the held-plan
 //              table a restarted daemon would serve (never mutates files)
 //
@@ -55,6 +58,7 @@ int cmd_gadget(const CliArgs& args, std::istream& in, std::ostream& out,
 int cmd_sweep(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_serve(const CliArgs& args, std::istream& in, std::ostream& out,
               std::ostream& err);
+int cmd_route(const CliArgs& args, std::ostream& out, std::ostream& err);
 int cmd_store_dump(const CliArgs& args, std::ostream& out, std::ostream& err);
 
 /// Usage text for the whole tool.

@@ -63,6 +63,17 @@ class JsonWriter {
   JsonWriter& value(double v);
   JsonWriter& null();
 
+  /// Injects pre-serialized JSON verbatim in value position (comma and
+  /// key handling as for value()).  The caller vouches that `json` is one
+  /// complete, well-formed JSON value — the cluster router uses this to
+  /// embed backend response payloads without a parse/re-serialize round
+  /// trip, keeping forwarded bytes exactly the backend's bytes.
+  JsonWriter& raw(std::string_view json) {
+    comma();
+    out_.append(json);
+    return *this;
+  }
+
   /// key() + value() in one call.
   template <typename T>
   JsonWriter& kv(std::string_view name, T&& v) {
